@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Fig. 12 (PER of all techniques).
+
+Shape checks (paper Sec. 6.1): Ground Truth is the best technique; the
+combined techniques beat the preamble-based technique by a large factor;
+blind techniques sit between the combined and stale-estimate extremes.
+"""
+
+from repro.experiments.figures import fig12
+
+
+def test_fig12(benchmark, evaluation_bundle):
+    rows = benchmark(fig12.generate, evaluation_bundle)
+    mean = {name: stats.mean for name, stats in rows.items()}
+    assert mean["Ground Truth"] <= min(mean.values()) + 1e-9
+    assert mean["Preamble-VVD Combined"] < mean["Preamble Based"]
+    assert mean["Preamble-Kalman Combined"] < mean["Preamble Based"]
+    assert mean["Ground Truth"] <= mean["VVD-Current"]
+    assert mean["Preamble Based-Genie"] <= mean["Preamble Based"]
+    print("\n" + fig12.render(evaluation_bundle))

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 13 (CER of all techniques).
+
+Shape checks: CER ordering is consistent with PER but compressed; the
+paper's reliability threshold (~2-3e-2) separates the reliable cluster
+(Ground Truth / Genie / combined) from standard decoding.
+"""
+
+from repro.experiments.figures import fig13
+
+
+def test_fig13(benchmark, evaluation_bundle):
+    rows = benchmark(fig13.generate, evaluation_bundle)
+    mean = {name: stats.mean for name, stats in rows.items()}
+    assert mean["Ground Truth"] < mean["Standard Decoding"]
+    assert mean["Preamble Based-Genie"] < mean["Standard Decoding"]
+    assert mean["Preamble-VVD Combined"] <= mean["Preamble Based"]
+    print("\n" + fig13.render(evaluation_bundle))

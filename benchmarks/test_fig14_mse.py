@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 14 (channel-estimation MSE).
+
+Shape checks: the genie preamble estimate is the most accurate practical
+estimate; 500 ms-old estimates are the stalest blind technique.
+"""
+
+from repro.experiments.figures import fig14
+
+
+def test_fig14(benchmark, evaluation_bundle):
+    rows = benchmark(fig14.generate, evaluation_bundle)
+    mean = {name: stats.mean for name, stats in rows.items()}
+    assert mean["100ms Previous"] < mean["500ms Previous"]
+    kalman = next(v for k, v in mean.items() if k.startswith("Kalman"))
+    assert kalman <= mean["100ms Previous"] * 1.5
+    print("\n" + fig14.render(evaluation_bundle))

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 15 (decode success/failure vs time).
+
+Shape check: packet errors are bursty — errors co-occur with LoS
+blockage more often than with a clear LoS.
+"""
+
+import numpy as np
+
+from repro.experiments.figures import fig15
+
+
+def test_fig15(benchmark, evaluation_bundle):
+    data = benchmark(fig15.generate, evaluation_bundle)
+    assert len(data.successes) > 0
+    failures = np.array([not s for s in data.successes])
+    blocked = np.array(data.blocked)
+    if failures.any() and blocked.any() and (~blocked).any():
+        fail_rate_blocked = failures[blocked].mean()
+        fail_rate_clear = failures[~blocked].mean()
+        assert fail_rate_blocked >= fail_rate_clear
+    print("\n" + fig15.render(data))

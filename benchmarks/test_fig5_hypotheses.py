@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 5 (hypothesis-testing tap comparison).
+
+Shape check: H2 (same displacement, later time) must be much closer to
+the control estimate than H1 (different displacement) — the paper's
+Sec. 2.2 hypotheses.
+"""
+
+from repro.experiments.figures import fig5
+
+
+def test_fig5(benchmark, evaluation_bundle):
+    sets = evaluation_bundle.sets
+    result = benchmark(fig5.generate, sets[1], sets[2:])
+    assert result.mse_h2 < result.mse_h1
+    assert result.hypotheses_hold
+    print("\n" + fig5.render(result))

@@ -1,0 +1,24 @@
+"""Benchmark: VVD inference latency (paper Sec. 4).
+
+The paper reports ~0.9 ms/estimate on a GTX 850 GPU and ~9.8 ms on a
+laptop CPU.  This bench times one depth-image -> CIR prediction through
+the pure-numpy CNN; expect the same order of magnitude as the paper's
+CPU figure.
+"""
+
+import numpy as np
+
+from repro.config import VVDConfig
+from repro.core.model import build_vvd_cnn
+
+
+def test_inference_latency(benchmark):
+    model = build_vvd_cnn(
+        (50, 90), 11, VVDConfig(conv_filters=(32, 32, 64), dense_units=256)
+    )
+    image = np.random.default_rng(0).normal(size=(1, 50, 90, 1)).astype(
+        np.float32
+    )
+    model.predict(image)  # warm-up
+    out = benchmark(model.predict, image)
+    assert out.shape == (1, 22)

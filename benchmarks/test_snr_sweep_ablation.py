@@ -1,0 +1,29 @@
+"""Benchmark: SNR sensitivity ablation (Sec. 6.6 power discussion).
+
+Shape check: lowering SNR degrades every technique, and standard
+decoding (no equalization) degrades at least as much as Ground Truth.
+"""
+
+from repro.experiments.snr_sweep import run_snr_sweep
+
+
+def test_snr_sweep(benchmark, bench_config):
+    num_sets = 3 if bench_config.dataset.num_sets > 3 else None
+    result = benchmark.pedantic(
+        run_snr_sweep,
+        args=(bench_config, (6.0, 9.5)),
+        kwargs={"num_sets": num_sets},
+        rounds=1,
+        iterations=1,
+    )
+    gt = result.per["Ground Truth"]
+    std = result.per["Standard Decoding"]
+    assert gt[0] >= gt[-1] - 1e-9       # less SNR, more errors
+    assert std[0] >= gt[0] - 1e-9       # no equalization is never better
+    rows = "\n".join(
+        f"  {name:<26} " + " ".join(f"{v:.3f}" for v in series)
+        for name, series in result.per.items()
+    )
+    print(
+        f"\nSNR sweep (PER at {result.snrs_db} dB):\n{rows}"
+    )

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 1 (technique capability comparison)."""
+
+from repro.experiments.figures import table1
+
+
+def test_table1(benchmark, evaluation_bundle):
+    rows = benchmark(table1.generate)
+    assert [r["technique"] for r in rows] == [
+        "Blind",
+        "Pilot",
+        "Time-Series",
+        "VVD",
+    ]
+    vvd = rows[3]
+    assert vvd["reliable"] and vvd["scalable"] and vvd["dynamic"]
+    print("\n" + table1.render(evaluation_bundle))

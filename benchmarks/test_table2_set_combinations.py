@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 2 (set combinations)."""
+
+from repro.experiments.figures import table2
+
+
+def test_table2(benchmark, evaluation_bundle):
+    combos = benchmark(table2.generate)
+    assert len(combos) == 15
+    assert combos[0].validation == 6 and combos[0].test == 8
+    print("\n" + table2.render(evaluation_bundle.sets))

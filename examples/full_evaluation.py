@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's full evaluation (Figs. 12-17, Tables 1-2).
+
+This is the EXPERIMENTS.md driver: it builds the evaluation bundle (the
+ten-technique suite over Table 2 combinations), prints every figure as an
+ASCII table, and reports wall-clock cost.
+
+Usage::
+
+    python examples/full_evaluation.py [--combinations N] [--tiny]
+
+``--combinations`` limits the Table 2 rows (default 3 keeps the run in
+minutes; pass 15 for the full cross-validation).
+"""
+
+import argparse
+import time
+
+from repro.config import SimulationConfig
+from repro.experiments.bundle import build_evaluation_bundle
+from repro.experiments.figures import (
+    fig5,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    table1,
+    table2,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--combinations", type=int, default=3)
+    parser.add_argument(
+        "--tiny", action="store_true", help="use the tiny preset (smoke run)"
+    )
+    args = parser.parse_args()
+    config = (
+        SimulationConfig.tiny() if args.tiny else SimulationConfig.reduced()
+    )
+
+    start = time.time()
+    print("Building evaluation bundle (dataset + VVD training + decode)...")
+    bundle = build_evaluation_bundle(
+        config, num_combinations=args.combinations, verbose=True
+    )
+    print(f"bundle built in {time.time() - start:.0f}s\n")
+
+    print(table2.render(bundle.sets))
+    print()
+    print(table1.render(bundle))
+    print()
+    print(fig5.render(fig5.generate(bundle.sets[1], bundle.sets[2:])))
+    print()
+    print(fig12.render(bundle))
+    print()
+    print(fig13.render(bundle))
+    print()
+    print(fig14.render(bundle))
+    print()
+    print(fig15.render(fig15.generate(bundle)))
+    print()
+    aging = fig16.generate(bundle)
+    print(fig16.render(aging))
+    print()
+    print(fig17.render(aging))
+    print(f"\ntotal wall clock: {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

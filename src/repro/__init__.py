@@ -1,0 +1,71 @@
+"""Veni Vidi Dixi (VVD) reproduction — CoNEXT 2019.
+
+Reliable wireless communication with depth images: a CNN maps depth
+images of the communication environment to complex IEEE 802.15.4 channel
+estimates, removing pilot overhead (Ayvasik, Gursu, Kellerer).
+
+Quickstart::
+
+    from repro import SimulationConfig, generate_dataset, build_components
+    from repro.experiments import EvaluationRunner, build_full_suite
+    from repro.dataset import rotating_set_combinations
+
+    config = SimulationConfig.tiny()
+    components = build_components(config)
+    sets = generate_dataset(config, components)
+    runner = EvaluationRunner(components, sets)
+    combo = rotating_set_combinations(config.dataset.num_sets)[0]
+    result = runner.run_combination(combo, build_full_suite(config))
+    print({n: r.per for n, r in result.techniques.items()})
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from .config import (
+    CameraConfig,
+    ChannelConfig,
+    DatasetConfig,
+    KalmanConfig,
+    MobilityConfig,
+    PhyConfig,
+    ReceiverConfig,
+    RoomConfig,
+    SimulationConfig,
+    VVDConfig,
+)
+from .dataset import build_components, generate_dataset
+from .errors import (
+    ConfigurationError,
+    DatasetError,
+    DecodingError,
+    NotFittedError,
+    ReproError,
+    ShapeError,
+    SynchronizationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimulationConfig",
+    "PhyConfig",
+    "ChannelConfig",
+    "RoomConfig",
+    "CameraConfig",
+    "MobilityConfig",
+    "ReceiverConfig",
+    "DatasetConfig",
+    "VVDConfig",
+    "KalmanConfig",
+    "build_components",
+    "generate_dataset",
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "SynchronizationError",
+    "NotFittedError",
+    "DecodingError",
+    "DatasetError",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Indoor multipath wireless channel simulator.
+
+Substitutes the paper's measured laboratory channel (see DESIGN.md):
+
+- :mod:`repro.channel.geometry` — vector helpers, wall reflections
+  (image method), segment/point clearances.
+- :mod:`repro.channel.multipath` — propagation paths: LoS, first-order
+  wall/ceiling reflections, static-object scatter paths, human scatter.
+- :mod:`repro.channel.human` — the single mobile human: cylinder blocker
+  plus random-waypoint mobility (Sec. 3's movement area).
+- :mod:`repro.channel.blockage` — soft knife-edge attenuation of paths
+  passing near the human (Fig. 1's MPC distortions).
+- :mod:`repro.channel.noise` — complex AWGN with explicit generators.
+- :mod:`repro.channel.environment` — :class:`IndoorEnvironment`, mapping a
+  human position to the 11-tap complex CIR of Eq. 2/3.
+"""
+
+from .geometry import (
+    mirror_point,
+    path_length,
+    segment_clearance,
+)
+from .multipath import PropagationPath, build_static_paths, human_scatter_path
+from .human import RandomWaypointMobility, sample_trajectory
+from .blockage import blockage_attenuation, path_blockage_factor
+from .noise import awgn, noise_power_for_snr
+from .environment import IndoorEnvironment
+
+__all__ = [
+    "mirror_point",
+    "path_length",
+    "segment_clearance",
+    "PropagationPath",
+    "build_static_paths",
+    "human_scatter_path",
+    "RandomWaypointMobility",
+    "sample_trajectory",
+    "blockage_attenuation",
+    "path_blockage_factor",
+    "awgn",
+    "noise_power_for_snr",
+    "IndoorEnvironment",
+]

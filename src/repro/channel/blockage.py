@@ -1,0 +1,59 @@
+"""Human blockage of multipath components (Fig. 1b/1c).
+
+When the human's body intersects a propagation path the component is
+attenuated.  We use a soft knife-edge profile: deep, configurable loss
+when the path passes through the body, smoothly recovering to unity as the
+clearance grows past the body radius.  The smooth transition both matches
+diffraction behaviour and keeps the image -> CIR mapping learnable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ChannelConfig
+from .geometry import path_clearance
+from .multipath import PropagationPath
+
+
+def blockage_attenuation(
+    clearance_m: float,
+    radius_m: float,
+    blockage_db: float,
+    sharpness_m: float,
+) -> float:
+    """Amplitude factor in (0, 1] for a path at given horizontal clearance.
+
+    ``clearance_m <= radius_m`` yields the full configured loss;
+    the factor rises along a logistic ramp of width ``sharpness_m``.
+    """
+    floor = 10.0 ** (-blockage_db / 20.0)
+    if not np.isfinite(clearance_m):
+        return 1.0
+    margin = (clearance_m - radius_m) / max(sharpness_m, 1e-6)
+    ramp = 1.0 / (1.0 + np.exp(-4.0 * margin))
+    return float(floor + (1.0 - floor) * ramp)
+
+
+def path_blockage_factor(
+    path: PropagationPath,
+    human_xy,
+    config: ChannelConfig,
+) -> float:
+    """Attenuation the human at ``human_xy`` imposes on ``path``.
+
+    The human's own scatter path is never blocked by themselves.
+    """
+    if path.kind == "human":
+        return 1.0
+    clearance = path_clearance(
+        np.asarray(path.points, dtype=np.float64),
+        np.asarray(human_xy, dtype=np.float64),
+        config.human_height_m,
+    )
+    return blockage_attenuation(
+        clearance,
+        config.human_radius_m,
+        config.blockage_db,
+        config.blockage_sharpness_m,
+    )

@@ -1,0 +1,121 @@
+"""Geometric helpers for the image-method multipath model.
+
+Positions are 3-vectors in metres inside the room box
+``[0, width] x [0, depth] x [0, height]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+Vec3 = np.ndarray
+
+
+def as_point(p) -> Vec3:
+    """Coerce a 3-sequence into a float64 vector."""
+    arr = np.asarray(p, dtype=np.float64)
+    if arr.shape != (3,):
+        raise ShapeError(f"expected a 3-vector, got shape {arr.shape}")
+    return arr
+
+
+def mirror_point(point, axis: int, plane_value: float) -> Vec3:
+    """Mirror ``point`` across the axis-aligned plane ``x[axis] = value``.
+
+    The image method replaces a wall reflection by the straight path to the
+    mirrored endpoint.
+    """
+    p = as_point(point).copy()
+    if not 0 <= axis <= 2:
+        raise ShapeError(f"axis must be 0, 1 or 2, got {axis}")
+    p[axis] = 2.0 * plane_value - p[axis]
+    return p
+
+
+def path_length(points) -> float:
+    """Total polyline length of a propagation path."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3 or len(pts) < 2:
+        raise ShapeError(
+            f"path must be an (n>=2, 3) array of points, got {pts.shape}"
+        )
+    return float(np.sum(np.linalg.norm(np.diff(pts, axis=0), axis=1)))
+
+
+def plane_intersection(
+    a, b, axis: int, plane_value: float
+) -> Vec3 | None:
+    """Intersection of segment ``a -> b`` with plane ``x[axis] = value``.
+
+    Returns the intersection point or ``None`` if the segment does not
+    cross the plane.
+    """
+    a = as_point(a)
+    b = as_point(b)
+    da = a[axis] - plane_value
+    db = b[axis] - plane_value
+    denom = a[axis] - b[axis]
+    if denom == 0 or da * db > 0:
+        return None
+    t = da / denom
+    if not 0.0 <= t <= 1.0:
+        return None
+    return a + t * (b - a)
+
+
+def segment_clearance(
+    a, b, centre_xy, max_height: float
+) -> float:
+    """Horizontal clearance between segment ``a -> b`` and a vertical axis.
+
+    Returns the minimum horizontal (xy) distance between the segment and
+    the vertical line through ``centre_xy``, considering only points of the
+    segment at height ``z <= max_height`` (a path passing above a person's
+    head is not blocked).  Returns ``inf`` when the whole segment is above
+    ``max_height``.
+    """
+    a = as_point(a)
+    b = as_point(b)
+    centre = np.asarray(centre_xy, dtype=np.float64)
+    if centre.shape != (2,):
+        raise ShapeError(f"centre_xy must be a 2-vector, got {centre.shape}")
+
+    d_xy = b[:2] - a[:2]
+    denom = float(d_xy @ d_xy)
+    if denom == 0.0:
+        t_star = 0.0
+    else:
+        t_star = float((centre - a[:2]) @ d_xy / denom)
+
+    # Clamp the closest approach into the sub-segment below max_height.
+    t_lo, t_hi = 0.0, 1.0
+    za, zb = a[2], b[2]
+    if za > max_height and zb > max_height:
+        return float("inf")
+    if za != zb:
+        t_cross = (max_height - za) / (zb - za)
+        if za > max_height:
+            t_lo = max(t_lo, t_cross)
+        elif zb > max_height:
+            t_hi = min(t_hi, t_cross)
+    if t_lo > t_hi:
+        return float("inf")
+    t_star = min(max(t_star, t_lo), t_hi)
+    closest = a[:2] + t_star * d_xy
+    return float(np.linalg.norm(closest - centre))
+
+
+def path_clearance(points, centre_xy, max_height: float) -> float:
+    """Minimum horizontal clearance of a polyline path to a vertical axis."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3 or len(pts) < 2:
+        raise ShapeError(
+            f"path must be an (n>=2, 3) array of points, got {pts.shape}"
+        )
+    clearances = [
+        segment_clearance(pts[i], pts[i + 1], centre_xy, max_height)
+        for i in range(len(pts) - 1)
+    ]
+    return min(clearances)

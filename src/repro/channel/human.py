@@ -1,0 +1,91 @@
+"""The single mobile human: random-waypoint mobility inside the camera-
+covered movement area (Sec. 3: "The human is always mobile during the
+measurements" and the movement area is limited so all movements are
+captured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MobilityConfig, RoomConfig
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """One leg of a random-waypoint trajectory."""
+
+    start_time_s: float
+    position: tuple[float, float]
+
+
+class RandomWaypointMobility:
+    """Random-waypoint walker restricted to the movement area.
+
+    The walker picks a uniform target inside the area, walks there at a
+    uniformly drawn speed, optionally pauses, and repeats.  Positions are
+    queried at arbitrary timestamps via :meth:`position_at`.
+    """
+
+    def __init__(
+        self,
+        room: RoomConfig,
+        mobility: MobilityConfig,
+        rng: np.random.Generator,
+        duration_s: float,
+    ) -> None:
+        if duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        self._area = room.movement_area
+        self._mobility = mobility
+        self._segments: list[tuple[float, float, np.ndarray, np.ndarray]] = []
+        self._build(rng, duration_s)
+        self.duration_s = duration_s
+
+    def _random_point(self, rng: np.random.Generator) -> np.ndarray:
+        x0, y0, x1, y1 = self._area
+        return np.array(
+            [rng.uniform(x0, x1), rng.uniform(y0, y1)], dtype=np.float64
+        )
+
+    def _build(self, rng: np.random.Generator, duration_s: float) -> None:
+        time = 0.0
+        position = self._random_point(rng)
+        while time < duration_s:
+            target = self._random_point(rng)
+            speed = rng.uniform(
+                self._mobility.speed_min_mps, self._mobility.speed_max_mps
+            )
+            distance = float(np.linalg.norm(target - position))
+            travel = max(distance / speed, 1e-6)
+            self._segments.append((time, time + travel, position, target))
+            time += travel
+            position = target
+            if self._mobility.pause_max_s > 0:
+                pause = rng.uniform(0.0, self._mobility.pause_max_s)
+                if pause > 0:
+                    self._segments.append(
+                        (time, time + pause, position, position)
+                    )
+                    time += pause
+
+    def position_at(self, time_s: float) -> np.ndarray:
+        """Interpolated xy position at ``time_s`` (clamped to the walk)."""
+        if time_s <= 0:
+            return self._segments[0][2].copy()
+        for start, end, a, b in self._segments:
+            if start <= time_s < end:
+                frac = (time_s - start) / (end - start)
+                return a + frac * (b - a)
+        return self._segments[-1][3].copy()
+
+
+def sample_trajectory(
+    walker: RandomWaypointMobility, timestamps: np.ndarray
+) -> np.ndarray:
+    """Vectorized positions for an array of timestamps -> ``(n, 2)``."""
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    return np.stack([walker.position_at(float(t)) for t in timestamps])

@@ -1,0 +1,40 @@
+"""Veni Vidi Dixi — the paper's primary contribution.
+
+Maps depth images of the communication environment to complex channel
+estimates with a CNN (Sec. 4):
+
+- :mod:`repro.core.codec` — complex CIR <-> real output vector (Fig. 6).
+- :mod:`repro.core.normalization` — training-set max-abs normalization of
+  the CIR targets and its inversion for evaluation.
+- :mod:`repro.core.model` — the Fig. 8 CNN architecture builder.
+- :mod:`repro.core.targets` — (image, CIR) training-pair assembly for the
+  three prediction horizons (current / +33.3 ms / +100 ms).
+- :mod:`repro.core.training` — the training pipeline with validation-based
+  model selection.
+- :mod:`repro.core.vvd` — the :class:`VVDEstimator` plugged into the
+  evaluation suite.
+- :mod:`repro.core.blockage` — LoS blockage detector extension (Sec. 6.4
+  insight).
+"""
+
+from .codec import cir_to_real, real_to_cir
+from .normalization import CIRNormalizer
+from .model import build_vvd_cnn
+from .targets import TrainingData, build_training_data, horizon_frame_offset
+from .training import TrainedVVD, train_vvd
+from .vvd import VVDEstimator
+from .blockage import BlockageDetector
+
+__all__ = [
+    "cir_to_real",
+    "real_to_cir",
+    "CIRNormalizer",
+    "build_vvd_cnn",
+    "TrainingData",
+    "build_training_data",
+    "horizon_frame_offset",
+    "TrainedVVD",
+    "train_vvd",
+    "VVDEstimator",
+    "BlockageDetector",
+]

@@ -1,0 +1,98 @@
+"""LoS blockage detection from depth images (extension).
+
+Sec. 6.4 observes that VVD's residual errors cluster at LoS/NLoS
+transitions and that "better detection of a LoS and NLoS scenario can
+improve its performance".  This extension implements that detector: a
+logistic-regression classifier on pooled depth features predicting whether
+the human currently blocks the line of sight.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..dataset.trace import MeasurementSet
+from ..errors import NotFittedError, ShapeError
+from ..vision.preprocessing import normalize_depth
+
+
+def _pool_features(images: np.ndarray, factor: int = 5) -> np.ndarray:
+    """Block-mean pooling + bias feature: (n, rows, cols) -> (n, d)."""
+    n, rows, cols = images.shape
+    r, c = rows // factor, cols // factor
+    trimmed = images[:, : r * factor, : c * factor]
+    pooled = trimmed.reshape(n, r, factor, c, factor).mean(axis=(2, 4))
+    flat = pooled.reshape(n, -1)
+    return np.concatenate([flat, np.ones((n, 1))], axis=1)
+
+
+class BlockageDetector:
+    """Logistic regression: depth image -> P(LoS blocked)."""
+
+    def __init__(
+        self,
+        pool_factor: int = 5,
+        learning_rate: float = 0.5,
+        epochs: int = 200,
+        l2: float = 1e-4,
+    ) -> None:
+        self.pool_factor = pool_factor
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.weights: np.ndarray | None = None
+
+    # -- data ------------------------------------------------------------
+    def _dataset(
+        self, sets: Sequence[MeasurementSet], config: SimulationConfig
+    ) -> tuple[np.ndarray, np.ndarray]:
+        images, labels = [], []
+        for measurement_set in sets:
+            for record in measurement_set.packets:
+                frame = measurement_set.frames[record.frame_index]
+                images.append(
+                    normalize_depth(frame, config.camera.max_depth_m)
+                )
+                labels.append(record.los_blocked)
+        if not images:
+            raise ShapeError("no packets available for blockage training")
+        return np.stack(images), np.asarray(labels, dtype=np.float64)
+
+    # -- training ---------------------------------------------------------
+    def fit(
+        self, sets: Sequence[MeasurementSet], config: SimulationConfig
+    ) -> "BlockageDetector":
+        images, labels = self._dataset(sets, config)
+        features = _pool_features(images, self.pool_factor)
+        weights = np.zeros(features.shape[1])
+        n = len(labels)
+        for _ in range(self.epochs):
+            logits = features @ weights
+            probabilities = 1.0 / (1.0 + np.exp(-logits))
+            gradient = features.T @ (probabilities - labels) / n
+            gradient += self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self.weights = weights
+        return self
+
+    # -- inference ---------------------------------------------------------
+    def predict_proba(self, images: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise NotFittedError("BlockageDetector used before fit()")
+        if images.ndim == 2:
+            images = images[None]
+        features = _pool_features(images, self.pool_factor)
+        return 1.0 / (1.0 + np.exp(-(features @ self.weights)))
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return self.predict_proba(images) >= 0.5
+
+    def accuracy(
+        self, sets: Sequence[MeasurementSet], config: SimulationConfig
+    ) -> float:
+        images, labels = self._dataset(sets, config)
+        predictions = self.predict(images)
+        return float(np.mean(predictions == labels.astype(bool)))

@@ -1,0 +1,30 @@
+"""Complex-valued CIR <-> real-valued network output (paper Fig. 6).
+
+Complex-valued CNNs are still a research topic (Sec. 4, [20]); the paper
+side-steps them by concatenating the real parts and the imaginary parts of
+the taps: an 11-tap CIR becomes a 22-neuron output layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def cir_to_real(cir: np.ndarray) -> np.ndarray:
+    """``(..., n)`` complex -> ``(..., 2n)`` real: [Re..., Im...]."""
+    cir = np.asarray(cir, dtype=np.complex128)
+    return np.concatenate([cir.real, cir.imag], axis=-1)
+
+
+def real_to_cir(vector: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`cir_to_real`."""
+    vector = np.asarray(vector, dtype=np.float64)
+    n2 = vector.shape[-1]
+    if n2 % 2 != 0:
+        raise ShapeError(
+            f"real vector length must be even (Re||Im), got {n2}"
+        )
+    half = n2 // 2
+    return vector[..., :half] + 1j * vector[..., half:]

@@ -1,0 +1,43 @@
+"""CIR target normalization (Sec. 4, last paragraph).
+
+The CNN's targets are normalized "by dividing the CIR values by the
+maximum absolute valued CIR in the training set for each set combination";
+the stored scalar reverts the normalization when the comparison metrics
+are evaluated on the test set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError, ShapeError
+
+
+class CIRNormalizer:
+    """Max-abs normalization of complex CIR matrices."""
+
+    def __init__(self) -> None:
+        self.scale: float | None = None
+
+    def fit(self, cirs: np.ndarray) -> "CIRNormalizer":
+        """Learn the max |tap| over the training set."""
+        cirs = np.asarray(cirs)
+        if cirs.size == 0:
+            raise ShapeError("cannot fit a normalizer on an empty set")
+        scale = float(np.max(np.abs(cirs)))
+        if scale == 0:
+            raise ShapeError("all-zero training CIRs")
+        self.scale = scale
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.scale is None:
+            raise NotFittedError("CIRNormalizer used before fit()")
+
+    def transform(self, cirs: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.asarray(cirs) / self.scale
+
+    def inverse(self, cirs: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        return np.asarray(cirs) * self.scale

@@ -1,0 +1,98 @@
+"""Training-pair assembly for the VVD CNN (Sec. 4 / Sec. 5.3).
+
+Inputs are normalized depth images; targets are the canonical-phase
+whole-packet LS estimates.  The three paper variants differ only in the
+prediction horizon: VVD-Current pairs a packet's CIR with its LED-matched
+frame, VVD-33.3ms-Future with the frame one interval earlier, and
+VVD-100ms-Future with the frame three intervals earlier ("providing input
+as the same image, the current ... or 33.3 ms ... or 100 ms future channel
+estimation were given as outputs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..dataset.trace import MeasurementSet
+from ..errors import ShapeError
+from ..vision.preprocessing import normalize_depth
+from .codec import cir_to_real
+
+
+@dataclass
+class TrainingData:
+    """Image/target pairs ready for the CNN."""
+
+    images: np.ndarray   # (n, rows, cols, 1) float32, depth in [0, 1]
+    targets: np.ndarray  # (n, taps) complex canonical CIRs
+    set_indices: np.ndarray
+    packet_indices: np.ndarray
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.images)
+
+    def real_targets(self, scale: float = 1.0) -> np.ndarray:
+        """Fig. 6 encoding of the (optionally normalized) targets."""
+        return cir_to_real(self.targets / scale).astype(np.float32)
+
+
+def horizon_frame_offset(
+    horizon_s: float, frame_interval_s: float
+) -> int:
+    """Frames of look-ahead for a prediction horizon (0, 1 or 3)."""
+    if horizon_s < 0:
+        raise ShapeError(f"horizon_s must be >= 0, got {horizon_s}")
+    return int(round(horizon_s / frame_interval_s))
+
+
+def build_training_data(
+    sets: Sequence[MeasurementSet],
+    config: SimulationConfig,
+    horizon_frames: int = 0,
+    subsample: int = 1,
+) -> TrainingData:
+    """Collect (image, CIR) pairs across measurement sets.
+
+    ``horizon_frames > 0`` shifts the input frame into the past relative
+    to the packet, training the network to predict that far into the
+    future.  Packets whose shifted frame falls before the recording start
+    are skipped.  ``subsample`` keeps every n-th packet (used by the
+    reduced presets to bound pure-numpy training cost).
+    """
+    if subsample < 1:
+        raise ShapeError(f"subsample must be >= 1, got {subsample}")
+    if horizon_frames < 0:
+        raise ShapeError(
+            f"horizon_frames must be >= 0, got {horizon_frames}"
+        )
+    images: list[np.ndarray] = []
+    targets: list[np.ndarray] = []
+    set_indices: list[int] = []
+    packet_indices: list[int] = []
+    max_depth = config.camera.max_depth_m
+    for measurement_set in sets:
+        for packet_index, record in enumerate(measurement_set.packets):
+            if packet_index % subsample != 0:
+                continue
+            frame_index = record.frame_index - horizon_frames
+            if frame_index < 0:
+                continue
+            frame = measurement_set.frames[frame_index]
+            images.append(normalize_depth(frame, max_depth))
+            targets.append(record.h_ls_canonical)
+            set_indices.append(measurement_set.index)
+            packet_indices.append(packet_index)
+    if not images:
+        raise ShapeError("no training pairs could be assembled")
+    stacked = np.stack(images).astype(np.float32)[..., None]
+    return TrainingData(
+        images=stacked,
+        targets=np.stack(targets),
+        set_indices=np.asarray(set_indices),
+        packet_indices=np.asarray(packet_indices),
+    )

@@ -1,0 +1,204 @@
+"""Simulation of the measurement campaign (paper Sec. 3).
+
+Each measurement take ("set") walks one human through the room for
+``packets_per_set * 100 ms``, transmitting a 802.15.4 packet every 100 ms
+and capturing a depth frame every 33.3 ms.  Per packet the generator
+records what the paper's pipeline extracts from the USRP trace: the
+whole-packet LS estimate (perfect estimate), the SHR-region LS estimate,
+the preamble-detection outcome, and the LED-matched camera frame.
+
+Raw waveforms are not stored; :func:`synthesize_received` re-creates them
+bit-exactly from the recorded noise seed and crystal phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..channel import IndoorEnvironment, RandomWaypointMobility
+from ..channel.noise import awgn, noise_power_for_snr
+from ..config import SimulationConfig
+from ..dsp.phase import canonicalize_phase
+from ..phy.receiver import Receiver
+from ..phy.transmitter import Transmitter
+from ..vision.camera import DepthCamera
+from ..vision.preprocessing import preprocess_depth
+from ..vision.synchronization import FrameTimeline, match_packet_to_frame
+from .trace import MeasurementSet, PacketRecord
+
+_REFERENCE_HUMAN_XY = (0.45, 0.45)
+
+
+@dataclass
+class SimulationComponents:
+    """Shared heavyweight objects of one campaign."""
+
+    config: SimulationConfig
+    transmitter: Transmitter
+    receiver: Receiver
+    environment: IndoorEnvironment
+    camera: DepthCamera
+    phase_reference: np.ndarray
+
+
+def build_components(config: SimulationConfig) -> SimulationComponents:
+    """Construct transmitter, receiver, environment and camera once."""
+    transmitter = Transmitter(config.phy)
+    receiver = Receiver(config.phy, config.receiver, transmitter)
+    environment = IndoorEnvironment(config.room, config.channel, config.phy)
+    camera = DepthCamera(config.camera, config.room, config.channel)
+    phase_reference = environment.cir(_REFERENCE_HUMAN_XY)
+    return SimulationComponents(
+        config=config,
+        transmitter=transmitter,
+        receiver=receiver,
+        environment=environment,
+        camera=camera,
+        phase_reference=phase_reference,
+    )
+
+
+def synthesize_received(
+    components: SimulationComponents,
+    record: PacketRecord,
+    waveform: np.ndarray | None = None,
+) -> np.ndarray:
+    """Re-create the received samples of a recorded packet bit-exactly."""
+    if waveform is None:
+        waveform = components.transmitter.transmit(
+            record.sequence_number
+        ).waveform
+    clean = np.convolve(waveform, record.h_true)
+    rotated = clean * np.exp(1j * record.phase_offset)
+    noise_rng = np.random.default_rng(record.noise_seed)
+    return rotated + awgn(noise_rng, len(rotated), record.noise_power)
+
+
+def _sequence_number(set_index: int, packet_index: int) -> int:
+    return (set_index * 1009 + packet_index) % 65536
+
+
+def generate_measurement_set(
+    components: SimulationComponents, set_index: int
+) -> MeasurementSet:
+    """Simulate one measurement take."""
+    config = components.config
+    interval = config.dataset.packet_interval_s
+    num_packets = config.dataset.packets_per_set
+    duration = (num_packets + 1) * interval + 0.5
+
+    walker = RandomWaypointMobility(
+        config.room,
+        config.mobility,
+        np.random.default_rng([config.seed, 101, set_index]),
+        duration_s=duration,
+    )
+    packet_rng = np.random.default_rng([config.seed, 202, set_index])
+
+    # -- camera frames ----------------------------------------------------
+    frame_interval = config.camera.frame_interval_s
+    num_frames = int(np.ceil(duration / frame_interval))
+    timeline = FrameTimeline(
+        num_frames=num_frames, frame_interval_s=frame_interval
+    )
+    frame_times = timeline.timestamps
+    human_positions = np.stack(
+        [walker.position_at(float(t)) for t in frame_times]
+    )
+    frames = np.stack(
+        [
+            preprocess_depth(
+                components.camera.render(position), config.camera
+            ).astype(np.float32)
+            for position in human_positions
+        ]
+    )
+
+    # -- packets ------------------------------------------------------------
+    noise_power = noise_power_for_snr(1.0, config.channel.snr_db)
+    num_taps = config.channel.num_taps
+    records: list[PacketRecord] = []
+    for k in range(num_packets):
+        time_s = (k + 1) * interval
+        position = walker.position_at(time_s)
+        h_true = components.environment.cir(position)
+        sequence_number = _sequence_number(set_index, k)
+        packet = components.transmitter.transmit(sequence_number)
+        phase_offset = float(packet_rng.uniform(0.0, 2.0 * np.pi))
+        noise_seed = int(packet_rng.integers(0, 2**63 - 1))
+
+        record = PacketRecord(
+            sequence_number=sequence_number,
+            time_s=time_s,
+            human_xy=(float(position[0]), float(position[1])),
+            frame_index=match_packet_to_frame(timeline, time_s),
+            h_true=h_true,
+            h_ls=np.empty(0),
+            h_ls_canonical=np.empty(0),
+            phase_to_canonical=0.0,
+            h_preamble=np.empty(0),
+            h_preamble_canonical=np.empty(0),
+            preamble_detected=False,
+            preamble_metric=0.0,
+            phase_offset=phase_offset,
+            noise_seed=noise_seed,
+            noise_power=noise_power,
+            los_blocked=components.environment.is_los_blocked(position),
+            los_clearance_m=float(
+                components.environment.los_clearance(position)
+            ),
+            received_power=float(np.sum(np.abs(h_true) ** 2)),
+        )
+        received = synthesize_received(components, record, packet.waveform)
+
+        record.h_ls = components.receiver.full_ls_estimate(
+            received, packet.waveform, num_taps
+        )
+        record.h_ls_canonical, record.phase_to_canonical = canonicalize_phase(
+            record.h_ls, components.phase_reference
+        )
+        record.h_preamble = components.receiver.preamble_ls_estimate(
+            received, num_taps
+        )
+        record.h_preamble_canonical, _ = canonicalize_phase(
+            record.h_preamble, components.phase_reference
+        )
+        detected, metric = components.receiver.detect_preamble(received)
+        record.preamble_detected = detected
+        record.preamble_metric = metric
+        records.append(record)
+
+    measurement_set = MeasurementSet(
+        index=set_index,
+        packets=records,
+        frames=frames,
+        frame_times=frame_times,
+        human_positions=human_positions,
+    )
+    measurement_set.validate()
+    return measurement_set
+
+
+def generate_dataset(
+    config: SimulationConfig,
+    components: SimulationComponents | None = None,
+    verbose: bool = False,
+) -> list[MeasurementSet]:
+    """Simulate the full campaign (``config.dataset.num_sets`` takes)."""
+    components = components or build_components(config)
+    sets = []
+    for set_index in range(config.dataset.num_sets):
+        sets.append(generate_measurement_set(components, set_index))
+        if verbose:
+            blocked = np.mean(
+                [p.los_blocked for p in sets[-1].packets]
+            )
+            print(
+                f"set {set_index + 1}/{config.dataset.num_sets}: "
+                f"{sets[-1].num_packets} packets, "
+                f"{sets[-1].num_frames} frames, "
+                f"LoS blocked {100 * blocked:.0f}%"
+            )
+    return sets

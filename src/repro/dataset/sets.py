@@ -1,0 +1,105 @@
+"""Train/validation/test set combinations (paper Table 2).
+
+The paper evaluates every technique over 15 combinations, each holding
+out one set for validation and one for testing, so that each measurement
+take serves as a test set exactly once (cross-validation, Sec. 6).
+:func:`paper_set_combinations` reproduces Table 2 verbatim;
+:func:`rotating_set_combinations` generates the same structure for any
+number of sets (used by the reduced/tiny presets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DatasetError
+
+#: (validation_set, test_set) pairs of Table 2, 1-based set numbering.
+_PAPER_VAL_TEST: tuple[tuple[int, int], ...] = (
+    (6, 8),
+    (11, 15),
+    (14, 9),
+    (5, 2),
+    (12, 4),
+    (10, 1),
+    (9, 6),
+    (13, 3),
+    (8, 5),
+    (4, 7),
+    (3, 10),
+    (7, 11),
+    (13, 12),
+    (2, 13),
+    (1, 14),
+)
+
+
+@dataclass(frozen=True)
+class SetCombination:
+    """One row of Table 2 (set numbers are 1-based, as in the paper)."""
+
+    number: int
+    training: tuple[int, ...]
+    validation: int
+    test: int
+
+    def __post_init__(self) -> None:
+        if self.validation in self.training or self.test in self.training:
+            raise DatasetError(
+                f"combination {self.number}: validation/test sets leak "
+                f"into training"
+            )
+        if self.validation == self.test:
+            raise DatasetError(
+                f"combination {self.number}: validation == test"
+            )
+
+    def training_indices(self) -> list[int]:
+        """0-based indices into a list of measurement sets."""
+        return [s - 1 for s in self.training]
+
+    @property
+    def validation_index(self) -> int:
+        return self.validation - 1
+
+    @property
+    def test_index(self) -> int:
+        return self.test - 1
+
+
+def _combination(number: int, val: int, test: int, num_sets: int) -> SetCombination:
+    training = tuple(
+        s for s in range(1, num_sets + 1) if s not in (val, test)
+    )
+    return SetCombination(
+        number=number, training=training, validation=val, test=test
+    )
+
+
+def paper_set_combinations() -> list[SetCombination]:
+    """The 15 combinations of Table 2 (15 measurement sets)."""
+    return [
+        _combination(i + 1, val, test, 15)
+        for i, (val, test) in enumerate(_PAPER_VAL_TEST)
+    ]
+
+
+def rotating_set_combinations(num_sets: int) -> list[SetCombination]:
+    """Table 2-style combinations for an arbitrary number of sets.
+
+    Combination ``k`` (1-based) tests on set ``k`` and validates on set
+    ``k % num_sets + 1``; every set is a test set exactly once, mirroring
+    the paper's cross-validation structure.
+    """
+    if num_sets < 3:
+        raise DatasetError(
+            f"need >= 3 sets for train/val/test splits, got {num_sets}"
+        )
+    if num_sets == 15:
+        return paper_set_combinations()
+    combos = []
+    for k in range(1, num_sets + 1):
+        test = k
+        val = k % num_sets + 1
+        combos.append(_combination(k, val, test, num_sets))
+    return combos

@@ -1,0 +1,121 @@
+"""LS zero-forcing equalization (paper Eqs. 6-7) and the MMSE extension.
+
+Given a channel estimate ``h`` the equalizer is the FIR filter ``c`` that
+best inverts it: ``H c ~= u`` where ``H`` is the convolution matrix of
+``h`` and ``u`` is a unit impulse whose position sets the equalizer's
+decision delay (the pre/post-cursor split of Eq. 6).  The paper uses the
+plain LS solution (ZF); the MMSE variant regularizes with the noise power
+and is provided as the future-work extension discussed in Sec. 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .convolution import convolution_matrix
+
+
+def equalizer_delay(num_taps_channel: int, num_taps_equalizer: int) -> int:
+    """Default position of the '1' in ``u`` (centre of the combined filter).
+
+    Placing the impulse in the middle of the combined response lets the
+    equalizer realize both pre-cursor and post-cursor taps, mirroring the
+    paper's choice of allowing pre-cursor energy (footnote 3).
+    """
+    return (num_taps_channel + num_taps_equalizer - 1) // 2
+
+
+def zero_forcing_equalizer(
+    h: np.ndarray,
+    num_taps: int,
+    delay: int | None = None,
+) -> np.ndarray:
+    """LS zero-forcing equalizer of Eq. 7.
+
+    Parameters
+    ----------
+    h:
+        Channel estimate (complex FIR taps).
+    num_taps:
+        ``L``, the equalizer length.
+    delay:
+        Index of the single '1' in the target vector ``u``; defaults to the
+        centre of the combined response.
+
+    Returns
+    -------
+    numpy.ndarray
+        Equalizer taps ``c`` of length ``num_taps``.
+    """
+    h = np.asarray(h, dtype=np.complex128)
+    if h.ndim != 1:
+        raise ShapeError("channel estimate must be 1-D")
+    if num_taps < 1:
+        raise ShapeError(f"num_taps must be >= 1, got {num_taps}")
+    rows = len(h) + num_taps - 1
+    if delay is None:
+        delay = equalizer_delay(len(h), num_taps)
+    if not 0 <= delay < rows:
+        raise ShapeError(f"delay {delay} outside combined response [0, {rows})")
+    matrix = convolution_matrix(h, num_taps)
+    target = np.zeros(rows, dtype=np.complex128)
+    target[delay] = 1.0
+    solution, *_ = np.linalg.lstsq(matrix, target, rcond=None)
+    return solution
+
+
+def mmse_equalizer(
+    h: np.ndarray,
+    num_taps: int,
+    noise_variance: float,
+    delay: int | None = None,
+) -> np.ndarray:
+    """MMSE linear equalizer (the paper's future-work alternative to ZF).
+
+    Solves ``(H^H H + sigma^2 I) c = H^H u``; reduces to ZF as
+    ``noise_variance -> 0``.
+    """
+    h = np.asarray(h, dtype=np.complex128)
+    if h.ndim != 1:
+        raise ShapeError("channel estimate must be 1-D")
+    if noise_variance < 0:
+        raise ShapeError(f"noise_variance must be >= 0, got {noise_variance}")
+    rows = len(h) + num_taps - 1
+    if delay is None:
+        delay = equalizer_delay(len(h), num_taps)
+    if not 0 <= delay < rows:
+        raise ShapeError(f"delay {delay} outside combined response [0, {rows})")
+    matrix = convolution_matrix(h, num_taps)
+    target = np.zeros(rows, dtype=np.complex128)
+    target[delay] = 1.0
+    gram = matrix.conj().T @ matrix + noise_variance * np.eye(num_taps)
+    rhs = matrix.conj().T @ target
+    return np.linalg.solve(gram, rhs)
+
+
+def equalize(
+    y: np.ndarray,
+    equalizer: np.ndarray,
+    delay: int,
+    output_length: int | None = None,
+) -> np.ndarray:
+    """Apply an equalizer and strip its decision delay.
+
+    Returns the equalized signal re-aligned to the transmitted-sample
+    timeline; ``output_length`` truncates/pads to a known signal length.
+    """
+    y = np.asarray(y)
+    equalizer = np.asarray(equalizer)
+    if y.ndim != 1 or equalizer.ndim != 1:
+        raise ShapeError("equalize expects 1-D signal and equalizer")
+    z = np.convolve(y, equalizer)
+    z = z[delay:]
+    if output_length is not None:
+        if len(z) < output_length:
+            z = np.concatenate(
+                [z, np.zeros(output_length - len(z), dtype=z.dtype)]
+            )
+        else:
+            z = z[:output_length]
+    return z

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the VVD reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has the wrong shape or dimensionality."""
+
+
+class SynchronizationError(ReproError):
+    """Frame or packet synchronization failed.
+
+    Raised by the receiver when the preamble correlation peak cannot be
+    located inside the configured search window, and by the camera/packet
+    matcher when no candidate frame exists for a packet timestamp.
+    """
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator was used before :meth:`prepare` / ``fit`` was called."""
+
+
+class DecodingError(ReproError):
+    """A packet could not be decoded at all (no despreadable payload)."""
+
+
+class DatasetError(ReproError):
+    """A measurement set or set combination is malformed or incomplete."""

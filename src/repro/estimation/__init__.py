@@ -1,0 +1,38 @@
+"""Channel-estimation techniques compared in the paper (Sec. 5).
+
+Every technique implements :class:`repro.estimation.base.ChannelEstimator`
+and is evaluated by :mod:`repro.experiments.runner` under identical
+receiver processing — the only difference between techniques is where the
+estimate comes from, exactly as in the paper.
+
+Data-based techniques (Sec. 5.2): :class:`GroundTruth`,
+:class:`PreambleBased`, :class:`PreambleGenie`, :class:`PreviousEstimation`.
+Time-series (Sec. 5.3): :class:`KalmanEstimator` (AR(p) via Yule-Walker).
+Combined (Sec. 5.4): :class:`CombinedEstimator`.
+No estimation (Sec. 5.1): :class:`StandardDecoding`.
+The VVD estimator itself lives in :mod:`repro.core.vvd`.
+"""
+
+from .base import Capabilities, ChannelEstimate, ChannelEstimator
+from .standard import StandardDecoding
+from .ground_truth import GroundTruth
+from .preamble import PreambleBased, PreambleGenie
+from .previous import PreviousEstimation
+from .ar import fit_ar_coefficients, yule_walker
+from .kalman import KalmanEstimator
+from .combined import CombinedEstimator
+
+__all__ = [
+    "Capabilities",
+    "ChannelEstimate",
+    "ChannelEstimator",
+    "StandardDecoding",
+    "GroundTruth",
+    "PreambleBased",
+    "PreambleGenie",
+    "PreviousEstimation",
+    "fit_ar_coefficients",
+    "yule_walker",
+    "KalmanEstimator",
+    "CombinedEstimator",
+]

@@ -1,0 +1,82 @@
+"""Auto-regressive model fitting via Yule-Walker equations (paper appendix).
+
+The fading channel taps are modelled as independent AR(p) processes
+(WSSUS assumption, appendix footnote 12).  AR coefficients are computed
+per tap from the autocorrelation of the training-set perfect estimates —
+Eqs. 12-14 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg as _linalg
+
+from ..errors import ShapeError
+
+
+def _autocorrelation_sequence(series: np.ndarray, max_lag: int) -> np.ndarray:
+    """Biased autocorrelation ``R[k] = E[x[n] conj(x[n-k])]`` for k<=max_lag."""
+    series = np.asarray(series, dtype=np.complex128)
+    n = len(series)
+    if n <= max_lag:
+        raise ShapeError(
+            f"series of length {n} too short for max_lag={max_lag}"
+        )
+    centred = series - series.mean()
+    out = np.empty(max_lag + 1, dtype=np.complex128)
+    for lag in range(max_lag + 1):
+        out[lag] = np.sum(centred[lag:] * np.conj(centred[: n - lag])) / n
+    return out
+
+
+def yule_walker(series: np.ndarray, order: int) -> tuple[np.ndarray, float]:
+    """Fit AR(p) coefficients for one tap's time series (Eqs. 12-14).
+
+    Returns ``(phi, noise_variance)`` where ``phi`` has length ``order``
+    and ``noise_variance`` is the driving-noise power of Eq. 10.
+    """
+    if order < 1:
+        raise ShapeError(f"order must be >= 1, got {order}")
+    r = _autocorrelation_sequence(series, order)
+    r0 = r[0].real
+    if r0 <= 0:
+        # Degenerate (constant) series: predict persistence.
+        phi = np.zeros(order, dtype=np.complex128)
+        phi[0] = 1.0
+        return phi, 0.0
+    # Normalized correlation coefficients (Eq. 13).
+    rho = r / r0
+    first_column = rho[:order]
+    rhs = rho[1 : order + 1]
+    try:
+        phi = _linalg.solve_toeplitz(
+            (first_column, np.conj(first_column)), rhs
+        )
+    except np.linalg.LinAlgError:
+        matrix = _linalg.toeplitz(first_column, np.conj(first_column))
+        phi, *_ = np.linalg.lstsq(matrix, rhs, rcond=None)
+    noise_variance = float(
+        max(r0 * (1.0 - np.real(np.vdot(rhs, phi))), 0.0)
+    )
+    return phi, noise_variance
+
+
+def fit_ar_coefficients(
+    tap_series: np.ndarray, order: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fit per-tap AR(p) models from a ``(num_packets, num_taps)`` matrix.
+
+    Returns ``(phi, noise_variance)`` with shapes ``(num_taps, order)`` and
+    ``(num_taps,)``.
+    """
+    tap_series = np.asarray(tap_series, dtype=np.complex128)
+    if tap_series.ndim != 2:
+        raise ShapeError(
+            f"tap_series must be (packets, taps), got {tap_series.shape}"
+        )
+    num_taps = tap_series.shape[1]
+    phi = np.zeros((num_taps, order), dtype=np.complex128)
+    noise = np.zeros(num_taps, dtype=np.float64)
+    for tap in range(num_taps):
+        phi[tap], noise[tap] = yule_walker(tap_series[:, tap], order)
+    return phi, noise

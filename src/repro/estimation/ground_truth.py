@@ -1,0 +1,29 @@
+"""Ground truth — the paper's *perfect channel estimation* (Sec. 5.2).
+
+The LS estimate computed over the entire received packet with the whole
+transmitted signal known.  Impossible in practice ("the receiver already
+knows the complete signal before decoding") but the baseline every other
+technique is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import Capabilities, ChannelEstimate, ChannelEstimator, PacketContext
+
+
+class GroundTruth(ChannelEstimator):
+    """Whole-packet LS estimate of the current packet."""
+
+    name = "Ground Truth"
+    capabilities = Capabilities(reliable=True, scalable=False, dynamic=True)
+
+    def estimate(self, ctx: PacketContext) -> Optional[ChannelEstimate]:
+        # h_ls was estimated from this very packet, so its phase already
+        # matches the received block: no alignment needed.
+        return ChannelEstimate(
+            taps=ctx.record.h_ls,
+            needs_phase_alignment=False,
+            canonical_taps=ctx.record.h_ls_canonical,
+        )

@@ -1,0 +1,156 @@
+"""Kalman-filtering channel estimation with AR(p) state (paper appendix).
+
+Per tap ``l`` the state is the lag vector
+``[h_l^k, h_l^{k-1}, ..., h_l^{k-p+1}]`` evolving through the companion
+matrix of the AR coefficients (Eq. 11).  The filter *predicts* the CIR
+used to decode the next packet (Eq. 18) and is *updated* with the current
+perfect estimate (footnote 13), making it a semi-blind tracker whose AR
+coefficients come from the training sets via Yule-Walker.
+
+Variants AR(1) / AR(5) / AR(20) differ only in ``p`` (Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import NotFittedError
+from .ar import fit_ar_coefficients
+from .base import Capabilities, ChannelEstimate, ChannelEstimator, PacketContext
+
+
+def _companion(phi: np.ndarray) -> np.ndarray:
+    """Companion matrix of AR coefficients (the appendix's big Phi)."""
+    order = len(phi)
+    matrix = np.zeros((order, order), dtype=np.complex128)
+    matrix[0, :] = phi
+    if order > 1:
+        matrix[1:, :-1] = np.eye(order - 1)
+    return matrix
+
+
+class _TapFilter:
+    """Kalman filter for one channel tap."""
+
+    def __init__(
+        self,
+        phi: np.ndarray,
+        process_noise: float,
+        observation_noise: float,
+    ) -> None:
+        self.order = len(phi)
+        self.transition = _companion(phi)
+        self.q = np.zeros((self.order, self.order))
+        self.q[0, 0] = process_noise
+        self.u = observation_noise * np.eye(self.order)
+        self.state = np.zeros(self.order, dtype=np.complex128)
+        self.covariance = np.eye(self.order)
+        self._predicted = False
+
+    def predict(self) -> complex:
+        """Eqs. 18-19: propagate and return the predicted current tap."""
+        self.state = self.transition @ self.state
+        self.covariance = (
+            self.transition @ self.covariance @ self.transition.conj().T
+            + self.q
+        )
+        self._predicted = True
+        return complex(self.state[0])
+
+    def update(self, observation: np.ndarray) -> None:
+        """Eqs. 15-17: correct with the observed (perfect-estimate) lags."""
+        gain = self.covariance @ np.linalg.inv(self.covariance + self.u)
+        self.state = self.state + gain @ (observation - self.state)
+        self.covariance = (np.eye(self.order) - gain) @ self.covariance
+        self._predicted = False
+
+
+class KalmanEstimator(ChannelEstimator):
+    """Kalman AR(p) channel tracker (the paper's 'Kalman AR(p)')."""
+
+    capabilities = Capabilities(reliable=True, scalable=False, dynamic=False)
+
+    def __init__(
+        self,
+        order: int,
+        observation_noise: float = 1e-8,
+        process_noise_scale: float = 1.0,
+    ) -> None:
+        self.order = order
+        self.name = f"Kalman AR({order})"
+        self.observation_noise = observation_noise
+        self.process_noise_scale = process_noise_scale
+        self._phi: np.ndarray | None = None
+        self._noise: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._filters: list[_TapFilter] | None = None
+        self._history: list[np.ndarray] = []
+
+    # -- preparation --------------------------------------------------------
+    def prepare(self, training_sets, validation_sets, config) -> None:
+        """Yule-Walker fit on the canonical GT estimates of training sets.
+
+        The AR model describes the zero-mean fluctuation around each tap's
+        long-term mean (the static MPCs); the mean is tracked separately
+        and re-added to predictions.
+        """
+        series = np.concatenate(
+            [
+                np.stack([p.h_ls_canonical for p in s.packets])
+                for s in training_sets
+            ],
+            axis=0,
+        )
+        self._mean = series.mean(axis=0)
+        self._phi, self._noise = fit_ar_coefficients(series, self.order)
+
+    def reset(self, test_set) -> None:
+        if self._phi is None:
+            raise NotFittedError(f"{self.name} used before prepare()")
+        num_taps = self._phi.shape[0]
+        self._filters = [
+            _TapFilter(
+                self._phi[tap],
+                self.process_noise_scale * float(self._noise[tap]) + 1e-15,
+                self.observation_noise,
+            )
+            for tap in range(num_taps)
+        ]
+        self._history = []
+
+    # -- evaluation loop ------------------------------------------------
+    def estimate(self, ctx: PacketContext) -> Optional[ChannelEstimate]:
+        if self._filters is None:
+            raise NotFittedError(f"{self.name} used before reset()")
+        fluctuation = np.array(
+            [f.predict() for f in self._filters], dtype=np.complex128
+        )
+        taps = fluctuation + self._mean
+        return ChannelEstimate(
+            taps=taps, needs_phase_alignment=True, canonical_taps=taps
+        )
+
+    def observe(self, ctx: PacketContext) -> None:
+        """Update each tap filter with the stacked canonical GT lags."""
+        current = (
+            np.asarray(ctx.record.h_ls_canonical, dtype=np.complex128)
+            - self._mean
+        )
+        self._history.append(current)
+        lags = self._stacked_lags()
+        for tap, tap_filter in enumerate(self._filters):
+            tap_filter.update(lags[:, tap])
+
+    def _stacked_lags(self) -> np.ndarray:
+        """(order, num_taps) matrix of the newest ``order`` observations."""
+        num_taps = self._history[-1].shape[0]
+        lags = np.zeros((self.order, num_taps), dtype=np.complex128)
+        for i in range(self.order):
+            index = len(self._history) - 1 - i
+            if index >= 0:
+                lags[i] = self._history[index]
+            else:
+                lags[i] = self._history[0]
+        return lags

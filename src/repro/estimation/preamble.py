@@ -1,0 +1,43 @@
+"""Preamble-based channel estimation (Sec. 5.2, Fig. 9).
+
+The practical variant of the perfect estimate: LS over the known
+synchronization header only.  It yields an estimate *only if the preamble
+is detected*; otherwise the packet is counted as erroneous.  The genie
+variant assumes detection always succeeds, isolating the estimation
+quality from the detection failures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import Capabilities, ChannelEstimate, ChannelEstimator, PacketContext
+
+
+class PreambleBased(ChannelEstimator):
+    """LS estimate from the preamble; fails when detection fails."""
+
+    name = "Preamble Based"
+    # Table 1 "Pilot": reliable and dynamic but not scalable (per-link pilots).
+    capabilities = Capabilities(reliable=True, scalable=False, dynamic=True)
+
+    def estimate(self, ctx: PacketContext) -> Optional[ChannelEstimate]:
+        if not ctx.record.preamble_detected:
+            return None
+        return ChannelEstimate(
+            taps=ctx.record.h_preamble,
+            needs_phase_alignment=False,
+            canonical_taps=ctx.record.h_preamble_canonical,
+        )
+
+
+class PreambleGenie(ChannelEstimator):
+    """Preamble-based with genie-aided detection (always succeeds)."""
+
+    name = "Preamble Based-Genie"
+    capabilities = Capabilities(reliable=True, scalable=False, dynamic=True)
+
+    def estimate(self, ctx: PacketContext) -> Optional[ChannelEstimate]:
+        return ChannelEstimate(
+            taps=ctx.record.h_preamble, needs_phase_alignment=False
+        )

@@ -1,0 +1,39 @@
+"""Previous-estimation techniques (Sec. 5.2): decode with an aged perfect
+estimate from 100 ms or 500 ms ago.
+
+Blind for the packet of interest; assumes "there exists always a clean
+packet reception within the defined interval".  The stored estimates are
+phase-canonicalized (per-packet crystal rotations removed), so the
+estimate must be re-aligned to the current block (footnote 4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .base import Capabilities, ChannelEstimate, ChannelEstimator, PacketContext
+
+
+class PreviousEstimation(ChannelEstimator):
+    """Perfect estimate from ``lag_packets`` transmissions in the past."""
+
+    capabilities = Capabilities(reliable=True, scalable=False, dynamic=False)
+
+    def __init__(self, lag_packets: int, packet_interval_s: float = 0.1):
+        if lag_packets < 1:
+            raise ConfigurationError(
+                f"lag_packets must be >= 1, got {lag_packets}"
+            )
+        self.lag_packets = lag_packets
+        interval_ms = lag_packets * packet_interval_s * 1000.0
+        self.name = f"{interval_ms:.0f}ms Previous"
+
+    def estimate(self, ctx: PacketContext) -> Optional[ChannelEstimate]:
+        source = max(ctx.index - self.lag_packets, 0)
+        record = ctx.measurement_set.packets[source]
+        return ChannelEstimate(
+            taps=record.h_ls_canonical,
+            needs_phase_alignment=True,
+            canonical_taps=record.h_ls_canonical,
+        )

@@ -1,0 +1,23 @@
+"""Standard decoding — the IEEE 802.15.4 baseline without equalization.
+
+Only frequency-offset correction and frame synchronization are performed
+(Sec. 5.1); no channel estimate is used, so multipath ISI goes
+uncorrected.  Worst technique in Figs. 12-13.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import Capabilities, ChannelEstimate, ChannelEstimator, PacketContext
+
+
+class StandardDecoding(ChannelEstimator):
+    """No channel estimation; decode with sync + scalar gain only."""
+
+    name = "Standard Decoding"
+    # Table 1 "Blind": scalable and dynamic but not reliable.
+    capabilities = Capabilities(reliable=False, scalable=True, dynamic=True)
+
+    def estimate(self, ctx: PacketContext) -> Optional[ChannelEstimate]:
+        return ChannelEstimate(taps=None)

@@ -1,0 +1,137 @@
+"""Aging experiments (paper Sec. 6.5, Figs. 16-17).
+
+An estimate aged by ``k`` packets (``k * 100 ms``) is used to decode the
+current packet: Preamble-Genie ages its SHR estimate; VVD ages its input
+image (the frame ``k * 3`` frames in the past).  MSE is measured against
+the current perfect estimate; PER through the normal decode path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..core.vvd import VVDEstimator
+from ..dataset.sets import SetCombination
+from ..errors import ConfigurationError
+from ..estimation.base import (
+    Capabilities,
+    ChannelEstimate,
+    ChannelEstimator,
+    PacketContext,
+)
+from .runner import EvaluationRunner
+
+
+class AgedPreambleGenie(ChannelEstimator):
+    """Preamble-Genie estimate from ``lag_packets`` packets ago."""
+
+    capabilities = Capabilities(reliable=True, scalable=False, dynamic=False)
+
+    def __init__(self, lag_packets: int) -> None:
+        if lag_packets < 0:
+            raise ConfigurationError("lag_packets must be >= 0")
+        self.lag_packets = lag_packets
+        self.name = f"Preamble Genie (-{lag_packets * 0.1:.1f}s)"
+
+    def estimate(self, ctx: PacketContext) -> Optional[ChannelEstimate]:
+        source = max(ctx.index - self.lag_packets, 0)
+        record = ctx.measurement_set.packets[source]
+        if self.lag_packets == 0:
+            return ChannelEstimate(
+                taps=record.h_preamble,
+                needs_phase_alignment=False,
+                canonical_taps=record.h_preamble_canonical,
+            )
+        return ChannelEstimate(
+            taps=record.h_preamble_canonical,
+            needs_phase_alignment=True,
+            canonical_taps=record.h_preamble_canonical,
+        )
+
+
+class AgedVVD(ChannelEstimator):
+    """A trained VVD evaluated on an aged input image."""
+
+    capabilities = Capabilities(reliable=True, scalable=True, dynamic=True)
+
+    def __init__(self, vvd: VVDEstimator, lag_frames: int) -> None:
+        if lag_frames < 0:
+            raise ConfigurationError("lag_frames must be >= 0")
+        self.vvd = vvd
+        self.lag_frames = lag_frames
+        self.name = f"VVD (-{lag_frames / 30:.1f}s)"
+
+    def prepare(self, training_sets, validation_sets, config) -> None:
+        self.vvd.prepare(training_sets, validation_sets, config)
+
+    def reset(self, test_set) -> None:
+        self.vvd.reset(test_set)
+
+    def estimate(self, ctx: PacketContext) -> Optional[ChannelEstimate]:
+        frame_index = max(ctx.record.frame_index - self.lag_frames, 0)
+        taps = self.vvd._predict_frame(ctx.measurement_set, frame_index)
+        return ChannelEstimate(
+            taps=taps, needs_phase_alignment=True, canonical_taps=taps
+        )
+
+
+@dataclass
+class AgingResult:
+    """Figs. 16-17 series: metric vs estimate age."""
+
+    ages_s: list[float]
+    genie_mse: list[float]
+    vvd_mse: list[float]
+    genie_per: list[float]
+    vvd_per: list[float]
+
+
+def run_aging_experiment(
+    runner: EvaluationRunner,
+    combination: SetCombination,
+    ages_s: Sequence[float],
+    vvd: VVDEstimator | None = None,
+    frames_per_packet: int = 3,
+) -> AgingResult:
+    """Evaluate aged Genie and aged VVD over one combination.
+
+    ``ages_s`` must be multiples of the packet interval; age 0 is the
+    "Original" column of Figs. 16-17.  ``skip_initial`` is raised to the
+    largest lag so every evaluated packet has a full history.
+    """
+    interval = runner.components.config.dataset.packet_interval_s
+    lags = [int(round(age / interval)) for age in ages_s]
+    packets_per_set = runner.components.config.dataset.packets_per_set
+    if max(lags) >= packets_per_set:
+        raise ConfigurationError(
+            f"age {max(ages_s)}s needs more than {packets_per_set} packets "
+            "per set; increase packets_per_set or reduce ages"
+        )
+    shared_vvd = vvd or VVDEstimator(horizon_frames=0)
+    estimators: list[ChannelEstimator] = []
+    for lag in lags:
+        estimators.append(AgedPreambleGenie(lag))
+        estimators.append(
+            AgedVVD(shared_vvd, lag * frames_per_packet)
+        )
+    result = runner.run_combination(
+        combination, estimators, skip_initial=max(max(lags), 1)
+    )
+    genie_mse, vvd_mse, genie_per, vvd_per = [], [], [], []
+    for lag in lags:
+        genie = result.technique(f"Preamble Genie (-{lag * 0.1:.1f}s)")
+        aged_vvd = result.technique(
+            f"VVD (-{lag * frames_per_packet / 30:.1f}s)"
+        )
+        genie_mse.append(genie.mse)
+        vvd_mse.append(aged_vvd.mse)
+        genie_per.append(genie.per)
+        vvd_per.append(aged_vvd.per)
+    return AgingResult(
+        ages_s=list(ages_s),
+        genie_mse=genie_mse,
+        vvd_mse=vvd_mse,
+        genie_per=genie_per,
+        vvd_per=vvd_per,
+    )

@@ -1,0 +1,91 @@
+"""One-stop evaluation bundle shared by the figure generators.
+
+Figures 12, 13, 14 and 15 all aggregate the same underlying evaluation
+(the ten-technique suite over Table 2 combinations); building it once and
+sharing it across figure benches keeps the harness affordable in pure
+numpy.  Figure 11 and the aging figures need different estimator line-ups
+and run their own (smaller) evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SimulationConfig
+from ..core.vvd import VVDEstimator
+from ..dataset import (
+    SimulationComponents,
+    build_components,
+    generate_dataset,
+    rotating_set_combinations,
+)
+from ..dataset.sets import SetCombination
+from ..dataset.trace import MeasurementSet
+from ..errors import ConfigurationError
+from .runner import CombinationResult, EvaluationRunner
+from .suite import build_full_suite
+
+
+@dataclass
+class EvaluationBundle:
+    """Everything the figure generators need, computed once."""
+
+    config: SimulationConfig
+    components: SimulationComponents
+    sets: list[MeasurementSet]
+    runner: EvaluationRunner
+    combinations: list[SetCombination]
+    results: list[CombinationResult]
+    #: The trained VVD of the first combination (reused by aging figures).
+    first_vvd: VVDEstimator | None = field(default=None, repr=False)
+
+    def technique_values(self, name: str, metric: str) -> list[float]:
+        """Per-combination means of ``metric`` for one technique."""
+        return [
+            getattr(result.technique(name), metric)
+            for result in self.results
+        ]
+
+    def technique_names(self) -> list[str]:
+        return list(self.results[0].techniques)
+
+
+def build_evaluation_bundle(
+    config: SimulationConfig,
+    num_combinations: int | None = None,
+    verbose: bool = False,
+) -> EvaluationBundle:
+    """Generate the dataset and run the full suite over combinations.
+
+    ``num_combinations`` limits the Table 2 rows evaluated (the benchmark
+    preset uses a subset; passing ``None`` runs all of them).
+    """
+    components = build_components(config)
+    sets = generate_dataset(config, components, verbose=verbose)
+    runner = EvaluationRunner(components, sets)
+    combinations = rotating_set_combinations(config.dataset.num_sets)
+    if num_combinations is not None:
+        if num_combinations < 1:
+            raise ConfigurationError("num_combinations must be >= 1")
+        combinations = combinations[:num_combinations]
+
+    results: list[CombinationResult] = []
+    first_vvd: VVDEstimator | None = None
+    for combination in combinations:
+        suite = build_full_suite(config)
+        results.append(
+            runner.run_combination(combination, suite, verbose=verbose)
+        )
+        if first_vvd is None:
+            first_vvd = next(
+                e for e in suite if isinstance(e, VVDEstimator)
+            )
+    return EvaluationBundle(
+        config=config,
+        components=components,
+        sets=sets,
+        runner=runner,
+        combinations=combinations,
+        results=results,
+        first_vvd=first_vvd,
+    )

@@ -1,0 +1,87 @@
+"""Coherence-time analysis (paper Sec. 6.6).
+
+The discussion estimates ~50 ms indoor coherence time at 2.4 GHz with
+human-speed mobility and argues VVD is real-time capable because its
+inference latency is below that.  This module measures the channel's
+temporal autocorrelation from a simulated campaign and extracts the
+coherence time at a configurable correlation level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dataset.trace import MeasurementSet
+from ..errors import ShapeError
+
+
+@dataclass
+class CoherenceResult:
+    """Temporal autocorrelation of the CIR across packet lags."""
+
+    lags_s: np.ndarray
+    correlation: np.ndarray
+    coherence_time_s: float
+    threshold: float
+
+
+def channel_autocorrelation(
+    measurement_set: MeasurementSet, max_lag_packets: int
+) -> np.ndarray:
+    """Normalized autocorrelation of the canonical CIR vs packet lag.
+
+    ``rho[k] = |E[<h_t, h_{t+k}>]| / E[||h_t||^2]`` over the set.
+    """
+    if max_lag_packets < 1:
+        raise ShapeError("max_lag_packets must be >= 1")
+    estimates = measurement_set.gt_estimates(canonical=True)
+    if len(estimates) <= max_lag_packets:
+        raise ShapeError(
+            f"set has {len(estimates)} packets, need > {max_lag_packets}"
+        )
+    centred = estimates - estimates.mean(axis=0, keepdims=True)
+    power = float(np.mean(np.sum(np.abs(centred) ** 2, axis=1)))
+    if power == 0:
+        raise ShapeError("degenerate set: zero channel variance")
+    correlation = np.empty(max_lag_packets + 1)
+    for lag in range(max_lag_packets + 1):
+        head = centred[: len(centred) - lag]
+        tail = centred[lag:]
+        inner = np.mean(np.sum(tail * np.conj(head), axis=1))
+        correlation[lag] = abs(inner) / power
+    return correlation
+
+
+def estimate_coherence_time(
+    measurement_set: MeasurementSet,
+    packet_interval_s: float,
+    max_lag_packets: int = 30,
+    threshold: float = 0.5,
+) -> CoherenceResult:
+    """Lag at which the autocorrelation first drops below ``threshold``."""
+    if not 0 < threshold < 1:
+        raise ShapeError(f"threshold must be in (0, 1), got {threshold}")
+    correlation = channel_autocorrelation(measurement_set, max_lag_packets)
+    lags_s = np.arange(max_lag_packets + 1) * packet_interval_s
+    below = np.nonzero(correlation < threshold)[0]
+    if len(below) == 0:
+        coherence = float(lags_s[-1])
+    else:
+        coherence = float(lags_s[below[0]])
+    return CoherenceResult(
+        lags_s=lags_s,
+        correlation=correlation,
+        coherence_time_s=coherence,
+        threshold=threshold,
+    )
+
+
+def realtime_capable(
+    coherence: CoherenceResult, inference_latency_s: float
+) -> bool:
+    """The paper's Sec. 6.6 argument: latency must beat coherence time."""
+    if inference_latency_s < 0:
+        raise ShapeError("inference_latency_s must be >= 0")
+    return inference_latency_s < coherence.coherence_time_s

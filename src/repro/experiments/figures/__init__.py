@@ -1,0 +1,32 @@
+"""One module per paper table/figure.
+
+Every module exposes ``generate(...)`` returning the figure's data and a
+``render(...)`` producing the ASCII form printed by the benchmarks (see
+EXPERIMENTS.md for paper-vs-measured values).
+"""
+
+from . import (
+    fig5,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "table1",
+    "table2",
+    "fig5",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+]

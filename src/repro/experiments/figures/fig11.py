@@ -1,0 +1,57 @@
+"""Fig. 11 — PER of the VVD and Kalman variants.
+
+Fig. 11a: VVD-100ms Future vs VVD-33.3ms Future vs VVD-Current (fresher
+images estimate better).  Fig. 11b: Kalman AR(1) / AR(5) / AR(20) (all
+similar — the channel behaves almost memoryless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ...config import SimulationConfig
+from ...dataset.sets import SetCombination
+from ..metrics import BoxStats, box_stats
+from ..runner import EvaluationRunner
+from ..suite import build_kalman_variants, build_vvd_variants
+
+
+@dataclass
+class VariantsResult:
+    """Per-variant box statistics over combinations."""
+
+    vvd: dict[str, BoxStats]
+    kalman: dict[str, BoxStats]
+
+
+def generate(
+    runner: EvaluationRunner,
+    combinations: Sequence[SetCombination],
+    config: SimulationConfig,
+) -> VariantsResult:
+    vvd_values: dict[str, list[float]] = {}
+    kalman_values: dict[str, list[float]] = {}
+    for combination in combinations:
+        estimators = build_vvd_variants(config) + build_kalman_variants(
+            config
+        )
+        result = runner.run_combination(combination, estimators)
+        for name, technique in result.techniques.items():
+            bucket = vvd_values if name.startswith("VVD") else kalman_values
+            bucket.setdefault(name, []).append(technique.per)
+    return VariantsResult(
+        vvd={name: box_stats(v) for name, v in vvd_values.items()},
+        kalman={name: box_stats(v) for name, v in kalman_values.items()},
+    )
+
+
+def render(result: VariantsResult) -> str:
+    lines = ["Fig. 11 — PER for variants of VVD and Kalman", ""]
+    lines.append("(a) VVD estimation")
+    for name, stats in result.vvd.items():
+        lines.append(f"  {name:<22} {stats.as_row()}")
+    lines.append("(b) Kalman estimation")
+    for name, stats in result.kalman.items():
+        lines.append(f"  {name:<22} {stats.as_row()}")
+    return "\n".join(lines)

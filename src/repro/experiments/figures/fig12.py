@@ -1,0 +1,22 @@
+"""Fig. 12 — PER of all estimation techniques (box over combinations)."""
+
+from __future__ import annotations
+
+from ..bundle import EvaluationBundle
+from ..metrics import BoxStats, box_stats
+from ..reporting import format_box_table
+
+
+def generate(bundle: EvaluationBundle) -> dict[str, BoxStats]:
+    return {
+        name: box_stats(bundle.technique_values(name, "per"))
+        for name in bundle.technique_names()
+    }
+
+
+def render(bundle: EvaluationBundle) -> str:
+    return format_box_table(
+        "Fig. 12 — packet error rate of all estimation techniques",
+        generate(bundle),
+        value_name="PER",
+    )

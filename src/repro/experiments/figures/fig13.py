@@ -1,0 +1,22 @@
+"""Fig. 13 — CER of all estimation techniques (box over combinations)."""
+
+from __future__ import annotations
+
+from ..bundle import EvaluationBundle
+from ..metrics import BoxStats, box_stats
+from ..reporting import format_box_table
+
+
+def generate(bundle: EvaluationBundle) -> dict[str, BoxStats]:
+    return {
+        name: box_stats(bundle.technique_values(name, "cer"))
+        for name in bundle.technique_names()
+    }
+
+
+def render(bundle: EvaluationBundle) -> str:
+    return format_box_table(
+        "Fig. 13 — chip error rate of all estimation techniques",
+        generate(bundle),
+        value_name="CER",
+    )

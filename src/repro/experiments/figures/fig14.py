@@ -1,0 +1,39 @@
+"""Fig. 14 — channel-estimation MSE of all techniques (Eq. 9).
+
+Standard decoding has no estimate and Ground Truth is the reference
+itself, so as in the paper both are omitted; Preamble Based is omitted
+because undetected packets yield no estimate to score.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..bundle import EvaluationBundle
+from ..metrics import BoxStats, box_stats
+from ..reporting import format_box_table
+
+_EXCLUDED = {"Standard Decoding", "Ground Truth", "Preamble Based"}
+
+
+def generate(bundle: EvaluationBundle) -> dict[str, BoxStats]:
+    rows = {}
+    for name in bundle.technique_names():
+        if name in _EXCLUDED:
+            continue
+        values = [
+            v
+            for v in bundle.technique_values(name, "mse")
+            if not math.isnan(v)
+        ]
+        if values:
+            rows[name] = box_stats(values)
+    return rows
+
+
+def render(bundle: EvaluationBundle) -> str:
+    return format_box_table(
+        "Fig. 14 — channel estimation MSE of all techniques",
+        generate(bundle),
+        value_name="MSE vs perfect estimate",
+    )

@@ -1,0 +1,37 @@
+"""Fig. 16 — aging effect on channel-estimation MSE."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..aging import AgingResult, run_aging_experiment
+from ..bundle import EvaluationBundle
+from ..reporting import format_series_table
+
+DEFAULT_AGES_S = (0.0, 0.1, 0.5, 1.0, 2.0, 5.0)
+
+
+def generate(
+    bundle: EvaluationBundle, ages_s: Sequence[float] = DEFAULT_AGES_S
+) -> AgingResult:
+    return run_aging_experiment(
+        bundle.runner,
+        bundle.combinations[0],
+        ages_s,
+        vvd=bundle.first_vvd,
+    )
+
+
+def render(result: AgingResult) -> str:
+    labels = [
+        "Original" if age == 0 else f"-{age:g}s" for age in result.ages_s
+    ]
+    return format_series_table(
+        "Fig. 16 — aging effect on mean squared error",
+        "age",
+        labels,
+        {
+            "Preamble Genie": result.genie_mse,
+            "VVD": result.vvd_mse,
+        },
+    )

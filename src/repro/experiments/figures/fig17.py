@@ -1,0 +1,31 @@
+"""Fig. 17 — aging effect on packet error rate."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..aging import AgingResult
+from ..bundle import EvaluationBundle
+from ..reporting import format_series_table
+from .fig16 import DEFAULT_AGES_S, generate as _generate_aging
+
+
+def generate(
+    bundle: EvaluationBundle, ages_s: Sequence[float] = DEFAULT_AGES_S
+) -> AgingResult:
+    return _generate_aging(bundle, ages_s)
+
+
+def render(result: AgingResult) -> str:
+    labels = [
+        "Original" if age == 0 else f"-{age:g}s" for age in result.ages_s
+    ]
+    return format_series_table(
+        "Fig. 17 — aging effect on packet error rate",
+        "age",
+        labels,
+        {
+            "Preamble Genie": result.genie_per,
+            "VVD": result.vvd_per,
+        },
+    )

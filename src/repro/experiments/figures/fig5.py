@@ -1,0 +1,38 @@
+"""Fig. 5 — hypothesis-testing tap magnitudes and constellation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dataset.trace import MeasurementSet
+from ..hypothesis_testing import (
+    HypothesisResult,
+    run_hypothesis_test,
+    tap_magnitude_table,
+)
+
+
+def generate(
+    control_set: MeasurementSet,
+    probe_sets: "MeasurementSet | list[MeasurementSet]",
+) -> HypothesisResult:
+    return run_hypothesis_test(control_set, probe_sets)
+
+
+def render(result: HypothesisResult) -> str:
+    lines = [tap_magnitude_table(result), ""]
+    lines.append("Fig. 5b — constellation of tap coefficients (Re, Im)")
+    for name, taps in result.constellation_points().items():
+        dominant = np.argsort(np.abs(taps))[-3:][::-1]
+        values = ", ".join(
+            f"tap{t + 1}=({taps[t].real:+.4f},{taps[t].imag:+.4f})"
+            for t in dominant
+        )
+        lines.append(f"  {name:<12} {values}")
+    lines.append("")
+    lines.append(
+        f"H1 displacement {result.instances.displacement_h1_m:.2f} m, "
+        f"H2 displacement {result.instances.displacement_h2_m:.2f} m; "
+        f"hypotheses hold: {result.hypotheses_hold}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Table 2 — the train/validation/test set combinations."""
+
+from __future__ import annotations
+
+from ...dataset.sets import SetCombination, paper_set_combinations
+from ...dataset.trace import MeasurementSet
+
+
+def generate() -> list[SetCombination]:
+    """The 15 combinations exactly as printed in the paper."""
+    return paper_set_combinations()
+
+
+def render(sets: list[MeasurementSet] | None = None) -> str:
+    """ASCII Table 2; test-set packet counts added when sets are given."""
+    lines = [
+        "Table 2 — set combinations used in the VVD comparison",
+        f"{'Combo':>5}  {'Training sets':<42} {'Val':>4} {'Test':>5} "
+        f"{'#Test pkts':>11}",
+    ]
+    for combo in generate():
+        training = ",".join(str(s) for s in combo.training)
+        if sets is not None and combo.test_index < len(sets):
+            packets = str(sets[combo.test_index].num_packets)
+        else:
+            packets = "-"
+        lines.append(
+            f"{combo.number:>5}  {training:<42} {combo.validation:>4} "
+            f"{combo.test:>5} {packets:>11}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Comparison metrics (paper Sec. 5.5) and box-plot statistics.
+
+- **PER**: erroneous packets / transmitted packets.  A packet is erroneous
+  when no estimate was available (preamble-detection failure for the
+  preamble-based technique) or when the decoded PSDU differs from the
+  transmitted one (FCS mismatch).
+- **CER**: erroneous chips / total PSDU chips after equalization
+  (8128 chips per 127-byte packet).
+- **MSE**: Eq. 9 against the perfect (whole-packet LS) estimate, computed
+  in the canonical phase domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+@dataclass
+class PacketOutcome:
+    """Per-packet, per-technique decoding outcome."""
+
+    packet_error: bool
+    chip_errors: int
+    total_chips: int
+    mse: float | None
+    estimate_available: bool
+
+
+@dataclass
+class TechniqueResult:
+    """Aggregated outcomes of one technique over one test set."""
+
+    name: str
+    outcomes: list[PacketOutcome] = field(default_factory=list)
+
+    def add(self, outcome: PacketOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    @property
+    def num_packets(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def per(self) -> float:
+        if not self.outcomes:
+            raise ShapeError("no outcomes recorded")
+        return float(np.mean([o.packet_error for o in self.outcomes]))
+
+    @property
+    def cer(self) -> float:
+        if not self.outcomes:
+            raise ShapeError("no outcomes recorded")
+        chips = sum(o.total_chips for o in self.outcomes)
+        errors = sum(o.chip_errors for o in self.outcomes)
+        if chips == 0:
+            raise ShapeError("no chips recorded")
+        return errors / chips
+
+    @property
+    def mse(self) -> float:
+        values = [o.mse for o in self.outcomes if o.mse is not None]
+        if not values:
+            return float("nan")
+        return float(np.mean(values))
+
+    @property
+    def availability(self) -> float:
+        """Fraction of packets for which an estimate existed."""
+        if not self.outcomes:
+            raise ShapeError("no outcomes recorded")
+        return float(np.mean([o.estimate_available for o in self.outcomes]))
+
+
+def packet_error_rate(results: list[TechniqueResult]) -> np.ndarray:
+    """PER per test set for one technique across combinations."""
+    return np.array([r.per for r in results])
+
+
+def chip_error_rate(results: list[TechniqueResult]) -> np.ndarray:
+    return np.array([r.cer for r in results])
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary used to reproduce the paper's box plots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    def as_row(self) -> str:
+        return (
+            f"min={self.minimum:.3e} q1={self.q1:.3e} "
+            f"med={self.median:.3e} q3={self.q3:.3e} "
+            f"max={self.maximum:.3e} mean={self.mean:.3e}"
+        )
+
+
+def box_stats(values) -> BoxStats:
+    """Five-number summary of the 15 per-combination means (Sec. 6)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ShapeError("box_stats of an empty sequence")
+    finite = array[np.isfinite(array)]
+    if finite.size == 0:
+        raise ShapeError("box_stats of all-NaN values")
+    q1, median, q3 = np.percentile(finite, [25, 50, 75])
+    return BoxStats(
+        minimum=float(finite.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(finite.max()),
+        mean=float(finite.mean()),
+    )

@@ -1,0 +1,73 @@
+"""ASCII rendering of evaluation results.
+
+The paper presents box plots over the 15 per-combination means; the
+benchmark harness prints the same five-number summaries as tables so the
+figures can be compared row by row (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .metrics import BoxStats
+
+
+def format_box_table(
+    title: str,
+    rows: Mapping[str, BoxStats],
+    value_name: str = "value",
+) -> str:
+    """Render technique -> five-number-summary as an aligned table."""
+    name_width = max([len(name) for name in rows] + [len("technique")])
+    header = (
+        f"{'technique':<{name_width}}  "
+        f"{'min':>10} {'q1':>10} {'median':>10} {'q3':>10} "
+        f"{'max':>10} {'mean':>10}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for name, stats in rows.items():
+        lines.append(
+            f"{name:<{name_width}}  "
+            f"{stats.minimum:>10.3e} {stats.q1:>10.3e} "
+            f"{stats.median:>10.3e} {stats.q3:>10.3e} "
+            f"{stats.maximum:>10.3e} {stats.mean:>10.3e}"
+        )
+    lines.append(f"({value_name}; box over per-combination means)")
+    return "\n".join(lines)
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Render one row per x value with one column per series."""
+    names = list(series)
+    widths = [max(len(n), 10) for n in names]
+    header = f"{x_label:>12}  " + "  ".join(
+        f"{n:>{w}}" for n, w in zip(names, widths)
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for i, x in enumerate(x_values):
+        cells = "  ".join(
+            f"{series[n][i]:>{w}.3e}" for n, w in zip(names, widths)
+        )
+        lines.append(f"{str(x):>12}  {cells}")
+    return "\n".join(lines)
+
+
+def format_timeline(
+    successes: Sequence[bool],
+    blocked: Sequence[bool],
+    width: int = 100,
+) -> str:
+    """Fig. 15-style strip: decoding success/failure vs LoS blockage."""
+    n = min(len(successes), width)
+    decode_row = "".join("." if successes[i] else "X" for i in range(n))
+    block_row = "".join("#" if blocked[i] else " " for i in range(n))
+    return (
+        "decode : " + decode_row + "\n"
+        "blocked: " + block_row + "\n"
+        "('.'=success, 'X'=packet error, '#'=LoS blocked)"
+    )

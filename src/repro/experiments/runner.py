@@ -1,0 +1,190 @@
+"""The evaluation loop (paper Sec. 6).
+
+For each Table 2 combination: prepare every technique on the training +
+validation sets, then decode every test-set packet with every technique
+under identical receiver processing.  Per packet the received waveform is
+re-synthesized once and shared across techniques — only the channel
+estimate differs, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..dataset.generator import SimulationComponents, synthesize_received
+from ..dataset.sets import SetCombination
+from ..dataset.trace import MeasurementSet, PacketRecord
+from ..dsp.metrics import complex_mse
+from ..dsp.phase import correct_phase
+from ..errors import DatasetError
+from ..estimation.base import (
+    ChannelEstimate,
+    ChannelEstimator,
+    PacketContext,
+)
+from ..phy.transmitter import TransmittedPacket
+from .metrics import PacketOutcome, TechniqueResult
+
+
+@dataclass
+class CombinationResult:
+    """All technique results for one Table 2 combination."""
+
+    combination: SetCombination
+    techniques: dict[str, TechniqueResult]
+
+    def technique(self, name: str) -> TechniqueResult:
+        if name not in self.techniques:
+            raise DatasetError(
+                f"no result for technique {name!r}; have "
+                f"{sorted(self.techniques)}"
+            )
+        return self.techniques[name]
+
+
+class EvaluationRunner:
+    """Evaluates estimator suites over set combinations."""
+
+    def __init__(
+        self,
+        components: SimulationComponents,
+        sets: Sequence[MeasurementSet],
+    ) -> None:
+        self.components = components
+        self.sets = list(sets)
+
+    # -- single-packet decoding ------------------------------------------
+    def decode_packet(
+        self,
+        estimate: ChannelEstimate | None,
+        packet: TransmittedPacket,
+        received: np.ndarray,
+        record: PacketRecord,
+    ) -> PacketOutcome:
+        """Decode one packet with one technique's estimate (Sec. 5.5)."""
+        receiver = self.components.receiver
+        layout = receiver.layout
+        psdu_slice = layout.psdu_chip_slice
+        reference_chips = packet.chips[psdu_slice]
+        total_chips = len(reference_chips)
+
+        if estimate is None:
+            # Preamble-detection failure: the signal is assumed erroneous.
+            return PacketOutcome(
+                packet_error=True,
+                chip_errors=total_chips,
+                total_chips=total_chips,
+                mse=None,
+                estimate_available=False,
+            )
+
+        if estimate.taps is None:
+            decoded = receiver.decode_standard(received)
+        else:
+            taps = estimate.taps
+            if estimate.needs_phase_alignment:
+                theta = receiver.blind_phase_shift(received, taps)
+                taps = correct_phase(taps, theta)
+            decoded = receiver.decode_with_estimate(received, taps)
+
+        chip_errors = int(
+            np.sum(decoded.hard_chips[psdu_slice] != reference_chips)
+        )
+        packet_error = decoded.psdu != packet.psdu
+        mse = None
+        if estimate.canonical_taps is not None:
+            mse = complex_mse(
+                estimate.canonical_taps, record.h_ls_canonical
+            )
+        return PacketOutcome(
+            packet_error=bool(packet_error),
+            chip_errors=chip_errors,
+            total_chips=total_chips,
+            mse=mse,
+            estimate_available=True,
+        )
+
+    # -- combination loop --------------------------------------------------
+    def run_combination(
+        self,
+        combination: SetCombination,
+        estimators: Sequence[ChannelEstimator],
+        skip_initial: int | None = None,
+        verbose: bool = False,
+    ) -> CombinationResult:
+        """Evaluate ``estimators`` on one Table 2 combination."""
+        config = self.components.config
+        if skip_initial is None:
+            skip_initial = config.dataset.skip_initial
+        training = [self.sets[i] for i in combination.training_indices()]
+        validation = [self.sets[combination.validation_index]]
+        test = self.sets[combination.test_index]
+
+        for estimator in estimators:
+            estimator.prepare(training, validation, config)
+            estimator.reset(test)
+
+        results = {
+            estimator.name: TechniqueResult(estimator.name)
+            for estimator in estimators
+        }
+        for index, record in enumerate(test.packets):
+            packet = self.components.transmitter.transmit(
+                record.sequence_number
+            )
+            received = synthesize_received(
+                self.components, record, packet.waveform
+            )
+            ctx = PacketContext(
+                measurement_set=test,
+                index=index,
+                record=record,
+                received=received,
+                receiver=self.components.receiver,
+            )
+            for estimator in estimators:
+                estimate = estimator.estimate(ctx)
+                outcome = self.decode_packet(
+                    estimate, packet, received, record
+                )
+                if index >= skip_initial:
+                    results[estimator.name].add(outcome)
+            for estimator in estimators:
+                estimator.observe(ctx)
+        if verbose:
+            summary = ", ".join(
+                f"{name}: PER={result.per:.3f}"
+                for name, result in results.items()
+            )
+            print(f"combination {combination.number}: {summary}")
+        return CombinationResult(
+            combination=combination, techniques=results
+        )
+
+    def run_combinations(
+        self,
+        combinations: Sequence[SetCombination],
+        estimator_factory: Callable[[], Sequence[ChannelEstimator]],
+        skip_initial: int | None = None,
+        verbose: bool = False,
+    ) -> list[CombinationResult]:
+        """Evaluate a fresh estimator suite per combination.
+
+        A factory is required because data-driven techniques (VVD, Kalman)
+        must be re-fit for every train/validation/test split.
+        """
+        results = []
+        for combination in combinations:
+            estimators = estimator_factory()
+            results.append(
+                self.run_combination(
+                    combination,
+                    estimators,
+                    skip_initial=skip_initial,
+                    verbose=verbose,
+                )
+            )
+        return results

@@ -1,0 +1,112 @@
+"""Default estimator line-ups (the technique lists of Sec. 5).
+
+``build_full_suite`` is the Fig. 12/13/14 ten-technique comparison;
+``build_baseline_suite`` omits VVD (used for fast calibration and tests);
+``build_kalman_variants`` / ``build_vvd_variants`` feed Fig. 11.
+
+The VVD instance is shared between its standalone entry and the
+Preamble-VVD Combined entry so the CNN is trained once per combination.
+"""
+
+from __future__ import annotations
+
+from ..config import SimulationConfig
+from ..core.vvd import VVDEstimator
+from ..estimation import (
+    CombinedEstimator,
+    GroundTruth,
+    KalmanEstimator,
+    PreambleBased,
+    PreambleGenie,
+    PreviousEstimation,
+    StandardDecoding,
+)
+from ..estimation.base import ChannelEstimator
+
+
+def build_baseline_suite(
+    config: SimulationConfig,
+) -> list[ChannelEstimator]:
+    """All non-VVD techniques of Fig. 12, in the paper's display order."""
+    interval = config.dataset.packet_interval_s
+    order = config.kalman.default_order
+    return [
+        StandardDecoding(),
+        PreambleBased(),
+        PreviousEstimation(5, interval),
+        PreviousEstimation(1, interval),
+        KalmanEstimator(
+            order,
+            observation_noise=config.kalman.observation_noise,
+            process_noise_scale=config.kalman.process_noise_scale,
+        ),
+        CombinedEstimator(
+            KalmanEstimator(
+                order,
+                observation_noise=config.kalman.observation_noise,
+                process_noise_scale=config.kalman.process_noise_scale,
+            )
+        ),
+        PreambleGenie(),
+        GroundTruth(),
+    ]
+
+
+def build_full_suite(
+    config: SimulationConfig, vvd_seed: int = 7
+) -> list[ChannelEstimator]:
+    """The ten techniques of Figs. 12-14 (one shared VVD training)."""
+    interval = config.dataset.packet_interval_s
+    order = config.kalman.default_order
+    vvd = VVDEstimator(horizon_frames=0, seed=vvd_seed)
+    return [
+        StandardDecoding(),
+        PreambleBased(),
+        PreviousEstimation(5, interval),
+        PreviousEstimation(1, interval),
+        KalmanEstimator(
+            order,
+            observation_noise=config.kalman.observation_noise,
+            process_noise_scale=config.kalman.process_noise_scale,
+        ),
+        vvd,
+        CombinedEstimator(
+            KalmanEstimator(
+                order,
+                observation_noise=config.kalman.observation_noise,
+                process_noise_scale=config.kalman.process_noise_scale,
+            )
+        ),
+        CombinedEstimator(vvd),
+        PreambleGenie(),
+        GroundTruth(),
+    ]
+
+
+def build_kalman_variants(
+    config: SimulationConfig,
+) -> list[ChannelEstimator]:
+    """Kalman AR(1) / AR(5) / AR(20) for Fig. 11b."""
+    return [
+        KalmanEstimator(
+            order,
+            observation_noise=config.kalman.observation_noise,
+            process_noise_scale=config.kalman.process_noise_scale,
+        )
+        for order in config.kalman.orders
+    ]
+
+
+def build_vvd_variants(
+    config: SimulationConfig, vvd_seed: int = 7
+) -> list[ChannelEstimator]:
+    """VVD-Current / 33.3 ms / 100 ms future for Fig. 11a.
+
+    Horizon offsets assume the paper's 30 fps camera and 100 ms packet
+    interval: 0, 1 and 3 frames.
+    """
+    return [
+        VVDEstimator(horizon_frames=3, seed=vvd_seed),
+        VVDEstimator(horizon_frames=1, seed=vvd_seed),
+        VVDEstimator(horizon_frames=0, seed=vvd_seed),
+    ]

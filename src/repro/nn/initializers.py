@@ -1,0 +1,27 @@
+"""Weight initializers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def glorot_uniform(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    fan_in: int,
+    fan_out: int,
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization (Keras default)."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ShapeError(
+            f"fan_in/fan_out must be positive, got {fan_in}/{fan_out}"
+        )
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros_init(shape: tuple[int, ...]) -> np.ndarray:
+    """Zero initialization (biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,402 @@
+"""Neural-network layers with hand-derived backward passes.
+
+Every layer follows the same contract:
+
+- ``build(input_shape, rng, dtype) -> output_shape`` allocates parameters
+  lazily (shapes exclude the batch dimension);
+- ``forward(x, training)`` caches whatever the backward pass needs;
+- ``backward(grad)`` consumes the cache and returns the input gradient,
+  accumulating parameter gradients into :class:`Parameter` slots.
+
+Convolutions are computed as ``kernel_size**2`` shifted matmuls instead of
+im2col: the arithmetic is identical but no patch matrix is materialized,
+which makes pure-numpy training memory-bandwidth friendly.  Models default
+to float32 (the paper's GPU precision); the gradient-check tests build
+float64 stacks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import NotFittedError, ShapeError
+from .initializers import glorot_uniform, zeros_init
+
+
+class Parameter:
+    """A trainable tensor with its accumulated gradient."""
+
+    __slots__ = ("name", "value", "grad")
+
+    def __init__(self, name: str, value: np.ndarray) -> None:
+        self.name = name
+        self.value = value
+        self.grad = np.zeros_like(value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+
+class Layer:
+    """Base class; stateless layers only override forward/backward."""
+
+    def __init__(self) -> None:
+        self.built = False
+        self.dtype = np.float32
+
+    def build(
+        self,
+        input_shape: tuple[int, ...],
+        rng: np.random.Generator,
+        dtype=np.float32,
+    ) -> tuple[int, ...]:
+        self.built = True
+        self.dtype = dtype
+        return input_shape
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _require_built(self) -> None:
+        if not self.built:
+            raise NotFittedError(
+                f"{type(self).__name__} used before model.build()"
+            )
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x W + b``."""
+
+    def __init__(self, units: int) -> None:
+        super().__init__()
+        if units < 1:
+            raise ShapeError(f"units must be >= 1, got {units}")
+        self.units = units
+        self.weight: Parameter | None = None
+        self.bias: Parameter | None = None
+        self._cache_x: np.ndarray | None = None
+
+    def build(self, input_shape, rng, dtype=np.float32):
+        if len(input_shape) != 1:
+            raise ShapeError(
+                f"Dense expects flat input, got shape {input_shape}"
+            )
+        self.dtype = dtype
+        fan_in = input_shape[0]
+        self.weight = Parameter(
+            "dense/weight",
+            glorot_uniform(rng, (fan_in, self.units), fan_in, self.units)
+            .astype(dtype),
+        )
+        self.bias = Parameter(
+            "dense/bias", zeros_init((self.units,)).astype(dtype)
+        )
+        self.built = True
+        return (self.units,)
+
+    def parameters(self):
+        return [self.weight, self.bias]
+
+    def forward(self, x, training=False):
+        self._require_built()
+        self._cache_x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad):
+        x = self._cache_x
+        self.weight.grad += x.T @ grad
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x, training=False):
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad):
+        return grad * self._mask
+
+
+class Flatten(Layer):
+    """Collapse all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._input_shape: tuple[int, ...] | None = None
+
+    def build(self, input_shape, rng, dtype=np.float32):
+        self.built = True
+        self.dtype = dtype
+        self._features = int(np.prod(input_shape))
+        return (self._features,)
+
+    def forward(self, x, training=False):
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad):
+        return grad.reshape(self._input_shape)
+
+
+class Conv2D(Layer):
+    """2-D convolution, stride 1, valid padding, NHWC layout.
+
+    ``out[b, i, j, :] = sum_{di, dj} x[b, i+di, j+dj, :] @ W[di, dj]``
+    computed as ``kernel_size**2`` batched matmuls over input shifts.
+    """
+
+    def __init__(self, filters: int, kernel_size: int = 3) -> None:
+        super().__init__()
+        if filters < 1:
+            raise ShapeError(f"filters must be >= 1, got {filters}")
+        if kernel_size < 1:
+            raise ShapeError(f"kernel_size must be >= 1, got {kernel_size}")
+        self.filters = filters
+        self.kernel_size = kernel_size
+        self.weight: Parameter | None = None
+        self.bias: Parameter | None = None
+        self._cache_slices: list[np.ndarray] | None = None
+        self._cache_input_shape: tuple[int, ...] | None = None
+
+    def build(self, input_shape, rng, dtype=np.float32):
+        if len(input_shape) != 3:
+            raise ShapeError(
+                f"Conv2D expects (H, W, C) input, got {input_shape}"
+            )
+        self.dtype = dtype
+        h, w, c = input_shape
+        k = self.kernel_size
+        if h < k or w < k:
+            raise ShapeError(
+                f"input {input_shape} smaller than kernel {k}x{k}"
+            )
+        fan_in = k * k * c
+        fan_out = k * k * self.filters
+        self.weight = Parameter(
+            "conv/weight",
+            glorot_uniform(rng, (k, k, c, self.filters), fan_in, fan_out)
+            .astype(dtype),
+        )
+        self.bias = Parameter(
+            "conv/bias", zeros_init((self.filters,)).astype(dtype)
+        )
+        self.built = True
+        return (h - k + 1, w - k + 1, self.filters)
+
+    def parameters(self):
+        return [self.weight, self.bias]
+
+    def forward(self, x, training=False):
+        self._require_built()
+        k = self.kernel_size
+        b, h, w, c = x.shape
+        ho, wo = h - k + 1, w - k + 1
+        self._cache_input_shape = x.shape
+        # One contiguous (B*Ho*Wo, C) copy per kernel shift feeds a single
+        # large GEMM, which is far faster than batched small matmuls.
+        slices = []
+        out_flat = np.tile(self.bias.value, (b * ho * wo, 1))
+        for di in range(k):
+            for dj in range(k):
+                x_slice = np.ascontiguousarray(
+                    x[:, di : di + ho, dj : dj + wo, :]
+                ).reshape(-1, c)
+                slices.append(x_slice)
+                out_flat += x_slice @ self.weight.value[di, dj]
+        self._cache_slices = slices
+        return out_flat.reshape(b, ho, wo, self.filters)
+
+    def backward(self, grad):
+        k = self.kernel_size
+        b, h, w, c = self._cache_input_shape
+        ho, wo = h - k + 1, w - k + 1
+        grad_flat = np.ascontiguousarray(grad).reshape(-1, self.filters)
+        self.bias.grad += grad_flat.sum(axis=0)
+        dx = np.zeros((b, h, w, c), dtype=grad.dtype)
+        index = 0
+        for di in range(k):
+            for dj in range(k):
+                x_slice = self._cache_slices[index]
+                index += 1
+                self.weight.grad[di, dj] += x_slice.T @ grad_flat
+                dx_slice = grad_flat @ self.weight.value[di, dj].T
+                dx[:, di : di + ho, dj : dj + wo, :] += dx_slice.reshape(
+                    b, ho, wo, c
+                )
+        self._cache_slices = None
+        return dx
+
+
+class AveragePooling2D(Layer):
+    """2x2 average pooling with stride 2 (the paper's pooling layers)."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size < 1:
+            raise ShapeError(f"pool_size must be >= 1, got {pool_size}")
+        self.pool_size = pool_size
+        self._cache_input_shape: tuple[int, ...] | None = None
+
+    def build(self, input_shape, rng, dtype=np.float32):
+        h, w, c = input_shape
+        p = self.pool_size
+        if h < p or w < p:
+            raise ShapeError(
+                f"input {input_shape} smaller than pool {p}x{p}"
+            )
+        self.built = True
+        self.dtype = dtype
+        return (h // p, w // p, c)
+
+    def forward(self, x, training=False):
+        p = self.pool_size
+        b, h, w, c = x.shape
+        ho, wo = h // p, w // p
+        self._cache_input_shape = x.shape
+        trimmed = x[:, : ho * p, : wo * p, :]
+        blocks = trimmed.reshape(b, ho, p, wo, p, c)
+        return blocks.mean(axis=(2, 4))
+
+    def backward(self, grad):
+        p = self.pool_size
+        b, h, w, c = self._cache_input_shape
+        ho, wo = h // p, w // p
+        upsampled = np.repeat(
+            np.repeat(grad / (p * p), p, axis=1), p, axis=2
+        )
+        dx = np.zeros((b, h, w, c), dtype=grad.dtype)
+        dx[:, : ho * p, : wo * p, :] = upsampled
+        return dx
+
+
+class MaxPooling2D(Layer):
+    """2x2 max pooling (evaluated by the paper, slightly worse than avg)."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        super().__init__()
+        if pool_size < 1:
+            raise ShapeError(f"pool_size must be >= 1, got {pool_size}")
+        self.pool_size = pool_size
+        self._cache_argmax: np.ndarray | None = None
+        self._cache_input_shape: tuple[int, ...] | None = None
+
+    def build(self, input_shape, rng, dtype=np.float32):
+        h, w, c = input_shape
+        p = self.pool_size
+        if h < p or w < p:
+            raise ShapeError(
+                f"input {input_shape} smaller than pool {p}x{p}"
+            )
+        self.built = True
+        self.dtype = dtype
+        return (h // p, w // p, c)
+
+    def forward(self, x, training=False):
+        p = self.pool_size
+        b, h, w, c = x.shape
+        ho, wo = h // p, w // p
+        self._cache_input_shape = x.shape
+        trimmed = x[:, : ho * p, : wo * p, :]
+        blocks = trimmed.reshape(b, ho, p, wo, p, c)
+        blocks = blocks.transpose(0, 1, 3, 5, 2, 4).reshape(
+            b, ho, wo, c, p * p
+        )
+        self._cache_argmax = blocks.argmax(axis=-1)
+        return blocks.max(axis=-1)
+
+    def backward(self, grad):
+        p = self.pool_size
+        b, h, w, c = self._cache_input_shape
+        ho, wo = h // p, w // p
+        one_hot = np.zeros((b, ho, wo, c, p * p), dtype=grad.dtype)
+        np.put_along_axis(
+            one_hot, self._cache_argmax[..., None], 1.0, axis=-1
+        )
+        blocks = one_hot * grad[..., None]
+        blocks = blocks.reshape(b, ho, wo, c, p, p).transpose(
+            0, 1, 4, 2, 5, 3
+        )
+        dx = np.zeros((b, h, w, c), dtype=grad.dtype)
+        dx[:, : ho * p, : wo * p, :] = blocks.reshape(
+            b, ho * p, wo * p, c
+        )
+        return dx
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch normalization over (B, H, W).
+
+    The paper removed batch-norm from the reference architecture after
+    observing no benefit (Sec. 4); the layer exists for the ablation
+    benchmark.
+    """
+
+    def __init__(self, momentum: float = 0.99, epsilon: float = 1e-5) -> None:
+        super().__init__()
+        if not 0.0 < momentum < 1.0:
+            raise ShapeError(f"momentum must be in (0, 1), got {momentum}")
+        self.momentum = momentum
+        self.epsilon = epsilon
+        self.gamma: Parameter | None = None
+        self.beta: Parameter | None = None
+        self.running_mean: np.ndarray | None = None
+        self.running_var: np.ndarray | None = None
+        self._cache: tuple | None = None
+
+    def build(self, input_shape, rng, dtype=np.float32):
+        if len(input_shape) != 3:
+            raise ShapeError(
+                f"BatchNorm2D expects (H, W, C) input, got {input_shape}"
+            )
+        self.dtype = dtype
+        channels = input_shape[2]
+        self.gamma = Parameter("bn/gamma", np.ones(channels, dtype=dtype))
+        self.beta = Parameter("bn/beta", np.zeros(channels, dtype=dtype))
+        self.running_mean = np.zeros(channels, dtype=dtype)
+        self.running_var = np.ones(channels, dtype=dtype)
+        self.built = True
+        return input_shape
+
+    def parameters(self):
+        return [self.gamma, self.beta]
+
+    def forward(self, x, training=False):
+        self._require_built()
+        if training:
+            mean = x.mean(axis=(0, 1, 2))
+            var = x.var(axis=(0, 1, 2))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            ).astype(self.dtype)
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            ).astype(self.dtype)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        std = np.sqrt(var + self.epsilon)
+        normalized = (x - mean) / std
+        self._cache = (normalized, std)
+        return self.gamma.value * normalized + self.beta.value
+
+    def backward(self, grad):
+        normalized, std = self._cache
+        self.gamma.grad += (grad * normalized).sum(axis=(0, 1, 2))
+        self.beta.grad += grad.sum(axis=(0, 1, 2))
+        g = grad * self.gamma.value
+        mean_g = g.mean(axis=(0, 1, 2))
+        mean_gx = (g * normalized).mean(axis=(0, 1, 2))
+        return (g - mean_g - normalized * mean_gx) / std

@@ -1,0 +1,34 @@
+"""Loss functions.
+
+The paper trains and model-selects on mean squared error (Sec. 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+class MeanSquaredError:
+    """``mean((pred - target)^2)`` over every element of the batch."""
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.value(prediction, target)
+
+    @staticmethod
+    def _validate(prediction: np.ndarray, target: np.ndarray) -> None:
+        if prediction.shape != target.shape:
+            raise ShapeError(
+                f"prediction {prediction.shape} vs target {target.shape}"
+            )
+        if prediction.size == 0:
+            raise ShapeError("MSE of empty arrays is undefined")
+
+    def value(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        self._validate(prediction, target)
+        return float(np.mean((prediction - target) ** 2))
+
+    def gradient(self, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+        self._validate(prediction, target)
+        return 2.0 * (prediction - target) / prediction.size

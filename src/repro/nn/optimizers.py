@@ -1,0 +1,110 @@
+"""First-order optimizers: SGD, Adam, and the paper's Nadam.
+
+The paper uses Nadam with initial learning rate 1e-4 and a multiplicative
+decay to 0.996x after every epoch (Sec. 4); the epoch schedule is applied
+by :meth:`repro.nn.model.Sequential.fit` via the mutable
+``learning_rate`` attribute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .layers import Parameter
+
+
+class Optimizer:
+    """Base optimizer; subclasses implement :meth:`_update_one`."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ShapeError(
+                f"learning_rate must be positive, got {learning_rate}"
+            )
+        self.learning_rate = learning_rate
+        self._state: dict[int, dict[str, np.ndarray]] = {}
+        self._step = 0
+
+    def step(self, parameters: list[Parameter]) -> None:
+        """Apply one update to every parameter, then clear gradients."""
+        self._step += 1
+        for index, parameter in enumerate(parameters):
+            state = self._state.setdefault(index, {})
+            self._update_one(parameter, state)
+            parameter.zero_grad()
+
+    def _update_one(self, parameter: Parameter, state: dict) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain (optionally momentum) stochastic gradient descent."""
+
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ShapeError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+
+    def _update_one(self, parameter, state):
+        if self.momentum > 0:
+            velocity = state.setdefault(
+                "velocity", np.zeros_like(parameter.value)
+            )
+            velocity *= self.momentum
+            velocity -= self.learning_rate * parameter.grad
+            parameter.value += velocity
+        else:
+            parameter.value -= self.learning_rate * parameter.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta_1: float = 0.9,
+        beta_2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        self.beta_1 = beta_1
+        self.beta_2 = beta_2
+        self.epsilon = epsilon
+
+    def _update_one(self, parameter, state):
+        m = state.setdefault("m", np.zeros_like(parameter.value))
+        v = state.setdefault("v", np.zeros_like(parameter.value))
+        g = parameter.grad
+        m *= self.beta_1
+        m += (1 - self.beta_1) * g
+        v *= self.beta_2
+        v += (1 - self.beta_2) * g * g
+        m_hat = m / (1 - self.beta_1**self._step)
+        v_hat = v / (1 - self.beta_2**self._step)
+        parameter.value -= (
+            self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+        )
+
+
+class Nadam(Adam):
+    """Adam with Nesterov momentum (Dozat) — the paper's optimizer."""
+
+    def _update_one(self, parameter, state):
+        m = state.setdefault("m", np.zeros_like(parameter.value))
+        v = state.setdefault("v", np.zeros_like(parameter.value))
+        g = parameter.grad
+        m *= self.beta_1
+        m += (1 - self.beta_1) * g
+        v *= self.beta_2
+        v += (1 - self.beta_2) * g * g
+        bias_1 = 1 - self.beta_1**self._step
+        bias_2 = 1 - self.beta_2**self._step
+        m_hat = m / bias_1
+        v_hat = v / bias_2
+        nesterov = self.beta_1 * m_hat + (1 - self.beta_1) * g / bias_1
+        parameter.value -= (
+            self.learning_rate * nesterov / (np.sqrt(v_hat) + self.epsilon)
+        )

@@ -1,0 +1,53 @@
+"""IEEE 802.15.4 O-QPSK / DSSS physical layer (2.4 GHz band).
+
+Implements the PHY used by the paper's Zolertia RE-Mote sensors
+end-to-end:
+
+- :mod:`repro.phy.pn` — the 16 orthogonal 32-chip pseudo-noise sequences.
+- :mod:`repro.phy.crc` — the 16-bit ITU-T FCS.
+- :mod:`repro.phy.symbols` — byte <-> 4-bit-symbol mapping.
+- :mod:`repro.phy.spreading` — symbol <-> chip (de)spreading.
+- :mod:`repro.phy.oqpsk` — half-sine O-QPSK modulation at a configurable
+  number of samples per chip (4 => the paper's 8 MHz baseband).
+- :mod:`repro.phy.frame` — SHR/PHR/PSDU framing and reference regions.
+- :mod:`repro.phy.transmitter` / :mod:`repro.phy.receiver` — full chains.
+"""
+
+from .pn import PN_SEQUENCES, pn_sequence, BIPOLAR_PN_SEQUENCES
+from .crc import crc16_itut, append_fcs, check_fcs
+from .symbols import bytes_to_symbols, symbols_to_bytes
+from .spreading import spread_symbols, despread_chips, despread_soft_chips
+from .oqpsk import (
+    half_sine_pulse,
+    oqpsk_modulate,
+    oqpsk_chip_projections,
+    oqpsk_demodulate,
+)
+from .frame import FrameLayout, make_psdu, parse_psdu
+from .transmitter import Transmitter, TransmittedPacket
+from .receiver import Receiver, DecodeResult
+
+__all__ = [
+    "PN_SEQUENCES",
+    "BIPOLAR_PN_SEQUENCES",
+    "pn_sequence",
+    "crc16_itut",
+    "append_fcs",
+    "check_fcs",
+    "bytes_to_symbols",
+    "symbols_to_bytes",
+    "spread_symbols",
+    "despread_chips",
+    "despread_soft_chips",
+    "half_sine_pulse",
+    "oqpsk_modulate",
+    "oqpsk_chip_projections",
+    "oqpsk_demodulate",
+    "FrameLayout",
+    "make_psdu",
+    "parse_psdu",
+    "Transmitter",
+    "TransmittedPacket",
+    "Receiver",
+    "DecodeResult",
+]

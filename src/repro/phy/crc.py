@@ -1,0 +1,38 @@
+"""IEEE 802.15.4 frame check sequence (16-bit ITU-T CRC).
+
+The FCS uses the polynomial :math:`x^{16} + x^{12} + x^5 + 1` with zero
+initial value, bits processed LSB-first, and the result appended
+little-endian — the configuration mandated by the standard's MAC.
+"""
+
+from __future__ import annotations
+
+_POLY_REFLECTED = 0x8408  # 0x1021 bit-reversed
+
+
+def crc16_itut(data: bytes) -> int:
+    """Compute the 802.15.4 FCS over ``data``; returns a 16-bit integer."""
+    crc = 0x0000
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY_REFLECTED
+            else:
+                crc >>= 1
+    return crc & 0xFFFF
+
+
+def append_fcs(payload: bytes) -> bytes:
+    """Return ``payload`` with its 2-byte little-endian FCS appended."""
+    fcs = crc16_itut(payload)
+    return payload + bytes((fcs & 0xFF, fcs >> 8))
+
+
+def check_fcs(psdu: bytes) -> bool:
+    """Validate a PSDU whose last two bytes are the FCS."""
+    if len(psdu) < 3:
+        return False
+    payload, trailer = psdu[:-2], psdu[-2:]
+    fcs = crc16_itut(payload)
+    return trailer == bytes((fcs & 0xFF, fcs >> 8))

@@ -1,0 +1,162 @@
+"""IEEE 802.15.4 PPDU framing (SHR + PHR + PSDU) and reference regions.
+
+A frame is::
+
+    | preamble (4 x 0x00) | SFD (0xA7) | PHR (length) | PSDU (<=127 B) |
+
+The PSDU ends with the 2-byte FCS.  The paper's packets are 127-byte
+PSDUs whose payload is constant except for the sequence number and CRC
+(Sec. 3); :func:`make_psdu` reproduces that.  :class:`FrameLayout`
+additionally exposes the sample-domain regions used by the estimators
+(Fig. 9): the synchronization header for preamble-based estimation and the
+whole frame for the perfect estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from .crc import append_fcs, check_fcs
+from .pn import CHIPS_PER_SYMBOL
+from .spreading import spread_symbols
+from .symbols import bytes_to_symbols, symbols_to_bytes
+
+SFD_BYTE = 0xA7
+PHR_BYTES = 1
+SFD_BYTES = 1
+
+
+@dataclass(frozen=True)
+class FrameLayout:
+    """Chip/sample geometry of a PPDU for a given PHY configuration."""
+
+    preamble_bytes: int = 4
+    psdu_bytes: int = 127
+    samples_per_chip: int = 4
+
+    def __post_init__(self) -> None:
+        if self.preamble_bytes < 1:
+            raise ConfigurationError("preamble_bytes must be >= 1")
+        if not 3 <= self.psdu_bytes <= 127:
+            raise ConfigurationError(
+                f"psdu_bytes must be in [3, 127], got {self.psdu_bytes}"
+            )
+
+    # -- symbol counts ----------------------------------------------------
+    @property
+    def preamble_symbols(self) -> int:
+        return 2 * self.preamble_bytes
+
+    @property
+    def sfd_symbols(self) -> int:
+        return 2 * SFD_BYTES
+
+    @property
+    def phr_symbols(self) -> int:
+        return 2 * PHR_BYTES
+
+    @property
+    def psdu_symbols(self) -> int:
+        return 2 * self.psdu_bytes
+
+    @property
+    def total_symbols(self) -> int:
+        return (
+            self.preamble_symbols
+            + self.sfd_symbols
+            + self.phr_symbols
+            + self.psdu_symbols
+        )
+
+    # -- chip counts -------------------------------------------------------
+    @property
+    def total_chips(self) -> int:
+        return self.total_symbols * CHIPS_PER_SYMBOL
+
+    @property
+    def shr_chips(self) -> int:
+        """Chips of the synchronization header (preamble + SFD)."""
+        return (self.preamble_symbols + self.sfd_symbols) * CHIPS_PER_SYMBOL
+
+    @property
+    def psdu_chip_slice(self) -> slice:
+        start = (
+            self.preamble_symbols + self.sfd_symbols + self.phr_symbols
+        ) * CHIPS_PER_SYMBOL
+        return slice(start, start + self.psdu_symbols * CHIPS_PER_SYMBOL)
+
+    @property
+    def psdu_symbol_slice(self) -> slice:
+        start = self.preamble_symbols + self.sfd_symbols + self.phr_symbols
+        return slice(start, start + self.psdu_symbols)
+
+    # -- sample counts -----------------------------------------------------
+    @property
+    def waveform_samples(self) -> int:
+        return (self.total_chips + 1) * self.samples_per_chip
+
+    @property
+    def shr_samples(self) -> int:
+        """Length of the SHR region in samples (Fig. 9 reference part)."""
+        return self.shr_chips * self.samples_per_chip
+
+    # -- frame construction --------------------------------------------
+    def frame_bytes(self, psdu: bytes) -> bytes:
+        """Assemble the over-the-air byte stream of a PPDU."""
+        if len(psdu) != self.psdu_bytes:
+            raise ShapeError(
+                f"PSDU must be {self.psdu_bytes} bytes, got {len(psdu)}"
+            )
+        header = bytes([0x00] * self.preamble_bytes + [SFD_BYTE, len(psdu)])
+        return header + bytes(psdu)
+
+    def frame_symbols(self, psdu: bytes) -> np.ndarray:
+        return bytes_to_symbols(self.frame_bytes(psdu))
+
+    def frame_chips(self, psdu: bytes) -> np.ndarray:
+        return spread_symbols(self.frame_symbols(psdu))
+
+
+def make_psdu(sequence_number: int, psdu_bytes: int) -> bytes:
+    """Build the paper's measurement payload.
+
+    All packets share a fixed filler pattern; only the first two bytes
+    (little-endian sequence number) and the trailing FCS differ.
+    """
+    if psdu_bytes < 5:
+        raise ConfigurationError(
+            f"psdu_bytes must be >= 5 (2 B seq + >=1 B filler + 2 B FCS), "
+            f"got {psdu_bytes}"
+        )
+    if not 0 <= sequence_number < 1 << 16:
+        raise ConfigurationError(
+            f"sequence_number must fit 16 bits, got {sequence_number}"
+        )
+    payload_len = psdu_bytes - 2
+    payload = bytearray(payload_len)
+    payload[0] = sequence_number & 0xFF
+    payload[1] = sequence_number >> 8
+    for i in range(2, payload_len):
+        payload[i] = (37 * i + 11) & 0xFF
+    return append_fcs(bytes(payload))
+
+
+def parse_psdu(psdu: bytes) -> tuple[int, bool]:
+    """Extract ``(sequence_number, fcs_ok)`` from a decoded PSDU."""
+    if len(psdu) < 5:
+        return 0, False
+    sequence_number = psdu[0] | (psdu[1] << 8)
+    return sequence_number, check_fcs(psdu)
+
+
+def psdu_from_symbols(symbols: np.ndarray, layout: FrameLayout) -> bytes:
+    """Slice the PSDU bytes out of a decoded symbol stream."""
+    symbols = np.asarray(symbols)
+    if len(symbols) != layout.total_symbols:
+        raise ShapeError(
+            f"expected {layout.total_symbols} symbols, got {len(symbols)}"
+        )
+    return symbols_to_bytes(symbols[layout.psdu_symbol_slice])

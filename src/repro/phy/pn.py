@@ -1,0 +1,56 @@
+"""IEEE 802.15.4 2.4 GHz pseudo-noise chip sequences.
+
+Each 4-bit symbol maps to one of 16 nearly-orthogonal 32-chip sequences
+(standard Table 73).  The table is generated from the symbol-0 base
+sequence using the standard's structure:
+
+- symbols 1..7 are the base sequence cyclically right-shifted by
+  ``4 * symbol`` chips;
+- symbols 8..15 repeat symbols 0..7 with every odd-indexed chip inverted
+  (equivalent to conjugating the O-QPSK waveform).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+CHIPS_PER_SYMBOL = 32
+NUM_SYMBOLS = 16
+
+#: Chip sequence for data symbol 0 (IEEE 802.15.4-2003, Table 73).
+_BASE_SEQUENCE = np.array(
+    [1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+     0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0],
+    dtype=np.int8,
+)
+
+
+def _build_table() -> np.ndarray:
+    table = np.empty((NUM_SYMBOLS, CHIPS_PER_SYMBOL), dtype=np.int8)
+    for symbol in range(8):
+        table[symbol] = np.roll(_BASE_SEQUENCE, 4 * symbol)
+    flip_mask = np.zeros(CHIPS_PER_SYMBOL, dtype=bool)
+    flip_mask[1::2] = True
+    for symbol in range(8):
+        shifted = table[symbol].copy()
+        shifted[flip_mask] = 1 - shifted[flip_mask]
+        table[symbol + 8] = shifted
+    table.setflags(write=False)
+    return table
+
+
+#: ``(16, 32)`` array of 0/1 chips, row ``s`` is the sequence of symbol ``s``.
+PN_SEQUENCES: np.ndarray = _build_table()
+
+#: ``(16, 32)`` array of +/-1 chips used by the correlation despreader.
+BIPOLAR_PN_SEQUENCES: np.ndarray = (2.0 * PN_SEQUENCES - 1.0).astype(np.float64)
+BIPOLAR_PN_SEQUENCES.setflags(write=False)
+
+
+def pn_sequence(symbol: int) -> np.ndarray:
+    """Return the 32-chip 0/1 sequence of a 4-bit ``symbol``."""
+    if not 0 <= symbol < NUM_SYMBOLS:
+        raise ShapeError(f"symbol must be in [0, 16), got {symbol}")
+    return PN_SEQUENCES[symbol]

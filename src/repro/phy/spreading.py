@@ -1,0 +1,63 @@
+"""DSSS spreading and correlation despreading (standard Sec. 6.5.2.3).
+
+Transmit direction: every 4-bit symbol expands to its 32-chip PN sequence.
+Receive direction: groups of 32 (possibly soft) chips are correlated with
+all 16 bipolar sequences and the best-matching symbol is selected — the
+error-correction behaviour the paper's CER analysis relies on (Sec. 6.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .pn import BIPOLAR_PN_SEQUENCES, CHIPS_PER_SYMBOL, PN_SEQUENCES
+
+
+def spread_symbols(symbols: np.ndarray) -> np.ndarray:
+    """Expand 4-bit symbols into their 0/1 chip stream."""
+    symbols = np.asarray(symbols, dtype=np.int64)
+    if symbols.ndim != 1:
+        raise ShapeError(f"symbols must be 1-D, got shape {symbols.shape}")
+    if symbols.size and (symbols.min() < 0 or symbols.max() > 15):
+        raise ShapeError("symbols must be 4-bit values in [0, 15]")
+    return PN_SEQUENCES[symbols].reshape(-1).copy()
+
+
+def despread_soft_chips(soft_chips: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Correlate soft chip values against the PN table.
+
+    Parameters
+    ----------
+    soft_chips:
+        Real-valued chip metrics (positive leaning towards chip '1');
+        length must be a multiple of 32.
+
+    Returns
+    -------
+    tuple
+        ``(symbols, scores)`` where ``symbols`` is the argmax symbol per
+        group and ``scores`` the ``(num_symbols, 16)`` correlation matrix.
+    """
+    soft_chips = np.asarray(soft_chips, dtype=np.float64)
+    if soft_chips.ndim != 1:
+        raise ShapeError("soft_chips must be 1-D")
+    if len(soft_chips) % CHIPS_PER_SYMBOL != 0:
+        raise ShapeError(
+            f"chip count {len(soft_chips)} is not a multiple of "
+            f"{CHIPS_PER_SYMBOL}"
+        )
+    groups = soft_chips.reshape(-1, CHIPS_PER_SYMBOL)
+    scores = groups @ BIPOLAR_PN_SEQUENCES.T
+    symbols = np.argmax(scores, axis=1).astype(np.uint8)
+    return symbols, scores
+
+
+def despread_chips(chips: np.ndarray) -> np.ndarray:
+    """Despread hard 0/1 chip decisions into symbols (max correlation)."""
+    chips = np.asarray(chips)
+    if chips.ndim != 1:
+        raise ShapeError("chips must be 1-D")
+    bipolar = 2.0 * chips.astype(np.float64) - 1.0
+    symbols, _ = despread_soft_chips(bipolar)
+    return symbols

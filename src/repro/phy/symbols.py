@@ -1,0 +1,36 @@
+"""Byte <-> 4-bit data-symbol mapping of IEEE 802.15.4.
+
+Each octet is split into two symbols, least-significant nibble first
+(standard Sec. 6.5.2.2): byte ``0xA7`` becomes symbols ``[0x7, 0xA]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def bytes_to_symbols(data: bytes) -> np.ndarray:
+    """Map bytes to 4-bit symbols, LSB nibble first."""
+    raw = np.frombuffer(bytes(data), dtype=np.uint8)
+    symbols = np.empty(2 * len(raw), dtype=np.uint8)
+    symbols[0::2] = raw & 0x0F
+    symbols[1::2] = raw >> 4
+    return symbols
+
+
+def symbols_to_bytes(symbols: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_symbols`; needs an even symbol count."""
+    symbols = np.asarray(symbols, dtype=np.uint8)
+    if symbols.ndim != 1:
+        raise ShapeError(f"symbols must be 1-D, got shape {symbols.shape}")
+    if len(symbols) % 2 != 0:
+        raise ShapeError(
+            f"symbol count must be even to form bytes, got {len(symbols)}"
+        )
+    if np.any(symbols > 0x0F):
+        raise ShapeError("symbols must be 4-bit values")
+    low = symbols[0::2].astype(np.uint8)
+    high = symbols[1::2].astype(np.uint8)
+    return bytes((high << 4 | low).tolist())

@@ -1,0 +1,66 @@
+"""Transmit chain: PSDU -> symbols -> chips -> O-QPSK baseband waveform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import PhyConfig
+from .frame import FrameLayout, make_psdu
+from .oqpsk import oqpsk_modulate
+
+
+@dataclass(frozen=True)
+class TransmittedPacket:
+    """Everything the evaluation needs to know about one transmission."""
+
+    sequence_number: int
+    psdu: bytes
+    symbols: np.ndarray
+    chips: np.ndarray
+    waveform: np.ndarray
+
+    @property
+    def num_chips(self) -> int:
+        return len(self.chips)
+
+
+class Transmitter:
+    """IEEE 802.15.4 transmitter for the measurement campaign.
+
+    Packets share a constant payload except for sequence number and FCS
+    (Sec. 3), so consecutive calls differ only in a few symbols.
+    """
+
+    def __init__(self, phy: PhyConfig | None = None) -> None:
+        self.phy = phy or PhyConfig()
+        self.layout = FrameLayout(
+            preamble_bytes=self.phy.preamble_bytes,
+            psdu_bytes=self.phy.psdu_bytes,
+            samples_per_chip=self.phy.samples_per_chip,
+        )
+        # The SHR+PHR prefix never changes; cache its clean waveform for
+        # the receiver's synchronization and detection reference.
+        template = self.transmit(0)
+        self._reference_shr = template.waveform[: self.layout.shr_samples]
+        self._reference_shr.setflags(write=False)
+
+    @property
+    def reference_shr_waveform(self) -> np.ndarray:
+        """Clean SHR-region waveform (preamble + SFD), noise/channel free."""
+        return self._reference_shr
+
+    def transmit(self, sequence_number: int) -> TransmittedPacket:
+        """Build the full baseband waveform for one packet."""
+        psdu = make_psdu(sequence_number, self.phy.psdu_bytes)
+        symbols = self.layout.frame_symbols(psdu)
+        chips = self.layout.frame_chips(psdu)
+        waveform = oqpsk_modulate(chips, self.phy.samples_per_chip)
+        return TransmittedPacket(
+            sequence_number=sequence_number,
+            psdu=psdu,
+            symbols=symbols,
+            chips=chips,
+            waveform=waveform,
+        )

@@ -1,0 +1,126 @@
+"""Pinhole depth camera with a cached static background.
+
+The camera watches the movement area from a wall mount (paper Fig. 2).
+The static scene (room shell, metal cabinets at the scatterer positions,
+TX/RX boxes) is rendered once; per-frame rendering only intersects the
+human cylinder and takes the depth minimum, which keeps generating
+thousands of frames cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import CameraConfig, ChannelConfig, RoomConfig
+from ..errors import ShapeError
+from .rendering import (
+    ray_box_intersection,
+    ray_cylinder_intersection,
+    ray_room_intersection,
+)
+
+_CABINET_HALF_XY = 0.35
+_DEVICE_HALF = 0.12
+
+
+class DepthCamera:
+    """Renders depth images of the room at the configured resolution."""
+
+    def __init__(
+        self,
+        camera: CameraConfig,
+        room: RoomConfig,
+        channel: ChannelConfig,
+    ) -> None:
+        self.config = camera
+        self.room = room
+        self.channel = channel
+        self._origin = np.asarray(camera.position, dtype=np.float64)
+        self._directions = self._build_ray_grid()
+        self._static_depth = self._render_static()
+
+    # -- ray grid ---------------------------------------------------------
+    def _build_ray_grid(self) -> np.ndarray:
+        rows, cols = self.config.render_shape
+        look_at = np.asarray(self.config.look_at, dtype=np.float64)
+        forward = look_at - self._origin
+        norm = np.linalg.norm(forward)
+        if norm == 0:
+            raise ShapeError("camera look_at coincides with its position")
+        forward /= norm
+        world_up = np.array([0.0, 0.0, 1.0])
+        right = np.cross(forward, world_up)
+        right_norm = np.linalg.norm(right)
+        if right_norm < 1e-9:
+            raise ShapeError("camera is pointing straight up/down")
+        right /= right_norm
+        up = np.cross(right, forward)
+
+        half_w = np.tan(np.deg2rad(self.config.horizontal_fov_deg) / 2.0)
+        half_h = half_w * rows / cols
+        xs = np.linspace(-half_w, half_w, cols)
+        ys = np.linspace(half_h, -half_h, rows)
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        directions = (
+            forward[None, None, :]
+            + grid_x[..., None] * right[None, None, :]
+            + grid_y[..., None] * up[None, None, :]
+        )
+        directions /= np.linalg.norm(directions, axis=-1, keepdims=True)
+        return directions
+
+    # -- static scene -------------------------------------------------------
+    def _static_boxes(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        boxes = []
+        for sx, sy, sz, _ in self.room.scatterers:
+            half = _CABINET_HALF_XY
+            boxes.append(
+                (
+                    np.array([sx - half, sy - half, 0.0]),
+                    np.array([sx + half, sy + half, sz + 0.4]),
+                )
+            )
+        for device in (self.room.tx_position, self.room.rx_position):
+            dx, dy, dz = device
+            half = _DEVICE_HALF
+            boxes.append(
+                (
+                    np.array([dx - half, dy - half, 0.0]),
+                    np.array([dx + half, dy + half, dz + half]),
+                )
+            )
+        return boxes
+
+    def _render_static(self) -> np.ndarray:
+        depth = ray_room_intersection(
+            self._origin,
+            self._directions,
+            self.room.width_m,
+            self.room.depth_m,
+            self.room.height_m,
+        )
+        for box_min, box_max in self._static_boxes():
+            t = ray_box_intersection(
+                self._origin, self._directions, box_min, box_max
+            )
+            depth = np.minimum(depth, t)
+        return np.minimum(depth, self.config.max_depth_m).astype(np.float64)
+
+    # -- public API ----------------------------------------------------------
+    @property
+    def static_depth(self) -> np.ndarray:
+        """Depth image of the empty room (no human)."""
+        return self._static_depth.copy()
+
+    def render(self, human_xy) -> np.ndarray:
+        """Depth image with the human cylinder at ``human_xy``."""
+        human_xy = np.asarray(human_xy, dtype=np.float64)
+        t = ray_cylinder_intersection(
+            self._origin,
+            self._directions,
+            human_xy,
+            self.channel.human_radius_m,
+            self.channel.human_height_m,
+        )
+        depth = np.minimum(self._static_depth, t)
+        return np.minimum(depth, self.config.max_depth_m)

@@ -1,0 +1,152 @@
+"""Vectorized ray-primitive intersections for the depth renderer.
+
+All functions take ray origins/directions broadcast over a pixel grid and
+return the hit distance ``t`` (``inf`` where a ray misses).  Distances are
+Euclidean (depth cameras report range along the ray).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+_EPS = 1e-9
+
+
+def _check_dirs(directions: np.ndarray) -> np.ndarray:
+    directions = np.asarray(directions, dtype=np.float64)
+    if directions.ndim < 2 or directions.shape[-1] != 3:
+        raise ShapeError(
+            f"directions must have trailing dimension 3, got {directions.shape}"
+        )
+    return directions
+
+
+def ray_plane_intersection(
+    origin: np.ndarray,
+    directions: np.ndarray,
+    axis: int,
+    value: float,
+    bounds_lo: np.ndarray,
+    bounds_hi: np.ndarray,
+) -> np.ndarray:
+    """Distance to an axis-aligned rectangle ``x[axis] = value``.
+
+    ``bounds_lo``/``bounds_hi`` give the rectangle extents on the two
+    remaining axes (3-vectors; the ``axis`` component is ignored).
+    """
+    directions = _check_dirs(directions)
+    origin = np.asarray(origin, dtype=np.float64)
+    d_axis = directions[..., axis]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = (value - origin[axis]) / d_axis
+    hit = np.where((t > _EPS) & np.isfinite(t), t, np.inf)
+    with np.errstate(invalid="ignore"):
+        point = origin + directions * hit[..., None]
+    for other in range(3):
+        if other == axis:
+            continue
+        coordinate = point[..., other]
+        inside = (coordinate >= bounds_lo[other] - _EPS) & (
+            coordinate <= bounds_hi[other] + _EPS
+        )
+        hit = np.where(inside, hit, np.inf)
+    return hit
+
+
+def ray_box_intersection(
+    origin: np.ndarray,
+    directions: np.ndarray,
+    box_min: np.ndarray,
+    box_max: np.ndarray,
+) -> np.ndarray:
+    """Slab-method distance to an axis-aligned box (entry point)."""
+    directions = _check_dirs(directions)
+    origin = np.asarray(origin, dtype=np.float64)
+    box_min = np.asarray(box_min, dtype=np.float64)
+    box_max = np.asarray(box_max, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inv = 1.0 / directions
+    t1 = (box_min - origin) * inv
+    t2 = (box_max - origin) * inv
+    t_near = np.max(np.minimum(t1, t2), axis=-1)
+    t_far = np.min(np.maximum(t1, t2), axis=-1)
+    hits = (t_far >= t_near) & (t_far > _EPS)
+    entry = np.where(t_near > _EPS, t_near, t_far)
+    return np.where(hits, entry, np.inf)
+
+
+def ray_cylinder_intersection(
+    origin: np.ndarray,
+    directions: np.ndarray,
+    centre_xy: np.ndarray,
+    radius: float,
+    height: float,
+) -> np.ndarray:
+    """Distance to a vertical capped cylinder (the human body model)."""
+    directions = _check_dirs(directions)
+    origin = np.asarray(origin, dtype=np.float64)
+    centre_xy = np.asarray(centre_xy, dtype=np.float64)
+    if centre_xy.shape != (2,):
+        raise ShapeError(f"centre_xy must be a 2-vector, got {centre_xy.shape}")
+    if radius <= 0 or height <= 0:
+        raise ShapeError("cylinder radius and height must be positive")
+
+    dx = directions[..., 0]
+    dy = directions[..., 1]
+    ox = origin[0] - centre_xy[0]
+    oy = origin[1] - centre_xy[1]
+
+    a = dx * dx + dy * dy
+    b = 2.0 * (ox * dx + oy * dy)
+    c = ox * ox + oy * oy - radius * radius
+    disc = b * b - 4.0 * a * c
+    sqrt_disc = np.sqrt(np.maximum(disc, 0.0))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_lo = (-b - sqrt_disc) / (2.0 * a)
+        t_hi = (-b + sqrt_disc) / (2.0 * a)
+    valid = disc >= 0.0
+
+    def _side_hit(t: np.ndarray) -> np.ndarray:
+        z = origin[2] + directions[..., 2] * t
+        ok = valid & (t > _EPS) & (z >= 0.0) & (z <= height)
+        return np.where(ok, t, np.inf)
+
+    side = np.minimum(_side_hit(t_lo), _side_hit(t_hi))
+
+    # Top cap disc at z = height.
+    dz = directions[..., 2]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_cap = (height - origin[2]) / dz
+        px = origin[0] + dx * t_cap - centre_xy[0]
+        py = origin[1] + dy * t_cap - centre_xy[1]
+        cap_ok = (t_cap > _EPS) & (px * px + py * py <= radius * radius)
+    cap = np.where(cap_ok, t_cap, np.inf)
+    return np.minimum(side, cap)
+
+
+def ray_room_intersection(
+    origin: np.ndarray,
+    directions: np.ndarray,
+    width: float,
+    depth: float,
+    height: float,
+) -> np.ndarray:
+    """Distance to the inside of the room box (floor, walls, ceiling)."""
+    directions = _check_dirs(directions)
+    lo = np.array([0.0, 0.0, 0.0])
+    hi = np.array([width, depth, height])
+    best = np.full(directions.shape[:-1], np.inf)
+    faces = [
+        (0, 0.0),
+        (0, width),
+        (1, 0.0),
+        (1, depth),
+        (2, 0.0),
+        (2, height),
+    ]
+    for axis, value in faces:
+        t = ray_plane_intersection(origin, directions, axis, value, lo, hi)
+        best = np.minimum(best, t)
+    return best

@@ -1,0 +1,81 @@
+"""LED-blink synchronization of camera frames to packets (paper Fig. 3).
+
+Frames arrive every ~33 ms, packets every 100 ms, so two frames can be
+candidates for the same packet.  The motes blink their LEDs during
+transmission; the frame whose exposure interval contains the blink is the
+correct match.  :func:`match_packet_to_frame` reproduces this resolution
+deterministically from timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError, SynchronizationError
+
+
+@dataclass(frozen=True)
+class FrameTimeline:
+    """Timestamps of a camera recording at a fixed frame rate."""
+
+    num_frames: int
+    frame_interval_s: float
+    start_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_frames < 1:
+            raise ShapeError("num_frames must be >= 1")
+        if self.frame_interval_s <= 0:
+            raise ShapeError("frame_interval_s must be positive")
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return (
+            self.start_time_s
+            + np.arange(self.num_frames) * self.frame_interval_s
+        )
+
+    def frame_interval(self, index: int) -> tuple[float, float]:
+        """Exposure interval ``[start, end)`` of frame ``index``."""
+        if not 0 <= index < self.num_frames:
+            raise ShapeError(
+                f"frame index {index} outside [0, {self.num_frames})"
+            )
+        start = self.start_time_s + index * self.frame_interval_s
+        return start, start + self.frame_interval_s
+
+    def candidate_frames(self, packet_time_s: float) -> list[int]:
+        """Frames whose timestamp is within one interval of the packet.
+
+        This is the Fig. 3 ambiguity: typically two frames qualify.
+        """
+        times = self.timestamps
+        mask = np.abs(times - packet_time_s) < self.frame_interval_s
+        return [int(i) for i in np.nonzero(mask)[0]]
+
+
+def match_packet_to_frame(
+    timeline: FrameTimeline, packet_time_s: float
+) -> int:
+    """Resolve the packet -> frame match using the LED blink.
+
+    The LED is lit at the instant of transmission; the frame whose
+    exposure interval contains ``packet_time_s`` captures the blink and
+    wins.  Falls back to the nearest candidate when the packet falls
+    outside every exposure window (recording gap).
+    """
+    candidates = timeline.candidate_frames(packet_time_s)
+    if not candidates:
+        raise SynchronizationError(
+            f"no camera frame within one interval of packet at "
+            f"t={packet_time_s:.4f}s"
+        )
+    for index in candidates:
+        start, end = timeline.frame_interval(index)
+        if start <= packet_time_s < end:
+            return index
+    times = timeline.timestamps[candidates]
+    nearest = int(np.argmin(np.abs(times - packet_time_s)))
+    return candidates[nearest]

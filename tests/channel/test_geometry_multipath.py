@@ -1,0 +1,127 @@
+"""Tests for geometry helpers and multipath construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel import (
+    PropagationPath,
+    build_static_paths,
+    human_scatter_path,
+    mirror_point,
+    path_length,
+    segment_clearance,
+)
+from repro.channel.geometry import path_clearance, plane_intersection
+from repro.config import RoomConfig
+from repro.errors import ShapeError
+
+
+class TestGeometry:
+    def test_mirror_point(self):
+        mirrored = mirror_point((1.0, 2.0, 3.0), 0, 0.0)
+        assert np.allclose(mirrored, [-1.0, 2.0, 3.0])
+        mirrored = mirror_point((1.0, 2.0, 3.0), 2, 4.0)
+        assert np.allclose(mirrored, [1.0, 2.0, 5.0])
+
+    def test_mirror_is_involution(self, rng):
+        p = rng.uniform(0, 5, 3)
+        assert np.allclose(mirror_point(mirror_point(p, 1, 2.0), 1, 2.0), p)
+
+    def test_path_length_straight(self):
+        assert path_length([(0, 0, 0), (3, 4, 0)]) == pytest.approx(5.0)
+
+    def test_path_length_polyline(self):
+        pts = [(0, 0, 0), (1, 0, 0), (1, 1, 0)]
+        assert path_length(pts) == pytest.approx(2.0)
+
+    def test_plane_intersection_midpoint(self):
+        hit = plane_intersection((0, 0, 0), (2, 2, 2), 0, 1.0)
+        assert np.allclose(hit, [1, 1, 1])
+
+    def test_plane_intersection_miss(self):
+        assert plane_intersection((0, 0, 0), (1, 0, 0), 1, 5.0) is None
+
+    def test_segment_clearance_perpendicular(self):
+        d = segment_clearance((0, 0, 1), (10, 0, 1), (5.0, 3.0), 2.0)
+        assert d == pytest.approx(3.0)
+
+    def test_segment_clearance_above_head(self):
+        # Path entirely above the blocker's height.
+        d = segment_clearance((0, 0, 2.5), (10, 0, 2.5), (5.0, 0.0), 1.8)
+        assert d == np.inf
+
+    def test_segment_clearance_partially_above(self):
+        # Path rises from z=1 to z=3; only the low part can be blocked.
+        d = segment_clearance((0, 0, 1.0), (10, 0, 3.0), (9.0, 0.0), 1.8)
+        # Closest in-range point is where z = 1.8 -> x = 4.
+        assert d == pytest.approx(0.0, abs=1e-9) or d >= 0.0
+        d_far = segment_clearance((0, 0, 1.0), (10, 0, 3.0), (9.9, 5.0), 1.8)
+        assert d_far > 5.0
+
+    def test_clearance_endpoint_clamping(self):
+        d = segment_clearance((0, 0, 1), (1, 0, 1), (5.0, 0.0), 2.0)
+        assert d == pytest.approx(4.0)
+
+    def test_path_clearance_is_min_over_segments(self):
+        pts = [(0, 0, 1), (5, 5, 1), (10, 0, 1)]
+        d = path_clearance(pts, (5.0, 4.0), 2.0)
+        # Perpendicular distance from (5, 4) to both diagonal segments.
+        assert d == pytest.approx(1.0 / np.sqrt(2.0))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ShapeError):
+            path_length([(0, 0, 0)])
+        with pytest.raises(ShapeError):
+            segment_clearance((0, 0), (1, 1), (0, 0), 1.0)
+
+    @given(
+        x=st.floats(min_value=0.1, max_value=7.9),
+        y=st.floats(min_value=0.1, max_value=5.9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_clearance_nonnegative(self, x, y):
+        d = segment_clearance((1, 3, 1.2), (7, 3, 1.2), (x, y), 1.8)
+        assert d >= 0.0
+
+
+class TestMultipath:
+    def test_static_paths_include_los_and_walls(self):
+        room = RoomConfig()
+        paths = build_static_paths(room, 0.12)
+        kinds = [p.kind for p in paths]
+        assert kinds[0] == "los"
+        assert "wall_x0" in kinds and "wall_y1" in kinds
+        assert "ceiling" in kinds
+        assert kinds.count("scatter") == len(room.scatterers)
+
+    def test_los_is_shortest(self):
+        paths = build_static_paths(RoomConfig(), 0.12)
+        los = paths[0].length_m
+        assert all(p.length_m >= los for p in paths[1:])
+
+    def test_gain_decreases_with_length(self):
+        paths = build_static_paths(RoomConfig(), 0.12)
+        los = paths[0]
+        assert all(abs(p.gain) < abs(los.gain) for p in paths[1:])
+
+    def test_reflection_geometry_touches_wall(self):
+        paths = build_static_paths(RoomConfig(), 0.12)
+        wall = next(p for p in paths if p.kind == "wall_y0")
+        bounce = wall.points[1]
+        assert bounce[1] == pytest.approx(0.0)
+
+    def test_human_scatter_path_tracks_position(self):
+        room = RoomConfig()
+        a = human_scatter_path(room, 0.12, (3.0, 2.0), 1.1, 0.1)
+        b = human_scatter_path(room, 0.12, (4.8, 4.2), 1.1, 0.1)
+        assert a.length_m != b.length_m
+        assert a.kind == "human"
+
+    def test_carrier_phase_rotates_with_length(self):
+        room = RoomConfig()
+        a = human_scatter_path(room, 1.0, (3.0, 3.01), 1.1, 1.0)
+        b = human_scatter_path(room, 1.0, (3.3, 3.01), 1.1, 1.0)
+        # Different path lengths -> different phases.
+        assert not np.isclose(np.angle(a.gain), np.angle(b.gain))

@@ -1,0 +1,32 @@
+"""Shared fixtures: tiny-scale components and datasets.
+
+Heavy objects are session-scoped so the whole suite builds them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.dataset import build_components, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> SimulationConfig:
+    return SimulationConfig.tiny()
+
+
+@pytest.fixture(scope="session")
+def tiny_components(tiny_config):
+    return build_components(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_config, tiny_components):
+    return generate_dataset(tiny_config, tiny_components)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

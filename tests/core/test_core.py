@@ -1,0 +1,163 @@
+"""Tests for the VVD core: codec, normalization, model, targets."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig, VVDConfig
+from repro.core import (
+    CIRNormalizer,
+    build_training_data,
+    build_vvd_cnn,
+    cir_to_real,
+    horizon_frame_offset,
+    real_to_cir,
+)
+from repro.errors import ConfigurationError, NotFittedError, ShapeError
+
+
+class TestCodec:
+    def test_round_trip(self, rng):
+        cir = rng.normal(size=11) + 1j * rng.normal(size=11)
+        assert np.allclose(real_to_cir(cir_to_real(cir)), cir)
+
+    def test_layout_is_re_then_im(self):
+        cir = np.array([1 + 2j, 3 + 4j])
+        encoded = cir_to_real(cir)
+        assert np.array_equal(encoded, [1.0, 3.0, 2.0, 4.0])
+
+    def test_output_width_is_twice_taps(self, rng):
+        # 11 taps -> 22 outputs (Fig. 6).
+        cir = rng.normal(size=11) + 1j * rng.normal(size=11)
+        assert cir_to_real(cir).shape == (22,)
+
+    def test_batch_round_trip(self, rng):
+        cirs = rng.normal(size=(5, 11)) + 1j * rng.normal(size=(5, 11))
+        assert np.allclose(real_to_cir(cir_to_real(cirs)), cirs)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ShapeError):
+            real_to_cir(np.ones(5))
+
+
+class TestNormalizer:
+    def test_scale_is_max_abs(self, rng):
+        cirs = rng.normal(size=(20, 11)) + 1j * rng.normal(size=(20, 11))
+        normalizer = CIRNormalizer().fit(cirs)
+        assert normalizer.scale == pytest.approx(np.max(np.abs(cirs)))
+
+    def test_round_trip(self, rng):
+        cirs = rng.normal(size=(4, 11)) + 1j * rng.normal(size=(4, 11))
+        normalizer = CIRNormalizer().fit(cirs)
+        assert np.allclose(
+            normalizer.inverse(normalizer.transform(cirs)), cirs
+        )
+
+    def test_transform_bounded(self, rng):
+        cirs = 100.0 * (rng.normal(size=(8, 5)) + 1j * rng.normal(size=(8, 5)))
+        normalized = CIRNormalizer().fit(cirs).transform(cirs)
+        assert np.max(np.abs(normalized)) <= 1.0 + 1e-12
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            CIRNormalizer().transform(np.ones(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            CIRNormalizer().fit(np.empty((0, 11)))
+
+
+class TestModelBuilder:
+    def test_paper_architecture_shapes(self):
+        model = build_vvd_cnn((50, 90), 11, VVDConfig(
+            conv_filters=(32, 32, 64), dense_units=256))
+        assert model.input_shape == (50, 90, 1)
+        assert model.output_shape == (22,)
+
+    def test_output_matches_num_taps(self):
+        model = build_vvd_cnn((50, 90), 7)
+        assert model.output_shape == (14,)
+
+    def test_max_pool_variant(self):
+        from repro.nn import MaxPooling2D
+
+        model = build_vvd_cnn(
+            (50, 90), 11, VVDConfig(pooling="max")
+        )
+        assert any(isinstance(l, MaxPooling2D) for l in model.layers)
+
+    def test_batch_norm_variant(self):
+        from repro.nn import BatchNorm2D
+
+        model = build_vvd_cnn(
+            (50, 90), 11, VVDConfig(use_batch_norm=True)
+        )
+        assert any(isinstance(l, BatchNorm2D) for l in model.layers)
+
+    def test_too_small_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_vvd_cnn((8, 8), 11)
+
+    def test_forward_pass_runs(self, rng):
+        model = build_vvd_cnn((50, 90), 11)
+        out = model.predict(
+            rng.normal(size=(2, 50, 90, 1)).astype(np.float32)
+        )
+        assert out.shape == (2, 22)
+
+
+class TestHorizons:
+    def test_paper_offsets(self):
+        assert horizon_frame_offset(0.0, 1 / 30) == 0
+        assert horizon_frame_offset(1 / 30, 1 / 30) == 1
+        assert horizon_frame_offset(0.1, 1 / 30) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ShapeError):
+            horizon_frame_offset(-0.1, 1 / 30)
+
+
+class TestTrainingData:
+    def test_pairs_assembled(self, tiny_config, tiny_dataset):
+        data = build_training_data(tiny_dataset[:2], tiny_config)
+        assert data.num_samples == sum(
+            s.num_packets for s in tiny_dataset[:2]
+        )
+        rows, cols = tiny_config.camera.output_shape
+        assert data.images.shape[1:] == (rows, cols, 1)
+        assert data.targets.shape[1] == tiny_config.channel.num_taps
+
+    def test_images_normalized(self, tiny_config, tiny_dataset):
+        data = build_training_data(tiny_dataset[:1], tiny_config)
+        assert data.images.min() >= 0.0
+        assert data.images.max() <= 1.0
+
+    def test_subsampling(self, tiny_config, tiny_dataset):
+        full = build_training_data(tiny_dataset[:1], tiny_config)
+        half = build_training_data(
+            tiny_dataset[:1], tiny_config, subsample=2
+        )
+        assert half.num_samples == (full.num_samples + 1) // 2
+
+    def test_horizon_shifts_frames(self, tiny_config, tiny_dataset):
+        current = build_training_data(tiny_dataset[:1], tiny_config, 0)
+        future = build_training_data(tiny_dataset[:1], tiny_config, 3)
+        # Same targets (CIRs), but earlier input frames.
+        assert future.num_samples <= current.num_samples
+        if future.num_samples and current.num_samples:
+            assert not np.array_equal(
+                current.images[: future.num_samples], future.images
+            )
+
+    def test_real_targets_scaling(self, tiny_config, tiny_dataset):
+        data = build_training_data(tiny_dataset[:1], tiny_config)
+        scaled = data.real_targets(scale=2.0)
+        unscaled = data.real_targets(scale=1.0)
+        assert np.allclose(scaled * 2.0, unscaled, atol=1e-6)
+
+    def test_bad_args(self, tiny_config, tiny_dataset):
+        with pytest.raises(ShapeError):
+            build_training_data(tiny_dataset[:1], tiny_config, subsample=0)
+        with pytest.raises(ShapeError):
+            build_training_data(
+                tiny_dataset[:1], tiny_config, horizon_frames=-1
+            )

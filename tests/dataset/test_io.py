@@ -1,0 +1,53 @@
+"""Tests for measurement-set persistence."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.io import (
+    load_dataset,
+    load_measurement_set,
+    save_dataset,
+    save_measurement_set,
+)
+from repro.errors import DatasetError
+
+
+class TestRoundTrip:
+    def test_single_set(self, tiny_dataset, tmp_path):
+        original = tiny_dataset[0]
+        path = tmp_path / "set.npz"
+        save_measurement_set(original, path)
+        loaded = load_measurement_set(path)
+        assert loaded.index == original.index
+        assert loaded.num_packets == original.num_packets
+        assert np.allclose(loaded.frames, original.frames)
+        for a, b in zip(loaded.packets, original.packets):
+            assert a.sequence_number == b.sequence_number
+            assert np.allclose(a.h_ls, b.h_ls)
+            assert np.allclose(a.h_preamble_canonical, b.h_preamble_canonical)
+            assert a.noise_seed == b.noise_seed
+            assert a.preamble_detected == b.preamble_detected
+
+    def test_resynthesis_after_reload(
+        self, tiny_components, tiny_dataset, tmp_path
+    ):
+        from repro.dataset import synthesize_received
+
+        path = tmp_path / "set.npz"
+        save_measurement_set(tiny_dataset[0], path)
+        loaded = load_measurement_set(path)
+        a = synthesize_received(tiny_components, tiny_dataset[0].packets[2])
+        b = synthesize_received(tiny_components, loaded.packets[2])
+        assert np.array_equal(a, b)
+
+    def test_whole_dataset(self, tiny_dataset, tmp_path):
+        paths = save_dataset(list(tiny_dataset), tmp_path / "campaign")
+        assert len(paths) == len(tiny_dataset)
+        loaded = load_dataset(tmp_path / "campaign")
+        assert [s.index for s in loaded] == [s.index for s in tiny_dataset]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_measurement_set(tmp_path / "nope.npz")
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path)

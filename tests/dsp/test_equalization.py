@@ -1,0 +1,113 @@
+"""Tests for ZF/MMSE equalization (Eqs. 6-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp import (
+    equalize,
+    equalizer_delay,
+    mmse_equalizer,
+    zero_forcing_equalizer,
+)
+from repro.errors import ShapeError
+
+
+class TestZeroForcing:
+    def test_inverts_identity_channel(self):
+        c = zero_forcing_equalizer(np.array([1.0 + 0j]), 5)
+        combined = np.convolve(np.array([1.0 + 0j]), c)
+        delay = equalizer_delay(1, 5)
+        assert np.isclose(combined[delay], 1.0, atol=1e-9)
+
+    def test_combined_response_is_near_impulse(self, rng):
+        h = np.array([1.0, 0.45 + 0.2j, 0.15 - 0.1j])
+        c = zero_forcing_equalizer(h, 31)
+        combined = np.convolve(h, c)
+        delay = equalizer_delay(3, 31)
+        assert abs(combined[delay]) > 0.95
+        others = np.delete(combined, delay)
+        assert np.max(np.abs(others)) < 0.1
+
+    def test_recovers_signal_through_channel(self, rng):
+        x = rng.normal(size=500) + 1j * rng.normal(size=500)
+        h = np.array([1.0, 0.5 + 0.2j, 0.2, 0.1j])
+        y = np.convolve(x, h)
+        delay = equalizer_delay(4, 41)
+        c = zero_forcing_equalizer(h, 41, delay)
+        z = equalize(y, c, delay, output_length=len(x))
+        # Edge taps suffer from truncation; check the interior.
+        assert np.max(np.abs(z[20:-40] - x[20:-40])) < 0.05
+
+    def test_custom_delay_position(self):
+        h = np.array([1.0 + 0j, 0.3])
+        c0 = zero_forcing_equalizer(h, 9, delay=0)
+        c5 = zero_forcing_equalizer(h, 9, delay=5)
+        assert not np.allclose(c0, c5)
+
+    def test_rejects_bad_delay(self):
+        with pytest.raises(ShapeError):
+            zero_forcing_equalizer(np.array([1.0 + 0j]), 4, delay=10)
+
+    def test_rejects_2d_channel(self):
+        with pytest.raises(ShapeError):
+            zero_forcing_equalizer(np.ones((2, 2)), 4)
+
+    def test_scaling_invariance(self):
+        # ZF of a scaled channel is the inverse-scaled equalizer.
+        h = np.array([1.0, 0.4 + 0.1j, 0.2])
+        c1 = zero_forcing_equalizer(h, 15)
+        c2 = zero_forcing_equalizer(2.0 * h, 15)
+        assert np.allclose(c1, 2.0 * c2, atol=1e-9)
+
+
+class TestMMSE:
+    def test_reduces_to_zf_at_zero_noise(self):
+        h = np.array([1.0, 0.5 + 0.2j, 0.1])
+        zf = zero_forcing_equalizer(h, 21)
+        mmse = mmse_equalizer(h, 21, noise_variance=0.0)
+        assert np.allclose(zf, mmse, atol=1e-7)
+
+    def test_noise_regularizes_taps(self):
+        # Deep spectral null: ZF blows up, MMSE stays bounded.
+        h = np.array([1.0, -0.98 + 0j])
+        zf = zero_forcing_equalizer(h, 31)
+        mmse = mmse_equalizer(h, 31, noise_variance=0.1)
+        assert np.max(np.abs(mmse)) < np.max(np.abs(zf))
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ShapeError):
+            mmse_equalizer(np.array([1.0 + 0j]), 5, noise_variance=-1.0)
+
+
+class TestEqualize:
+    def test_strips_delay(self, rng):
+        x = rng.normal(size=100)
+        z = equalize(x, np.array([1.0]), delay=0, output_length=100)
+        assert np.allclose(z, x)
+
+    def test_pads_to_output_length(self):
+        z = equalize(np.ones(5), np.array([1.0]), delay=0, output_length=10)
+        assert len(z) == 10
+        assert np.allclose(z[5:], 0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            equalize(np.ones((2, 2)), np.ones(2), 0)
+
+
+@given(
+    taps=st.integers(min_value=1, max_value=5),
+    eq_taps=st.integers(min_value=11, max_value=41),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_zf_combined_peak_at_delay(taps, eq_taps, seed):
+    gen = np.random.default_rng(seed)
+    h = gen.normal(size=taps) + 1j * gen.normal(size=taps)
+    h[0] += 3.0  # keep the channel minimum-phase-ish / invertible
+    c = zero_forcing_equalizer(h, eq_taps)
+    combined = np.convolve(h, c)
+    delay = equalizer_delay(taps, eq_taps)
+    assert np.argmax(np.abs(combined)) == delay

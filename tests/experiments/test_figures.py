@@ -1,0 +1,133 @@
+"""Integration tests for the figure generators on the tiny preset."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.bundle import build_evaluation_bundle
+from repro.experiments.figures import (
+    fig5,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    table1,
+    table2,
+)
+from repro.experiments.hypothesis_testing import run_hypothesis_test
+
+
+@pytest.fixture(scope="module")
+def tiny_bundle(tiny_config):
+    return build_evaluation_bundle(tiny_config, num_combinations=2)
+
+
+class TestBundle:
+    def test_all_techniques_present(self, tiny_bundle):
+        names = tiny_bundle.technique_names()
+        assert "VVD-Current" in names
+        assert "Ground Truth" in names
+        assert "Preamble-VVD Combined" in names
+        assert len(names) == 10
+
+    def test_values_per_combination(self, tiny_bundle):
+        values = tiny_bundle.technique_values("Ground Truth", "per")
+        assert len(values) == 2
+
+    def test_first_vvd_trained(self, tiny_bundle):
+        assert tiny_bundle.first_vvd is not None
+        assert tiny_bundle.first_vvd.trained is not None
+
+
+class TestTables:
+    def test_table1_render(self, tiny_bundle):
+        text = table1.render(tiny_bundle)
+        assert "VVD" in text and "Pilot" in text
+        assert "measured mean PER" in text
+
+    def test_table2_render(self, tiny_bundle):
+        text = table2.render(tiny_bundle.sets)
+        assert "Combo" in text
+        assert len(text.splitlines()) == 17
+
+
+class TestHypothesisFigure:
+    def test_displacements_ordered(self, tiny_bundle):
+        # The tiny preset is too sparse to guarantee the MSE ordering of
+        # Fig. 5 (that is asserted at benchmark scale); the displacement
+        # ordering is structural.
+        result = run_hypothesis_test(
+            tiny_bundle.sets[0], tiny_bundle.sets[-1]
+        )
+        assert (
+            result.instances.displacement_h2_m
+            <= result.instances.displacement_h1_m
+        )
+        assert result.mse_h1 >= 0 and result.mse_h2 >= 0
+
+    def test_render_contains_taps(self, tiny_bundle):
+        result = fig5.generate(tiny_bundle.sets[0], tiny_bundle.sets[-1])
+        text = fig5.render(result)
+        assert "Fig. 5a" in text and "Fig. 5b" in text
+
+
+class TestBoxFigures:
+    def test_fig12_shapes(self, tiny_bundle):
+        rows = fig12.generate(tiny_bundle)
+        assert set(rows) == set(tiny_bundle.technique_names())
+        gt = rows["Ground Truth"].mean
+        assert gt <= rows["Standard Decoding"].mean + 1e-9
+
+    def test_fig13_cer_bounds(self, tiny_bundle):
+        rows = fig13.generate(tiny_bundle)
+        for stats in rows.values():
+            assert 0.0 <= stats.minimum <= stats.maximum <= 1.0
+
+    def test_fig14_excludes_reference_rows(self, tiny_bundle):
+        rows = fig14.generate(tiny_bundle)
+        assert "Ground Truth" not in rows
+        assert "Standard Decoding" not in rows
+        assert all(stats.minimum >= 0 for stats in rows.values())
+
+    def test_renders(self, tiny_bundle):
+        assert "PER" in fig12.render(tiny_bundle)
+        assert "chip error" in fig13.render(tiny_bundle)
+        assert "MSE" in fig14.render(tiny_bundle)
+
+
+class TestTimeline:
+    def test_fig15_lengths_match(self, tiny_bundle):
+        data = fig15.generate(tiny_bundle, length=10)
+        assert len(data.successes) == len(data.blocked)
+        assert len(data.successes) <= 10
+
+    def test_fig15_render(self, tiny_bundle):
+        data = fig15.generate(tiny_bundle)
+        text = fig15.render(data)
+        assert "decode" in text and "blocked" in text
+
+
+class TestAgingFigures:
+    @pytest.fixture(scope="class")
+    def aging_result(self, tiny_bundle):
+        # Tiny sets are short; use ages that fit.
+        return fig16.generate(tiny_bundle, ages_s=(0.0, 0.1, 0.5))
+
+    def test_series_lengths(self, aging_result):
+        assert len(aging_result.genie_mse) == 3
+        assert len(aging_result.vvd_per) == 3
+
+    def test_mse_values_positive(self, aging_result):
+        assert all(v >= 0 for v in aging_result.genie_mse)
+        assert all(v >= 0 for v in aging_result.vvd_mse)
+
+    def test_renders(self, aging_result):
+        assert "aging" in fig16.render(aging_result)
+        assert "packet error" in fig17.render(aging_result)
+
+    def test_age_exceeding_set_length_rejected(self, tiny_bundle):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            fig16.generate(tiny_bundle, ages_s=(0.0, 1e6))

@@ -1,0 +1,173 @@
+"""Tests for metrics, box statistics, the runner, and reporting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import rotating_set_combinations
+from repro.errors import DatasetError, ShapeError
+from repro.estimation import GroundTruth, PreviousEstimation, StandardDecoding
+from repro.experiments import (
+    EvaluationRunner,
+    box_stats,
+    build_baseline_suite,
+    format_box_table,
+    format_series_table,
+)
+from repro.experiments.metrics import PacketOutcome, TechniqueResult
+from repro.experiments.reporting import format_timeline
+
+
+def _outcome(error=False, chips=10, chip_errors=0, mse=None):
+    return PacketOutcome(
+        packet_error=error,
+        chip_errors=chip_errors,
+        total_chips=chips,
+        mse=mse,
+        estimate_available=True,
+    )
+
+
+class TestTechniqueResult:
+    def test_per(self):
+        result = TechniqueResult("x")
+        result.add(_outcome(error=True))
+        result.add(_outcome(error=False))
+        assert result.per == 0.5
+
+    def test_cer_weighted_by_chips(self):
+        result = TechniqueResult("x")
+        result.add(_outcome(chips=100, chip_errors=10))
+        result.add(_outcome(chips=300, chip_errors=0))
+        assert result.cer == pytest.approx(10 / 400)
+
+    def test_mse_ignores_none(self):
+        result = TechniqueResult("x")
+        result.add(_outcome(mse=2.0))
+        result.add(_outcome(mse=None))
+        assert result.mse == 2.0
+
+    def test_mse_nan_when_absent(self):
+        result = TechniqueResult("x")
+        result.add(_outcome())
+        assert np.isnan(result.mse)
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            TechniqueResult("x").per
+
+
+class TestBoxStats:
+    def test_five_numbers(self):
+        stats = box_stats([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert stats.minimum == 1.0
+        assert stats.median == 3.0
+        assert stats.maximum == 5.0
+        assert stats.mean == 3.0
+
+    def test_ignores_nan(self):
+        stats = box_stats([1.0, float("nan"), 3.0])
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+
+    def test_all_nan_raises(self):
+        with pytest.raises(ShapeError):
+            box_stats([float("nan")])
+
+    def test_empty_raises(self):
+        with pytest.raises(ShapeError):
+            box_stats([])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_ordering(self, values):
+        stats = box_stats(values)
+        assert (
+            stats.minimum
+            <= stats.q1
+            <= stats.median
+            <= stats.q3
+            <= stats.maximum
+        )
+
+
+class TestRunner:
+    def test_combination_run(self, tiny_config, tiny_components, tiny_dataset):
+        runner = EvaluationRunner(tiny_components, tiny_dataset)
+        combo = rotating_set_combinations(tiny_config.dataset.num_sets)[0]
+        estimators = [StandardDecoding(), GroundTruth(),
+                      PreviousEstimation(1, 0.1)]
+        result = runner.run_combination(combo, estimators)
+        assert set(result.techniques) == {
+            "Standard Decoding",
+            "Ground Truth",
+            "100ms Previous",
+        }
+        expected = (
+            tiny_config.dataset.packets_per_set
+            - tiny_config.dataset.skip_initial
+        )
+        for technique in result.techniques.values():
+            assert technique.num_packets == expected
+
+    def test_ground_truth_mse_is_zero(
+        self, tiny_config, tiny_components, tiny_dataset
+    ):
+        runner = EvaluationRunner(tiny_components, tiny_dataset)
+        combo = rotating_set_combinations(tiny_config.dataset.num_sets)[0]
+        result = runner.run_combination(combo, [GroundTruth()])
+        assert result.technique("Ground Truth").mse == pytest.approx(0.0)
+
+    def test_ground_truth_not_worse_than_previous(
+        self, tiny_config, tiny_components, tiny_dataset
+    ):
+        runner = EvaluationRunner(tiny_components, tiny_dataset)
+        combo = rotating_set_combinations(tiny_config.dataset.num_sets)[0]
+        result = runner.run_combination(
+            combo, [GroundTruth(), PreviousEstimation(1, 0.1)]
+        )
+        assert (
+            result.technique("Ground Truth").cer
+            <= result.technique("100ms Previous").cer + 1e-9
+        )
+
+    def test_missing_technique_raises(
+        self, tiny_config, tiny_components, tiny_dataset
+    ):
+        runner = EvaluationRunner(tiny_components, tiny_dataset)
+        combo = rotating_set_combinations(tiny_config.dataset.num_sets)[0]
+        result = runner.run_combination(combo, [GroundTruth()])
+        with pytest.raises(DatasetError):
+            result.technique("nope")
+
+    def test_baseline_suite_composition(self, tiny_config):
+        suite = build_baseline_suite(tiny_config)
+        names = [e.name for e in suite]
+        assert "Standard Decoding" in names
+        assert "Preamble Based-Genie" in names
+        assert any("Combined" in n for n in names)
+
+
+class TestReporting:
+    def test_box_table_contains_rows(self):
+        stats = box_stats([0.1, 0.2, 0.3])
+        text = format_box_table("t", {"A": stats, "B": stats})
+        assert "A" in text and "B" in text and "median" in text
+
+    def test_series_table_alignment(self):
+        text = format_series_table(
+            "t", "age", ["0s", "1s"], {"x": [1.0, 2.0], "y": [3.0, 4.0]}
+        )
+        assert "0s" in text and "1.000e+00" in text
+
+    def test_timeline_markers(self):
+        text = format_timeline([True, False, True], [False, True, False])
+        assert ".X." in text
+        assert " # " in text

@@ -1,0 +1,34 @@
+"""Tests for the SNR sensitivity ablation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.snr_sweep import run_snr_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep(tiny_config):
+    return run_snr_sweep(tiny_config, snrs_db=(4.0, 12.0))
+
+
+class TestSNRSweep:
+    def test_points_ordered(self, sweep):
+        assert sweep.snrs_db == [4.0, 12.0]
+
+    def test_all_techniques_present(self, sweep):
+        assert "Ground Truth" in sweep.per
+        assert "Standard Decoding" in sweep.per
+        assert all(len(v) == 2 for v in sweep.per.values())
+
+    def test_more_noise_never_helps_gt(self, sweep):
+        low, high = sweep.per["Ground Truth"]
+        assert low >= high - 1e-9
+
+    def test_degradation_metric(self, sweep):
+        assert sweep.degradation("Ground Truth") == (
+            sweep.per["Ground Truth"][0] - sweep.per["Ground Truth"][-1]
+        )
+
+    def test_needs_two_points(self, tiny_config):
+        with pytest.raises(ConfigurationError):
+            run_snr_sweep(tiny_config, snrs_db=(10.0,))

@@ -1,0 +1,77 @@
+"""Tests for estimator suite composition and VVD sharing semantics."""
+
+import pytest
+
+from repro.core.vvd import VVDEstimator
+from repro.estimation import CombinedEstimator, KalmanEstimator
+from repro.experiments import (
+    build_full_suite,
+    build_kalman_variants,
+    build_vvd_variants,
+)
+
+
+class TestFullSuite:
+    def test_ten_techniques_in_paper_order(self, tiny_config):
+        suite = build_full_suite(tiny_config)
+        names = [e.name for e in suite]
+        assert names == [
+            "Standard Decoding",
+            "Preamble Based",
+            "500ms Previous",
+            "100ms Previous",
+            f"Kalman AR({tiny_config.kalman.default_order})",
+            "VVD-Current",
+            "Preamble-Kalman Combined",
+            "Preamble-VVD Combined",
+            "Preamble Based-Genie",
+            "Ground Truth",
+        ]
+
+    def test_vvd_shared_between_standalone_and_combined(self, tiny_config):
+        suite = build_full_suite(tiny_config)
+        standalone = next(
+            e for e in suite if isinstance(e, VVDEstimator)
+        )
+        combined = next(
+            e
+            for e in suite
+            if isinstance(e, CombinedEstimator) and "VVD" in e.name
+        )
+        assert combined.fallback is standalone  # one training per combo
+
+    def test_kalman_not_shared(self, tiny_config):
+        suite = build_full_suite(tiny_config)
+        standalone = next(
+            e for e in suite if isinstance(e, KalmanEstimator)
+        )
+        combined = next(
+            e
+            for e in suite
+            if isinstance(e, CombinedEstimator) and "Kalman" in e.name
+        )
+        # Kalman keeps per-packet state: instances must be distinct or
+        # observe() would run twice per packet.
+        assert combined.fallback is not standalone
+
+
+class TestVariantSuites:
+    def test_kalman_orders_from_config(self, tiny_config):
+        variants = build_kalman_variants(tiny_config)
+        orders = [v.order for v in variants]
+        assert tuple(orders) == tiny_config.kalman.orders
+
+    def test_vvd_horizons(self, tiny_config):
+        variants = build_vvd_variants(tiny_config)
+        horizons = [v.horizon_frames for v in variants]
+        assert horizons == [3, 1, 0]
+        names = [v.name for v in variants]
+        assert names == [
+            "VVD-100ms Future",
+            "VVD-33.3ms Future",
+            "VVD-Current",
+        ]
+
+    def test_vvd_variants_are_independent(self, tiny_config):
+        variants = build_vvd_variants(tiny_config)
+        assert len({id(v) for v in variants}) == 3

@@ -1,0 +1,132 @@
+"""Tests for DSSS spreading and O-QPSK modulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy import (
+    despread_chips,
+    despread_soft_chips,
+    half_sine_pulse,
+    oqpsk_demodulate,
+    oqpsk_modulate,
+    spread_symbols,
+)
+from repro.errors import ShapeError
+
+
+class TestSpreading:
+    def test_round_trip_clean(self, rng):
+        symbols = rng.integers(0, 16, 100).astype(np.uint8)
+        chips = spread_symbols(symbols)
+        assert len(chips) == 3200
+        recovered = despread_chips(chips)
+        assert np.array_equal(recovered, symbols)
+
+    def test_survives_small_chip_error_rate(self, rng):
+        symbols = rng.integers(0, 16, 200).astype(np.uint8)
+        chips = spread_symbols(symbols).copy()
+        flips = rng.random(len(chips)) < 0.05
+        chips = chips ^ flips
+        recovered = despread_chips(chips)
+        assert np.mean(recovered != symbols) < 0.02
+
+    def test_soft_despread_scores_shape(self, rng):
+        symbols = rng.integers(0, 16, 10).astype(np.uint8)
+        soft = 2.0 * spread_symbols(symbols) - 1.0
+        decoded, scores = despread_soft_chips(soft)
+        assert scores.shape == (10, 16)
+        assert np.array_equal(decoded, symbols)
+
+    def test_rejects_non_multiple_of_32(self):
+        with pytest.raises(ShapeError):
+            despread_chips(np.zeros(33, dtype=np.int8))
+
+    def test_rejects_bad_symbols(self):
+        with pytest.raises(ShapeError):
+            spread_symbols(np.array([16]))
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        p=st.floats(min_value=0.0, max_value=0.08),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_despreading_error_correction(self, seed, p):
+        gen = np.random.default_rng(seed)
+        symbols = gen.integers(0, 16, 60).astype(np.uint8)
+        chips = spread_symbols(symbols) ^ (gen.random(1920) < p)
+        recovered = despread_chips(chips)
+        # Below ~8% random chip errors, symbol errors are rare.
+        assert np.mean(recovered != symbols) <= 0.05
+
+
+class TestHalfSinePulse:
+    def test_span_and_peak(self):
+        pulse = half_sine_pulse(4)
+        assert len(pulse) == 8
+        assert pulse[0] == pytest.approx(0.0)
+        assert np.max(pulse) <= 1.0
+
+    def test_symmetry(self):
+        pulse = half_sine_pulse(6)
+        assert np.allclose(pulse[1:], pulse[1:][::-1], atol=1e-12)
+
+    def test_rejects_small_spc(self):
+        with pytest.raises(ShapeError):
+            half_sine_pulse(1)
+
+
+class TestOQPSK:
+    def test_output_length(self, rng):
+        chips = rng.integers(0, 2, 64)
+        waveform = oqpsk_modulate(chips, 4)
+        assert len(waveform) == 65 * 4
+
+    def test_near_constant_envelope(self, rng):
+        # MSK property: away from the edges the envelope is ~1.
+        chips = rng.integers(0, 2, 256)
+        waveform = oqpsk_modulate(chips, 8)
+        interior = np.abs(waveform[16:-16])
+        assert np.min(interior) > 0.65
+        assert np.max(interior) < 1.05
+
+    def test_odd_chip_count_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            oqpsk_modulate(np.array([0, 1, 0]), 4)
+
+    def test_demodulation_round_trip(self, rng):
+        chips = rng.integers(0, 2, 512)
+        waveform = oqpsk_modulate(chips, 4)
+        _, hard = oqpsk_demodulate(waveform, 512, 4)
+        assert np.array_equal(hard, chips)
+
+    def test_round_trip_with_noise(self, rng):
+        chips = rng.integers(0, 2, 512)
+        waveform = oqpsk_modulate(chips, 4)
+        noisy = waveform + 0.2 * (
+            rng.normal(size=len(waveform))
+            + 1j * rng.normal(size=len(waveform))
+        )
+        _, hard = oqpsk_demodulate(noisy, 512, 4)
+        assert np.mean(hard != chips) < 0.03
+
+    def test_phase_rotation_breaks_rails(self, rng):
+        # A 90-degree rotation swaps I and Q: demod must fail badly,
+        # demonstrating the need for phase correction.
+        chips = rng.integers(0, 2, 512)
+        waveform = oqpsk_modulate(chips, 4) * np.exp(1j * np.pi / 2)
+        _, hard = oqpsk_demodulate(waveform, 512, 4)
+        assert np.mean(hard != chips) > 0.2
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        spc=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_clean_round_trip(self, seed, spc):
+        gen = np.random.default_rng(seed)
+        chips = gen.integers(0, 2, 128)
+        waveform = oqpsk_modulate(chips, spc)
+        _, hard = oqpsk_demodulate(waveform, 128, spc)
+        assert np.array_equal(hard, chips)

@@ -1,0 +1,129 @@
+"""Tests for PN sequences, byte/symbol mapping, and CRC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.phy import (
+    PN_SEQUENCES,
+    append_fcs,
+    bytes_to_symbols,
+    check_fcs,
+    crc16_itut,
+    pn_sequence,
+    symbols_to_bytes,
+)
+from repro.phy.pn import CHIPS_PER_SYMBOL, NUM_SYMBOLS
+from repro.errors import ShapeError
+
+
+class TestPNSequences:
+    def test_table_shape(self):
+        assert PN_SEQUENCES.shape == (NUM_SYMBOLS, CHIPS_PER_SYMBOL)
+
+    def test_symbol_zero_is_standard_base(self):
+        expected = np.array(
+            [1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+             0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0]
+        )
+        assert np.array_equal(PN_SEQUENCES[0], expected)
+
+    def test_symbol_one_is_right_rotation_by_four(self):
+        assert np.array_equal(
+            PN_SEQUENCES[1], np.roll(PN_SEQUENCES[0], 4)
+        )
+
+    def test_symbol_eight_is_standard_value(self):
+        # IEEE 802.15.4-2003 Table 73, symbol 8.
+        expected = np.array(
+            [1, 0, 0, 0, 1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 1, 0,
+             0, 0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 1, 1]
+        )
+        assert np.array_equal(PN_SEQUENCES[8], expected)
+
+    def test_upper_half_inverts_odd_chips(self):
+        for symbol in range(8):
+            base = PN_SEQUENCES[symbol]
+            upper = PN_SEQUENCES[symbol + 8]
+            assert np.array_equal(base[0::2], upper[0::2])
+            assert np.array_equal(1 - base[1::2], upper[1::2])
+
+    def test_sequences_are_distinct(self):
+        as_tuples = {tuple(seq) for seq in PN_SEQUENCES}
+        assert len(as_tuples) == NUM_SYMBOLS
+
+    def test_near_orthogonality(self):
+        # Pairwise Hamming distances are large (>= 12 chips).
+        for i in range(NUM_SYMBOLS):
+            for j in range(i + 1, NUM_SYMBOLS):
+                distance = np.sum(PN_SEQUENCES[i] != PN_SEQUENCES[j])
+                assert distance >= 12
+
+    def test_pn_sequence_bounds(self):
+        with pytest.raises(ShapeError):
+            pn_sequence(16)
+        with pytest.raises(ShapeError):
+            pn_sequence(-1)
+
+    def test_table_is_readonly(self):
+        with pytest.raises(ValueError):
+            PN_SEQUENCES[0, 0] = 0
+
+
+class TestByteSymbolMapping:
+    def test_lsb_nibble_first(self):
+        assert list(bytes_to_symbols(b"\xa7")) == [0x7, 0xA]
+
+    def test_round_trip(self):
+        data = bytes(range(256))
+        assert symbols_to_bytes(bytes_to_symbols(data)) == data
+
+    def test_odd_symbol_count_rejected(self):
+        with pytest.raises(ShapeError):
+            symbols_to_bytes(np.array([1, 2, 3], dtype=np.uint8))
+
+    def test_out_of_range_symbol_rejected(self):
+        with pytest.raises(ShapeError):
+            symbols_to_bytes(np.array([1, 17], dtype=np.uint8))
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_property_round_trip(self, data):
+        assert symbols_to_bytes(bytes_to_symbols(data)) == data
+
+
+class TestCRC:
+    def test_known_vector(self):
+        # CRC-16/KERMIT (the 802.15.4 FCS) of "123456789" is 0x2189.
+        assert crc16_itut(b"123456789") == 0x2189
+
+    def test_empty_is_zero(self):
+        assert crc16_itut(b"") == 0x0000
+
+    def test_append_and_check(self):
+        payload = b"hello 802.15.4"
+        assert check_fcs(append_fcs(payload))
+
+    def test_detects_single_bit_flip(self):
+        psdu = bytearray(append_fcs(b"some payload bytes"))
+        psdu[3] ^= 0x04
+        assert not check_fcs(bytes(psdu))
+
+    def test_short_psdu_fails(self):
+        assert not check_fcs(b"\x01\x02")
+
+    @given(st.binary(min_size=1, max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_property_valid_fcs_always_checks(self, payload):
+        assert check_fcs(append_fcs(payload))
+
+    @given(
+        st.binary(min_size=2, max_size=60),
+        st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_bit_flip_detected(self, payload, bit):
+        psdu = bytearray(append_fcs(payload))
+        psdu[0] ^= 1 << bit
+        assert not check_fcs(bytes(psdu))

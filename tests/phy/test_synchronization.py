@@ -1,0 +1,66 @@
+"""Tests for frame synchronization internals."""
+
+import numpy as np
+import pytest
+
+from repro.config import PhyConfig
+from repro.errors import ShapeError, SynchronizationError
+from repro.phy import Transmitter
+from repro.phy.synchronization import correlate_sync
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return Transmitter(PhyConfig(psdu_bytes=16)).reference_shr_waveform
+
+
+class TestCorrelateSync:
+    def test_zero_offset_detected(self, reference):
+        padded = np.concatenate([reference, np.zeros(100, complex)])
+        result = correlate_sync(padded, reference, 24)
+        assert result.offset == 0
+
+    @pytest.mark.parametrize("delay", [1, 5, 12, 24])
+    def test_known_delay_recovered(self, reference, delay):
+        delayed = np.concatenate(
+            [np.zeros(delay, complex), reference, np.zeros(50, complex)]
+        )
+        result = correlate_sync(delayed, reference, 24)
+        assert result.offset == delay
+
+    def test_metric_scales_with_amplitude(self, reference):
+        padded = np.concatenate([reference, np.zeros(30, complex)])
+        strong = correlate_sync(padded, reference, 8)
+        weak = correlate_sync(0.3 * padded, reference, 8)
+        assert weak.metric == pytest.approx(0.3 * strong.metric, rel=1e-6)
+
+    def test_metric_robust_to_phase(self, reference):
+        padded = np.concatenate([reference, np.zeros(30, complex)])
+        rotated = correlate_sync(
+            padded * np.exp(1.3j), reference, 8
+        )
+        plain = correlate_sync(padded, reference, 8)
+        assert rotated.metric == pytest.approx(plain.metric, rel=1e-9)
+        assert rotated.offset == plain.offset
+
+    def test_noise_only_low_metric(self, reference, rng):
+        noise = 0.1 * (
+            rng.normal(size=len(reference) + 50)
+            + 1j * rng.normal(size=len(reference) + 50)
+        )
+        result = correlate_sync(noise, reference, 24)
+        assert result.metric < 0.1
+
+    def test_window_too_short_raises(self, reference):
+        with pytest.raises(SynchronizationError):
+            correlate_sync(reference[:100], reference, 4)
+
+    def test_bad_args(self, reference):
+        with pytest.raises(ShapeError):
+            correlate_sync(
+                np.ones((2, 2)), reference, 4
+            )
+        with pytest.raises(ShapeError):
+            correlate_sync(
+                np.concatenate([reference, np.zeros(10)]), reference, -1
+            )

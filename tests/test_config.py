@@ -1,0 +1,128 @@
+"""Tests for configuration validation and presets."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CameraConfig,
+    ChannelConfig,
+    DatasetConfig,
+    KalmanConfig,
+    MobilityConfig,
+    PhyConfig,
+    ReceiverConfig,
+    RoomConfig,
+    SimulationConfig,
+    VVDConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPhyConfig:
+    def test_paper_defaults(self):
+        phy = PhyConfig()
+        assert phy.sample_rate_hz == 8e6
+        assert phy.psdu_chip_count == 8128
+        assert phy.psdu_bit_count == 1016
+        assert phy.carrier_frequency_hz == 2.48e9  # channel 26
+
+    def test_channel_frequency_mapping(self):
+        assert PhyConfig(channel_number=11).carrier_frequency_hz == 2.405e9
+
+    def test_invalid_channel(self):
+        with pytest.raises(ConfigurationError):
+            _ = PhyConfig(channel_number=5).carrier_frequency_hz
+
+    def test_invalid_psdu(self):
+        with pytest.raises(ConfigurationError):
+            PhyConfig(psdu_bytes=0)
+        with pytest.raises(ConfigurationError):
+            PhyConfig(psdu_bytes=200)
+
+    def test_invalid_spc(self):
+        with pytest.raises(ConfigurationError):
+            PhyConfig(samples_per_chip=1)
+
+
+class TestChannelConfig:
+    def test_pre_cursor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(pre_cursor=11, num_taps=11)
+
+    def test_positive_stretch(self):
+        with pytest.raises(ConfigurationError):
+            ChannelConfig(delay_stretch=0)
+
+
+class TestRoomConfig:
+    def test_movement_area_inside_room(self):
+        with pytest.raises(ConfigurationError):
+            RoomConfig(movement_area=(0, 0, 100, 100))
+
+    def test_device_inside_room(self):
+        with pytest.raises(ConfigurationError):
+            RoomConfig(tx_position=(-1, 0, 0))
+
+
+class TestCameraConfig:
+    def test_crop_must_fit(self):
+        with pytest.raises(ConfigurationError):
+            CameraConfig(crop_top=50, output_shape=(50, 90))
+
+    def test_frame_interval(self):
+        assert CameraConfig(fps=30.0).frame_interval_s == pytest.approx(
+            1 / 30
+        )
+
+
+class TestOtherConfigs:
+    def test_mobility_speed_order(self):
+        with pytest.raises(ConfigurationError):
+            MobilityConfig(speed_min_mps=2.0, speed_max_mps=1.0)
+
+    def test_receiver_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ReceiverConfig(preamble_detection_threshold=0.0)
+
+    def test_dataset_needs_headroom(self):
+        with pytest.raises(ConfigurationError):
+            DatasetConfig(packets_per_set=10, skip_initial=10)
+
+    def test_vvd_pooling_values(self):
+        with pytest.raises(ConfigurationError):
+            VVDConfig(pooling="median")
+
+    def test_kalman_default_in_orders(self):
+        with pytest.raises(ConfigurationError):
+            KalmanConfig(default_order=7, orders=(1, 5, 20))
+
+
+class TestPresets:
+    def test_paper_scale_dimensions(self):
+        config = SimulationConfig.paper_scale()
+        assert config.phy.psdu_bytes == 127
+        assert config.dataset.num_sets == 15
+        assert config.dataset.packets_per_set * 15 == 22710  # ~22,704
+        assert config.vvd.epochs == 200
+
+    def test_reduced_keeps_structure(self):
+        config = SimulationConfig.reduced()
+        assert config.dataset.num_sets == 15
+        assert config.phy.psdu_bytes == 127
+
+    def test_tiny_is_small(self):
+        config = SimulationConfig.tiny()
+        assert config.dataset.num_sets <= 5
+        assert config.dataset.packets_per_set <= 30
+
+    def test_replace_round_trip(self):
+        config = SimulationConfig.tiny()
+        changed = config.replace(seed=777)
+        assert changed.seed == 777
+        assert changed.phy == config.phy
+
+    def test_configs_are_frozen(self):
+        config = SimulationConfig.tiny()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.phy.psdu_bytes = 64

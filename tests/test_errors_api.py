@@ -1,0 +1,63 @@
+"""Tests for the exception hierarchy and top-level API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    DecodingError,
+    NotFittedError,
+    ReproError,
+    ShapeError,
+    SynchronizationError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            ShapeError,
+            SynchronizationError,
+            NotFittedError,
+            DecodingError,
+            DatasetError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_catchable_as_such(self):
+        assert issubclass(ConfigurationError, ValueError)
+        assert issubclass(ShapeError, ValueError)
+
+    def test_not_fitted_is_runtime_error(self):
+        assert issubclass(NotFittedError, RuntimeError)
+
+    def test_library_errors_catchable_with_one_clause(self):
+        with pytest.raises(ReproError):
+            raise DatasetError("boom")
+
+
+class TestTopLevelAPI:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_config_accessible(self):
+        config = repro.SimulationConfig.tiny()
+        assert config.phy.chip_rate_hz == 2.0e6
+
+    def test_docstring_quickstart_names_exist(self):
+        # The module docstring references these; keep them importable.
+        from repro import build_components, generate_dataset  # noqa: F401
+        from repro.dataset import rotating_set_combinations  # noqa: F401
+        from repro.experiments import (  # noqa: F401
+            EvaluationRunner,
+            build_full_suite,
+        )

@@ -15,6 +15,8 @@ Environment knobs:
 ``REPRO_BENCH_VVD_EPOCHS`` / ``REPRO_BENCH_VVD_SUBSAMPLE``
     Override the CNN training cost (defaults 12 / 2 keep the whole
     harness in ~10 minutes; unset them for the preset's full training).
+``REPRO_BENCH_WORKERS``
+    Process-pool size for dataset generation (default serial).
 """
 
 from __future__ import annotations
@@ -64,8 +66,10 @@ def bench_config() -> SimulationConfig:
 
 @pytest.fixture(scope="session")
 def evaluation_bundle(bench_config):
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", 0)) or None
     return build_evaluation_bundle(
         bench_config,
         num_combinations=_num_combinations(bench_config),
         verbose=False,
+        workers=workers,
     )

@@ -37,6 +37,12 @@ def main() -> None:
     parser.add_argument(
         "--tiny", action="store_true", help="use the tiny preset (smoke run)"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for dataset generation",
+    )
     args = parser.parse_args()
     config = (
         SimulationConfig.tiny() if args.tiny else SimulationConfig.reduced()
@@ -45,7 +51,10 @@ def main() -> None:
     start = time.time()
     print("Building evaluation bundle (dataset + VVD training + decode)...")
     bundle = build_evaluation_bundle(
-        config, num_combinations=args.combinations, verbose=True
+        config,
+        num_combinations=args.combinations,
+        verbose=True,
+        workers=args.workers,
     )
     print(f"bundle built in {time.time() - start:.0f}s\n")
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import ChannelConfig
-from .geometry import path_clearance
+from .geometry import path_clearance, path_clearance_batch
 from .multipath import PropagationPath
 
 
@@ -57,3 +57,28 @@ def path_blockage_factor(
         config.blockage_db,
         config.blockage_sharpness_m,
     )
+
+
+def path_blockage_factor_batch(
+    path: PropagationPath,
+    humans_xy: np.ndarray,
+    config: ChannelConfig,
+) -> np.ndarray:
+    """Vectorized :func:`path_blockage_factor` over human positions."""
+    humans_xy = np.asarray(humans_xy, dtype=np.float64)
+    if path.kind == "human":
+        return np.ones(len(humans_xy))
+    clearances = path_clearance_batch(
+        np.asarray(path.points, dtype=np.float64),
+        humans_xy,
+        config.human_height_m,
+    )
+    floor = 10.0 ** (-config.blockage_db / 20.0)
+    margins = (
+        clearances - config.human_radius_m
+    ) / max(config.blockage_sharpness_m, 1e-6)
+    with np.errstate(over="ignore"):
+        ramps = 1.0 / (1.0 + np.exp(-4.0 * margins))
+    factors = floor + (1.0 - floor) * ramps
+    factors[~np.isfinite(clearances)] = 1.0
+    return factors

@@ -18,9 +18,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import ChannelConfig, PhyConfig, RoomConfig
-from ..dsp.taps import synthesize_taps
-from .blockage import path_blockage_factor
-from .geometry import path_clearance
+from ..dsp.taps import fractional_delay_taps, synthesize_taps
+from ..errors import ShapeError
+from .blockage import path_blockage_factor, path_blockage_factor_batch
+from .geometry import path_clearance, path_clearance_batch
 from .multipath import (
     PropagationPath,
     build_static_paths,
@@ -104,6 +105,115 @@ class IndoorEnvironment:
         human_xy = np.asarray(human_xy, dtype=np.float64)
         return self._scale * self._raw_cir(human_xy)
 
+    def _static_batch_state(self) -> tuple[np.ndarray, np.ndarray]:
+        """Static-path gains and windowed-sinc kernels, built once.
+
+        Static paths have position-independent delays, so their
+        fractional-delay kernels never change; only the blockage factor
+        of each path depends on the human position.
+        """
+        state = getattr(self, "_static_state", None)
+        if state is None:
+            num_taps = self.channel.num_taps
+            gains = np.array(
+                [path.gain for path in self.static_paths],
+                dtype=np.complex128,
+            )
+            kernels = np.stack(
+                [
+                    fractional_delay_taps(
+                        self._delay_samples(path.length_m), num_taps
+                    )
+                    for path in self.static_paths
+                ]
+            )
+            # Device-response convolution as a small matrix: column l of
+            # ``device_matrix`` holds the device tap contributing to
+            # output tap l from geometric tap j.
+            device = self._device_response
+            device_matrix = np.zeros(
+                (num_taps, num_taps), dtype=np.complex128
+            )
+            for j in range(num_taps):
+                stop = min(num_taps, j + len(device))
+                device_matrix[j, j:stop] = device[: stop - j]
+            state = (gains, kernels, device_matrix)
+            self._static_state = state
+        return state
+
+    def cir_batch(self, humans_xy) -> np.ndarray:
+        """Complex CIRs for a batch of human positions, ``(P, num_taps)``.
+
+        Matches :meth:`cir` row by row: per-path blockage factors and the
+        human scatter path are evaluated vectorized, static-path kernels
+        are reused across the batch.
+        """
+        humans_xy = np.asarray(humans_xy, dtype=np.float64)
+        if humans_xy.ndim != 2 or humans_xy.shape[1] != 2:
+            raise ShapeError(
+                f"humans_xy must be (P, 2), got {humans_xy.shape}"
+            )
+        num_taps = self.channel.num_taps
+        gains, kernels, device_matrix = self._static_batch_state()
+        factors = np.stack(
+            [
+                path_blockage_factor_batch(
+                    path, humans_xy, self.channel
+                )
+                for path in self.static_paths
+            ],
+            axis=1,
+        )
+        geometric = (factors * gains[None, :]).astype(
+            np.complex128
+        ) @ kernels.astype(np.complex128)
+
+        # Mobile human scatter path (never self-blocked).
+        tx = np.asarray(self.room.tx_position, dtype=np.float64)
+        rx = np.asarray(self.room.rx_position, dtype=np.float64)
+        scatter = np.concatenate(
+            [
+                humans_xy,
+                np.full((len(humans_xy), 1), _TORSO_HEIGHT_M),
+            ],
+            axis=1,
+        )
+        d1 = np.linalg.norm(scatter - tx[None, :], axis=1)
+        d2 = np.linalg.norm(rx[None, :] - scatter, axis=1)
+        total = d1 + d2
+        spreading = 1.0 / np.maximum(total, 0.1)
+        phase = np.exp(
+            -2j
+            * np.pi
+            * total
+            / self.channel.human_phase_wavelength_m
+        )
+        human_gains = self.channel.human_scatter_gain * spreading * phase
+        excess = np.maximum(total - self._los_length, 0.0)
+        human_delays = (
+            self.channel.pre_cursor
+            + excess
+            / 299_792_458.0
+            * self.channel.delay_stretch
+            * self.phy.sample_rate_hz
+        )
+        indices = np.arange(num_taps, dtype=np.float64)
+        offsets = indices[None, :] - human_delays[:, None]
+        sinc = np.sinc(offsets)
+        clipped = np.clip(offsets / 5.0, -1.0, 1.0)
+        window = 0.5 * (1.0 + np.cos(np.pi * clipped))
+        geometric += human_gains[:, None] * (sinc * window)
+
+        return self._scale * (geometric @ device_matrix)
+
+    def los_clearance_batch(self, humans_xy) -> np.ndarray:
+        """Vectorized :meth:`los_clearance` over positions."""
+        return path_clearance_batch(
+            np.asarray(self.static_paths[0].points, dtype=np.float64),
+            np.asarray(humans_xy, dtype=np.float64),
+            self.channel.human_height_m,
+        )
+
     def los_clearance(self, human_xy) -> float:
         """Horizontal clearance between the human and the LoS path."""
         return path_clearance(
@@ -114,7 +224,13 @@ class IndoorEnvironment:
 
     def is_los_blocked(self, human_xy) -> bool:
         """Whether the human body intersects the LoS (Fig. 1b scenario)."""
-        return self.los_clearance(human_xy) <= self.channel.human_radius_m
+        return self.los_blocked_from_clearance(
+            self.los_clearance(human_xy)
+        )
+
+    def los_blocked_from_clearance(self, clearance_m: float) -> bool:
+        """The blockage criterion applied to a precomputed clearance."""
+        return bool(clearance_m <= self.channel.human_radius_m)
 
     def received_power(self, human_xy) -> float:
         """Total CIR energy — proxies received signal power."""

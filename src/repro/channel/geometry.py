@@ -107,6 +107,67 @@ def segment_clearance(
     return float(np.linalg.norm(closest - centre))
 
 
+def segment_clearance_batch(
+    a, b, centres_xy: np.ndarray, max_height: float
+) -> np.ndarray:
+    """Vectorized :func:`segment_clearance` over a batch of centres.
+
+    ``centres_xy`` has shape ``(P, 2)``; returns ``(P,)`` clearances
+    matching the scalar function per row.
+    """
+    a = as_point(a)
+    b = as_point(b)
+    centres = np.asarray(centres_xy, dtype=np.float64)
+    if centres.ndim != 2 or centres.shape[1] != 2:
+        raise ShapeError(
+            f"centres_xy must be (P, 2), got {centres.shape}"
+        )
+
+    d_xy = b[:2] - a[:2]
+    denom = float(d_xy @ d_xy)
+    if denom == 0.0:
+        t_star = np.zeros(len(centres))
+    else:
+        t_star = (centres - a[:2]) @ d_xy / denom
+
+    # The admissible sub-segment below max_height is centre-independent.
+    t_lo, t_hi = 0.0, 1.0
+    za, zb = a[2], b[2]
+    if za > max_height and zb > max_height:
+        return np.full(len(centres), np.inf)
+    if za != zb:
+        t_cross = (max_height - za) / (zb - za)
+        if za > max_height:
+            t_lo = max(t_lo, t_cross)
+        elif zb > max_height:
+            t_hi = min(t_hi, t_cross)
+    if t_lo > t_hi:
+        return np.full(len(centres), np.inf)
+    t_star = np.minimum(np.maximum(t_star, t_lo), t_hi)
+    closest = a[:2][None, :] + t_star[:, None] * d_xy[None, :]
+    return np.linalg.norm(closest - centres, axis=1)
+
+
+def path_clearance_batch(
+    points, centres_xy: np.ndarray, max_height: float
+) -> np.ndarray:
+    """Vectorized :func:`path_clearance` over a batch of centres."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 3 or len(pts) < 2:
+        raise ShapeError(
+            f"path must be an (n>=2, 3) array of points, got {pts.shape}"
+        )
+    clearances = np.stack(
+        [
+            segment_clearance_batch(
+                pts[i], pts[i + 1], centres_xy, max_height
+            )
+            for i in range(len(pts) - 1)
+        ]
+    )
+    return np.min(clearances, axis=0)
+
+
 def path_clearance(points, centre_xy, max_height: float) -> float:
     """Minimum horizontal clearance of a polyline path to a vertical axis."""
     pts = np.asarray(points, dtype=np.float64)

@@ -20,6 +20,7 @@ from .generator import (
     generate_dataset,
     generate_measurement_set,
     synthesize_received,
+    synthesize_received_batch,
 )
 
 __all__ = [
@@ -33,4 +34,5 @@ __all__ = [
     "generate_dataset",
     "generate_measurement_set",
     "synthesize_received",
+    "synthesize_received_batch",
 ]

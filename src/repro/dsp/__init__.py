@@ -17,39 +17,56 @@ The module names follow the paper's Sec. 2.1:
 
 from .convolution import (
     convolution_matrix,
+    convolve_batch,
+    correlate_lags_batch,
     cross_correlate_full,
     autocorrelation,
 )
-from .estimation import ls_channel_estimate, apply_fir_channel
+from .estimation import (
+    ls_channel_estimate,
+    ls_channel_estimate_batch,
+    valid_ls_operator,
+    apply_fir_channel,
+)
 from .equalization import (
     zero_forcing_equalizer,
     mmse_equalizer,
     equalize,
+    equalize_batch,
     equalizer_delay,
 )
 from .phase import (
     estimate_phase_shift,
+    estimate_phase_shift_batch,
     estimate_waveform_phase_shift,
     correct_phase,
     canonicalize_phase,
+    canonicalize_phase_batch,
 )
 from .taps import fractional_delay_taps, synthesize_taps
 from .metrics import complex_mse, normalized_correlation, error_vector_magnitude
 
 __all__ = [
     "convolution_matrix",
+    "convolve_batch",
+    "correlate_lags_batch",
     "cross_correlate_full",
     "autocorrelation",
     "ls_channel_estimate",
+    "ls_channel_estimate_batch",
+    "valid_ls_operator",
     "apply_fir_channel",
     "zero_forcing_equalizer",
     "mmse_equalizer",
     "equalize",
+    "equalize_batch",
     "equalizer_delay",
     "estimate_phase_shift",
+    "estimate_phase_shift_batch",
     "estimate_waveform_phase_shift",
     "correct_phase",
     "canonicalize_phase",
+    "canonicalize_phase_batch",
     "fractional_delay_taps",
     "synthesize_taps",
     "complex_mse",

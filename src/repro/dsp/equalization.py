@@ -11,9 +11,10 @@ and is provided as the future-work extension discussed in Sec. 5.
 from __future__ import annotations
 
 import numpy as np
+from scipy.linalg import solve_toeplitz
 
 from ..errors import ShapeError
-from .convolution import convolution_matrix
+from .convolution import convolution_matrix, convolve_batch
 
 
 def equalizer_delay(num_taps_channel: int, num_taps_equalizer: int) -> int:
@@ -26,10 +27,19 @@ def equalizer_delay(num_taps_channel: int, num_taps_equalizer: int) -> int:
     return (num_taps_channel + num_taps_equalizer - 1) // 2
 
 
+def _zf_lstsq(h: np.ndarray, num_taps: int, delay: int) -> np.ndarray:
+    matrix = convolution_matrix(h, num_taps)
+    target = np.zeros(len(h) + num_taps - 1, dtype=np.complex128)
+    target[delay] = 1.0
+    solution, *_ = np.linalg.lstsq(matrix, target, rcond=None)
+    return solution
+
+
 def zero_forcing_equalizer(
     h: np.ndarray,
     num_taps: int,
     delay: int | None = None,
+    method: str = "auto",
 ) -> np.ndarray:
     """LS zero-forcing equalizer of Eq. 7.
 
@@ -42,6 +52,13 @@ def zero_forcing_equalizer(
     delay:
         Index of the single '1' in the target vector ``u``; defaults to the
         centre of the combined response.
+    method:
+        ``"auto"`` (default) solves the Hermitian-Toeplitz normal
+        equations ``(H^H H) c = H^H u`` via the Levinson recursion —
+        ``H^H H`` is the channel autocorrelation Toeplitz matrix, so no
+        dense ``(len(h)+L-1, L)`` system is ever built — falling back to
+        dense least squares when the channel is too ill-conditioned;
+        ``"lstsq"`` forces the dense solve.
 
     Returns
     -------
@@ -58,11 +75,32 @@ def zero_forcing_equalizer(
         delay = equalizer_delay(len(h), num_taps)
     if not 0 <= delay < rows:
         raise ShapeError(f"delay {delay} outside combined response [0, {rows})")
-    matrix = convolution_matrix(h, num_taps)
-    target = np.zeros(rows, dtype=np.complex128)
-    target[delay] = 1.0
-    solution, *_ = np.linalg.lstsq(matrix, target, rcond=None)
-    return solution
+    if method not in ("auto", "lstsq"):
+        raise ShapeError(f"unknown method {method!r}")
+    if method == "lstsq":
+        return _zf_lstsq(h, num_taps, delay)
+
+    # (H^H H)[i, j] = r[i - j] with r the autocorrelation of h;
+    # (H^H u)[j] = conj(h[delay - j]).
+    padded = np.concatenate(
+        [h, np.zeros(num_taps - 1, dtype=np.complex128)]
+    )
+    autocorr = np.correlate(padded[: len(h) + num_taps - 1], h, mode="valid")
+    if abs(autocorr[0]) < 1e-300:
+        return _zf_lstsq(h, num_taps, delay)
+    rhs = np.zeros(num_taps, dtype=np.complex128)
+    j_lo = max(0, delay - len(h) + 1)
+    j_hi = min(num_taps - 1, delay)
+    if j_lo <= j_hi:
+        indices = np.arange(j_lo, j_hi + 1)
+        rhs[indices] = np.conj(h[delay - indices])
+    try:
+        solution = solve_toeplitz((autocorr, np.conj(autocorr)), rhs)
+        if np.all(np.isfinite(solution)):
+            return solution
+    except np.linalg.LinAlgError:
+        pass
+    return _zf_lstsq(h, num_taps, delay)
 
 
 def mmse_equalizer(
@@ -118,4 +156,31 @@ def equalize(
             )
         else:
             z = z[:output_length]
+    return z
+
+
+def equalize_batch(
+    y: np.ndarray,
+    equalizers: np.ndarray,
+    delay: int,
+    output_length: int | None = None,
+) -> np.ndarray:
+    """Row-wise :func:`equalize`: filter a ``(P, samples)`` batch.
+
+    Every row shares the same decision ``delay`` (the batch decode path
+    uses equal-length channel estimates, which fixes the delay).
+    """
+    y = np.asarray(y)
+    equalizers = np.asarray(equalizers)
+    if y.ndim != 2:
+        raise ShapeError(f"y must be (P, samples), got shape {y.shape}")
+    z = convolve_batch(y, equalizers)[:, delay:]
+    if output_length is not None:
+        if z.shape[1] < output_length:
+            pad = np.zeros(
+                (z.shape[0], output_length - z.shape[1]), dtype=z.dtype
+            )
+            z = np.concatenate([z, pad], axis=1)
+        else:
+            z = z[:, :output_length]
     return z

@@ -23,7 +23,12 @@ from numpy.lib.stride_tricks import sliding_window_view
 from scipy import linalg as _linalg
 
 from ..errors import ShapeError
-from .convolution import autocorrelation, convolution_matrix, cross_correlate_full
+from .convolution import (
+    autocorrelation,
+    convolution_matrix,
+    correlate_lags_batch,
+    cross_correlate_full,
+)
 
 _DIRECT_SIZE_LIMIT = 4096
 
@@ -61,14 +66,7 @@ def _ls_full_fft(x: np.ndarray, y: np.ndarray, num_taps: int) -> np.ndarray:
     cc = cross_correlate_full(y, x)
     zero_lag = len(x) - 1
     rhs = cc[zero_lag : zero_lag + num_taps]
-    first_column = r
-    first_row = np.conj(r)
-    try:
-        return _linalg.solve_toeplitz((first_column, first_row), rhs)
-    except np.linalg.LinAlgError:
-        matrix = _linalg.toeplitz(first_column, first_row)
-        solution, *_ = np.linalg.lstsq(matrix, rhs, rcond=None)
-        return solution
+    return solve_ls_normal_equations(r, rhs)
 
 
 def ls_channel_estimate(
@@ -131,3 +129,131 @@ def ls_channel_estimate(
         return solution
 
     raise ShapeError(f"unknown mode {mode!r}; expected 'full' or 'valid'")
+
+
+def solve_ls_normal_equations(
+    autocorr: np.ndarray, cross_corr: np.ndarray
+) -> np.ndarray:
+    """Solve one Hermitian-Toeplitz LS normal-equation system.
+
+    ``autocorr`` is the first column of ``X^H X`` (reference
+    autocorrelation at lags ``0..N-1``), ``cross_corr`` is ``X^H y``.
+    Falls back to a dense least-squares solve when the Levinson recursion
+    hits a singular minor.
+    """
+    try:
+        solution = _linalg.solve_toeplitz(
+            (autocorr, np.conj(autocorr)), cross_corr
+        )
+        if np.all(np.isfinite(solution)):
+            return solution
+    except np.linalg.LinAlgError:
+        pass
+    matrix = _linalg.toeplitz(autocorr, np.conj(autocorr))
+    solution, *_ = np.linalg.lstsq(matrix, cross_corr, rcond=None)
+    return solution
+
+
+def valid_ls_operator(x: np.ndarray, num_taps: int) -> np.ndarray:
+    """Pseudo-inverse of the steady-state (``mode="valid"``) window matrix.
+
+    The matrix depends only on the known reference ``x`` — for
+    preamble-based estimation that reference is the constant SHR
+    waveform, so one pseudo-inverse serves every packet:
+    ``h = valid_ls_operator(x, N) @ y[N-1 : len(x)]``.
+    """
+    x = np.asarray(x, dtype=np.complex128)
+    if x.ndim != 1:
+        raise ShapeError("valid_ls_operator expects a 1-D reference")
+    if len(x) < num_taps:
+        raise ShapeError(
+            f"reference too short: len(x)={len(x)} < num_taps={num_taps}"
+        )
+    windows = sliding_window_view(x, num_taps)[:, ::-1]
+    return np.linalg.pinv(windows)
+
+
+def ls_channel_estimate_batch(
+    x: np.ndarray,
+    y: np.ndarray,
+    num_taps: int,
+    mode: str = "full",
+    method: str = "auto",
+) -> np.ndarray:
+    """Batched least-squares FIR channel estimates (Eq. 4 over a packet set).
+
+    Parameters
+    ----------
+    x:
+        Known reference samples: ``(P, Lx)`` per-row references, or a
+        single ``(Lx,)`` reference shared by every row.
+    y:
+        ``(P, Ly)`` received rows aligned as in :func:`ls_channel_estimate`.
+    num_taps:
+        FIR model order ``N``.
+    mode:
+        ``"full"`` solves the per-row LS system; ``"valid"`` requires a
+        shared 1-D ``x`` and applies one cached pseudo-inverse of the
+        window matrix to every row.
+    method:
+        Mirrors :func:`ls_channel_estimate`: ``"auto"`` uses the dense
+        solve for short references and the Hermitian-Toeplitz normal
+        equations (shared-correlation batch path) for long ones, so
+        every row matches the scalar function's solver choice;
+        ``"direct"`` / ``"fft"`` force one of the two.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(P, num_taps)`` complex tap matrix, row ``p`` matching
+        ``ls_channel_estimate(x[p], y[p], num_taps, mode, method)`` to
+        numerical precision.
+    """
+    y = np.asarray(y, dtype=np.complex128)
+    if y.ndim != 2:
+        raise ShapeError(f"y must be (P, Ly), got shape {y.shape}")
+    if num_taps < 1:
+        raise ShapeError(f"num_taps must be >= 1, got {num_taps}")
+    x = np.asarray(x, dtype=np.complex128)
+
+    if mode == "valid":
+        if x.ndim != 1:
+            raise ShapeError("mode='valid' needs a shared 1-D reference")
+        if y.shape[1] < len(x):
+            raise ShapeError(
+                f"mode='valid' needs len(y) >= len(x) "
+                f"({y.shape[1]} < {len(x)})"
+            )
+        operator = valid_ls_operator(x, num_taps)
+        return y[:, num_taps - 1 : len(x)] @ operator.T
+
+    if mode != "full":
+        raise ShapeError(f"unknown mode {mode!r}; expected 'full' or 'valid'")
+
+    if x.ndim == 1:
+        x = np.broadcast_to(x, (y.shape[0], len(x)))
+    if x.ndim != 2 or x.shape[0] != y.shape[0]:
+        raise ShapeError(
+            f"x batch {x.shape} does not match y batch {y.shape}"
+        )
+    if x.shape[1] < num_taps:
+        raise ShapeError(
+            f"reference too short: len(x)={x.shape[1]} < num_taps={num_taps}"
+        )
+    out = np.empty((y.shape[0], num_taps), dtype=np.complex128)
+    if method == "direct" or (
+        method == "auto" and x.shape[1] <= _DIRECT_SIZE_LIMIT
+    ):
+        # Short references: keep the scalar path's dense solver (the
+        # normal equations would square its conditioning).
+        target_length = x.shape[1] + num_taps - 1
+        for row in range(y.shape[0]):
+            out[row] = _ls_full_direct(
+                x[row], _pad_or_trim(y[row], target_length), num_taps
+            )
+        return out
+    autocorr = correlate_lags_batch(x, x, num_taps)
+    cross = correlate_lags_batch(y, x, num_taps)
+    for row in range(y.shape[0]):
+        out[row] = solve_ls_normal_equations(autocorr[row], cross[row])
+    return out

@@ -67,6 +67,36 @@ def correct_phase(h: np.ndarray, theta: float) -> np.ndarray:
     return h * np.exp(1j * theta)
 
 
+def estimate_phase_shift_batch(
+    h_batch: np.ndarray, h_reference: np.ndarray
+) -> np.ndarray:
+    """Row-wise Eq. 8 phase against one shared reference estimate."""
+    h_batch = np.asarray(h_batch, dtype=np.complex128)
+    h_reference = np.asarray(h_reference, dtype=np.complex128)
+    if h_batch.ndim != 2 or h_batch.shape[1] != h_reference.shape[0]:
+        raise ShapeError(
+            f"batch {h_batch.shape} does not match reference "
+            f"{h_reference.shape}"
+        )
+    inner = h_batch @ np.conj(h_reference)
+    theta = np.angle(inner)
+    theta[inner == 0] = 0.0
+    return theta
+
+
+def canonicalize_phase_batch(
+    h_batch: np.ndarray, reference: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`canonicalize_phase` against one shared reference.
+
+    Returns ``(h_canonical, thetas)`` with shapes ``(P, taps)`` and
+    ``(P,)``.
+    """
+    thetas = estimate_phase_shift_batch(h_batch, reference)
+    rotated = h_batch * np.exp(-1j * thetas)[:, None]
+    return rotated, thetas
+
+
 def canonicalize_phase(
     h: np.ndarray, reference: np.ndarray
 ) -> tuple[np.ndarray, float]:

@@ -54,14 +54,18 @@ def build_evaluation_bundle(
     config: SimulationConfig,
     num_combinations: int | None = None,
     verbose: bool = False,
+    workers: int | None = None,
 ) -> EvaluationBundle:
     """Generate the dataset and run the full suite over combinations.
 
     ``num_combinations`` limits the Table 2 rows evaluated (the benchmark
     preset uses a subset; passing ``None`` runs all of them).
+    ``workers`` fans dataset generation out over a process pool.
     """
     components = build_components(config)
-    sets = generate_dataset(config, components, verbose=verbose)
+    sets = generate_dataset(
+        config, components, verbose=verbose, workers=workers
+    )
     runner = EvaluationRunner(components, sets)
     combinations = rotating_set_combinations(config.dataset.num_sets)
     if num_combinations is not None:

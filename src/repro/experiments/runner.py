@@ -14,7 +14,10 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..dataset.generator import SimulationComponents, synthesize_received
+from ..dataset.generator import (
+    SimulationComponents,
+    synthesize_received_batch,
+)
 from ..dataset.sets import SetCombination
 from ..dataset.trace import MeasurementSet, PacketRecord
 from ..dsp.metrics import complex_mse
@@ -131,29 +134,38 @@ class EvaluationRunner:
             estimator.name: TechniqueResult(estimator.name)
             for estimator in estimators
         }
-        for index, record in enumerate(test.packets):
-            packet = self.components.transmitter.transmit(
-                record.sequence_number
+        # Waveform re-synthesis is shared across techniques and batched
+        # over packet chunks; the estimator loop itself stays sequential
+        # because tracking techniques (Kalman, previous) carry state from
+        # packet to packet.
+        chunk_size = 64
+        for lo in range(0, len(test.packets), chunk_size):
+            chunk = test.packets[lo : lo + chunk_size]
+            received_rows = synthesize_received_batch(
+                self.components, chunk, reuse_buffer=True
             )
-            received = synthesize_received(
-                self.components, record, packet.waveform
-            )
-            ctx = PacketContext(
-                measurement_set=test,
-                index=index,
-                record=record,
-                received=received,
-                receiver=self.components.receiver,
-            )
-            for estimator in estimators:
-                estimate = estimator.estimate(ctx)
-                outcome = self.decode_packet(
-                    estimate, packet, received, record
+            for offset, record in enumerate(chunk):
+                index = lo + offset
+                packet = self.components.transmitter.transmit(
+                    record.sequence_number
                 )
-                if index >= skip_initial:
-                    results[estimator.name].add(outcome)
-            for estimator in estimators:
-                estimator.observe(ctx)
+                received = received_rows[offset]
+                ctx = PacketContext(
+                    measurement_set=test,
+                    index=index,
+                    record=record,
+                    received=received,
+                    receiver=self.components.receiver,
+                )
+                for estimator in estimators:
+                    estimate = estimator.estimate(ctx)
+                    outcome = self.decode_packet(
+                        estimate, packet, received, record
+                    )
+                    if index >= skip_initial:
+                        results[estimator.name].add(outcome)
+                for estimator in estimators:
+                    estimator.observe(ctx)
         if verbose:
             summary = ", ".join(
                 f"{name}: PER={result.per:.3f}"

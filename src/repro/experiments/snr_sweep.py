@@ -38,12 +38,14 @@ def run_snr_sweep(
     config: SimulationConfig,
     snrs_db: Sequence[float],
     num_sets: int | None = None,
+    workers: int | None = None,
 ) -> SNRSweepResult:
     """Evaluate the baseline suite at several SNR points.
 
     Each point re-simulates the campaign with the same seeds (so the
     trajectories and crystal phases are identical; only the noise floor
-    moves) and evaluates one Table 2 combination.
+    moves) and evaluates one Table 2 combination.  ``workers`` fans each
+    point's dataset generation out over a process pool.
     """
     if len(snrs_db) < 2:
         raise ConfigurationError("sweep needs at least two SNR points")
@@ -60,7 +62,7 @@ def run_snr_sweep(
                 )
             )
         components = build_components(point_config)
-        sets = generate_dataset(point_config, components)
+        sets = generate_dataset(point_config, components, workers=workers)
         runner = EvaluationRunner(components, sets)
         combination = rotating_set_combinations(
             point_config.dataset.num_sets

@@ -208,7 +208,10 @@ class Conv2D(Layer):
         # One contiguous (B*Ho*Wo, C) copy per kernel shift feeds a single
         # large GEMM, which is far faster than batched small matmuls.
         slices = []
-        out_flat = np.tile(self.bias.value, (b * ho * wo, 1))
+        out_flat = np.empty(
+            (b * ho * wo, self.filters), dtype=self.bias.value.dtype
+        )
+        out_flat[:] = self.bias.value
         for di in range(k):
             for dj in range(k):
                 x_slice = np.ascontiguousarray(

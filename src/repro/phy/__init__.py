@@ -16,16 +16,24 @@ end-to-end:
 from .pn import PN_SEQUENCES, pn_sequence, BIPOLAR_PN_SEQUENCES
 from .crc import crc16_itut, append_fcs, check_fcs
 from .symbols import bytes_to_symbols, symbols_to_bytes
-from .spreading import spread_symbols, despread_chips, despread_soft_chips
+from .spreading import (
+    spread_symbols,
+    despread_chips,
+    despread_chips_batch,
+    despread_soft_chips,
+)
 from .oqpsk import (
     half_sine_pulse,
     oqpsk_modulate,
     oqpsk_chip_projections,
+    oqpsk_chip_projections_batch,
     oqpsk_demodulate,
+    oqpsk_demodulate_batch,
 )
 from .frame import FrameLayout, make_psdu, parse_psdu
 from .transmitter import Transmitter, TransmittedPacket
 from .receiver import Receiver, DecodeResult
+from .batch import BatchPhyEngine, get_batch_engine
 
 __all__ = [
     "PN_SEQUENCES",
@@ -38,11 +46,14 @@ __all__ = [
     "symbols_to_bytes",
     "spread_symbols",
     "despread_chips",
+    "despread_chips_batch",
     "despread_soft_chips",
     "half_sine_pulse",
     "oqpsk_modulate",
     "oqpsk_chip_projections",
+    "oqpsk_chip_projections_batch",
     "oqpsk_demodulate",
+    "oqpsk_demodulate_batch",
     "FrameLayout",
     "make_psdu",
     "parse_psdu",
@@ -50,4 +61,6 @@ __all__ = [
     "TransmittedPacket",
     "Receiver",
     "DecodeResult",
+    "BatchPhyEngine",
+    "get_batch_engine",
 ]

@@ -10,16 +10,27 @@ from __future__ import annotations
 _POLY_REFLECTED = 0x8408  # 0x1021 bit-reversed
 
 
-def crc16_itut(data: bytes) -> int:
-    """Compute the 802.15.4 FCS over ``data``; returns a 16-bit integer."""
-    crc = 0x0000
-    for byte in data:
-        crc ^= byte
+def _build_table() -> tuple[int, ...]:
+    table = []
+    for byte in range(256):
+        crc = byte
         for _ in range(8):
             if crc & 1:
                 crc = (crc >> 1) ^ _POLY_REFLECTED
             else:
                 crc >>= 1
+        table.append(crc & 0xFFFF)
+    return tuple(table)
+
+
+_CRC_TABLE = _build_table()
+
+
+def crc16_itut(data: bytes) -> int:
+    """Compute the 802.15.4 FCS over ``data``; returns a 16-bit integer."""
+    crc = 0x0000
+    for byte in data:
+        crc = (crc >> 8) ^ _CRC_TABLE[(crc ^ byte) & 0xFF]
     return crc & 0xFFFF
 
 

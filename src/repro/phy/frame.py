@@ -120,6 +120,9 @@ class FrameLayout:
         return spread_symbols(self.frame_symbols(psdu))
 
 
+_FILLER_CACHE: dict[int, bytes] = {}
+
+
 def make_psdu(sequence_number: int, psdu_bytes: int) -> bytes:
     """Build the paper's measurement payload.
 
@@ -136,11 +139,13 @@ def make_psdu(sequence_number: int, psdu_bytes: int) -> bytes:
             f"sequence_number must fit 16 bits, got {sequence_number}"
         )
     payload_len = psdu_bytes - 2
-    payload = bytearray(payload_len)
+    filler = _FILLER_CACHE.get(payload_len)
+    if filler is None:
+        filler = bytes((37 * i + 11) & 0xFF for i in range(payload_len))
+        _FILLER_CACHE[payload_len] = filler
+    payload = bytearray(filler)
     payload[0] = sequence_number & 0xFF
     payload[1] = sequence_number >> 8
-    for i in range(2, payload_len):
-        payload[i] = (37 * i + 11) & 0xFF
     return append_fcs(bytes(payload))
 
 

@@ -84,6 +84,51 @@ def oqpsk_chip_projections(
     return windows @ pulse
 
 
+def oqpsk_chip_projections_batch(
+    waveforms: np.ndarray, num_chips: int, samples_per_chip: int
+) -> np.ndarray:
+    """Matched-filter chip projections for a ``(P, samples)`` batch.
+
+    Splits every pulse window into its two non-overlapping chip-period
+    halves so the projections become two contiguous batched matmuls (no
+    per-chip window gather).
+    """
+    waveforms = np.asarray(waveforms, dtype=np.complex128)
+    if waveforms.ndim != 2:
+        raise ShapeError("waveforms must be (P, samples)")
+    pulse = half_sine_pulse(samples_per_chip)
+    needed = num_chips * samples_per_chip + samples_per_chip
+    if waveforms.shape[1] < needed:
+        padded = np.zeros(
+            (waveforms.shape[0], needed), dtype=np.complex128
+        )
+        padded[:, : waveforms.shape[1]] = waveforms
+        waveforms = padded
+    blocks = waveforms[:, :needed].reshape(
+        waveforms.shape[0], num_chips + 1, samples_per_chip
+    )
+    head = blocks[:, :num_chips, :] @ pulse[:samples_per_chip]
+    tail = blocks[:, 1 : num_chips + 1, :] @ pulse[samples_per_chip:]
+    return head + tail
+
+
+def oqpsk_demodulate_batch(
+    waveforms: np.ndarray, num_chips: int, samples_per_chip: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`oqpsk_demodulate` over a waveform batch.
+
+    Returns ``(soft_chips, hard_chips)`` of shape ``(P, num_chips)``.
+    """
+    projections = oqpsk_chip_projections_batch(
+        waveforms, num_chips, samples_per_chip
+    )
+    soft = np.empty(projections.shape, dtype=np.float64)
+    soft[:, 0::2] = projections[:, 0::2].real
+    soft[:, 1::2] = projections[:, 1::2].imag
+    hard = (soft > 0).astype(np.int8)
+    return soft, hard
+
+
 def oqpsk_demodulate(
     waveform: np.ndarray, num_chips: int, samples_per_chip: int
 ) -> tuple[np.ndarray, np.ndarray]:

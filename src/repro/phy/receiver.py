@@ -6,24 +6,38 @@ performed; the techniques differ only in where the channel estimate comes
 from.  ``decode_with_estimate`` applies LS zero-forcing equalization with
 the supplied estimate, ``decode_standard`` performs the plain IEEE
 802.15.4 decoding without equalization.
+
+Batched variants (``*_batch`` / ``decode_batch``) process a ``(P,
+samples)`` packet matrix at once: the preamble LS operator and the ZF
+equalizers are cached per receiver, and synchronization, equalization,
+demodulation and despreading run as matrix operations.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..config import PhyConfig, ReceiverConfig
-from ..dsp.equalization import equalize, equalizer_delay, zero_forcing_equalizer
-from ..dsp.estimation import ls_channel_estimate
+from ..dsp.equalization import (
+    equalize,
+    equalize_batch,
+    equalizer_delay,
+    zero_forcing_equalizer,
+)
+from ..dsp.estimation import ls_channel_estimate, valid_ls_operator
 from ..dsp.phase import estimate_waveform_phase_shift
 from ..errors import ShapeError
 from .frame import FrameLayout, parse_psdu, psdu_from_symbols
-from .oqpsk import oqpsk_demodulate
-from .spreading import despread_chips
-from .synchronization import SyncResult, correlate_sync
+from .oqpsk import oqpsk_demodulate, oqpsk_demodulate_batch
+from .spreading import despread_chips, despread_chips_batch
+from .synchronization import SyncResult, correlate_sync, correlate_sync_batch
 from .transmitter import Transmitter
+
+_GAIN_EPS = 1e-12
+_EQUALIZER_CACHE_SIZE = 512
 
 
 @dataclass
@@ -55,11 +69,26 @@ class Receiver:
         self._reference_shr_energy = float(
             np.sum(np.abs(self._reference_shr) ** 2)
         )
+        #: Cached pseudo-inverse of the SHR window matrix per tap count —
+        #: the matrix depends only on the constant preamble waveform.
+        self._preamble_operators: dict[int, np.ndarray] = {}
+        #: LRU of ZF equalizers keyed by the exact estimate bytes.
+        self._equalizer_cache: OrderedDict[
+            tuple[bytes, int, int], np.ndarray
+        ] = OrderedDict()
 
     # -- synchronization and detection ----------------------------------
     def synchronize(self, received: np.ndarray) -> SyncResult:
         """Correlation frame sync against the clean SHR reference."""
         return correlate_sync(
+            received, self._reference_shr, self.config.sync_search_window
+        )
+
+    def synchronize_batch(
+        self, received: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Frame-sync every row of a packet batch; ``(offsets, metrics)``."""
+        return correlate_sync_batch(
             received, self._reference_shr, self.config.sync_search_window
         )
 
@@ -73,7 +102,27 @@ class Receiver:
         detected = sync.metric >= self.config.preamble_detection_threshold
         return detected, sync.metric
 
+    def detect_preamble_batch(
+        self, received: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Row-wise :meth:`detect_preamble`; ``(detected, metrics)``."""
+        _, metrics = self.synchronize_batch(received)
+        detected = metrics >= self.config.preamble_detection_threshold
+        return detected, metrics
+
     # -- channel estimates ------------------------------------------------
+    def _preamble_operator(self, num_taps: int) -> np.ndarray:
+        operator = self._preamble_operators.get(num_taps)
+        if operator is None:
+            region = self.layout.shr_samples
+            operator = valid_ls_operator(
+                np.asarray(self._reference_shr, dtype=np.complex128),
+                num_taps,
+            )
+            assert operator.shape[1] == region - num_taps + 1
+            self._preamble_operators[num_taps] = operator
+        return operator
+
     def preamble_ls_estimate(
         self, received: np.ndarray, num_taps: int
     ) -> np.ndarray:
@@ -85,6 +134,17 @@ class Receiver:
             num_taps,
             mode="valid",
         )
+
+    def preamble_ls_estimate_batch(
+        self, received: np.ndarray, num_taps: int
+    ) -> np.ndarray:
+        """Row-wise :meth:`preamble_ls_estimate` via one cached operator."""
+        received = np.asarray(received, dtype=np.complex128)
+        if received.ndim != 2:
+            raise ShapeError("received batch must be 2-D")
+        region = self.layout.shr_samples
+        operator = self._preamble_operator(num_taps)
+        return received[:, num_taps - 1 : region] @ operator.T
 
     def full_ls_estimate(
         self,
@@ -107,6 +167,24 @@ class Receiver:
             self._reference_shr,
             estimate,
         )
+
+    # -- equalizer construction -------------------------------------------
+    def _equalizer_for(
+        self, estimate: np.ndarray, delay: int
+    ) -> np.ndarray:
+        """ZF equalizer for an estimate, LRU-cached per distinct estimate."""
+        key = (estimate.tobytes(), self.config.equalizer_taps, delay)
+        cached = self._equalizer_cache.get(key)
+        if cached is not None:
+            self._equalizer_cache.move_to_end(key)
+            return cached
+        taps = zero_forcing_equalizer(
+            estimate, self.config.equalizer_taps, delay
+        )
+        self._equalizer_cache[key] = taps
+        if len(self._equalizer_cache) > _EQUALIZER_CACHE_SIZE:
+            self._equalizer_cache.popitem(last=False)
+        return taps
 
     # -- decoding ---------------------------------------------------------
     def _despread_and_parse(
@@ -139,9 +217,7 @@ class Receiver:
         if estimate.ndim != 1:
             raise ShapeError("channel estimate must be 1-D")
         delay = equalizer_delay(len(estimate), self.config.equalizer_taps)
-        eq_taps = zero_forcing_equalizer(
-            estimate, self.config.equalizer_taps, delay
-        )
+        eq_taps = self._equalizer_for(estimate, delay)
         aligned = equalize(
             received,
             eq_taps,
@@ -149,6 +225,60 @@ class Receiver:
             output_length=self.layout.waveform_samples,
         )
         return self._despread_and_parse(aligned)
+
+    def decode_batch(
+        self, received: np.ndarray, estimates: np.ndarray
+    ) -> list[DecodeResult]:
+        """Row-wise :meth:`decode_with_estimate` over a packet batch.
+
+        Equalizes and despreads the whole ``(P, samples)`` matrix at
+        once; results match the scalar path per row.
+        """
+        received = np.asarray(received, dtype=np.complex128)
+        estimates = np.asarray(estimates, dtype=np.complex128)
+        if received.ndim != 2 or estimates.ndim != 2:
+            raise ShapeError(
+                "decode_batch expects 2-D received and estimate batches"
+            )
+        if received.shape[0] != estimates.shape[0]:
+            raise ShapeError(
+                f"batch size mismatch: {received.shape[0]} received rows "
+                f"vs {estimates.shape[0]} estimates"
+            )
+        delay = equalizer_delay(
+            estimates.shape[1], self.config.equalizer_taps
+        )
+        equalizers = np.empty(
+            (received.shape[0], self.config.equalizer_taps),
+            dtype=np.complex128,
+        )
+        for row in range(received.shape[0]):
+            equalizers[row] = self._equalizer_for(estimates[row], delay)
+        aligned = equalize_batch(
+            received,
+            equalizers,
+            delay,
+            output_length=self.layout.waveform_samples,
+        )
+        soft, hard = oqpsk_demodulate_batch(
+            aligned, self.layout.total_chips, self.phy.samples_per_chip
+        )
+        symbols = despread_chips_batch(hard)
+        results = []
+        for row in range(received.shape[0]):
+            psdu = psdu_from_symbols(symbols[row], self.layout)
+            sequence_number, fcs_ok = parse_psdu(psdu)
+            results.append(
+                DecodeResult(
+                    symbols=symbols[row],
+                    hard_chips=hard[row],
+                    soft_chips=soft[row],
+                    psdu=psdu,
+                    sequence_number=sequence_number,
+                    fcs_ok=fcs_ok,
+                )
+            )
+        return results
 
     def decode_standard(self, received: np.ndarray) -> DecodeResult:
         """Plain 802.15.4 decoding: sync + scalar gain, no equalization."""
@@ -161,7 +291,9 @@ class Receiver:
             gain = np.vdot(reference, aligned[:region]) / energy
         else:
             gain = 1.0
-        if gain == 0:
+        # Near-zero gains in deep fades would blow the correction up to
+        # numerical garbage; compare by magnitude, not complex equality.
+        if abs(gain) < _GAIN_EPS:
             gain = 1.0
         corrected = aligned / gain
         if len(corrected) < self.layout.waveform_samples:

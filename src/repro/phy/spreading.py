@@ -61,3 +61,19 @@ def despread_chips(chips: np.ndarray) -> np.ndarray:
     bipolar = 2.0 * chips.astype(np.float64) - 1.0
     symbols, _ = despread_soft_chips(bipolar)
     return symbols
+
+
+def despread_chips_batch(chips: np.ndarray) -> np.ndarray:
+    """Row-wise :func:`despread_chips` over a ``(P, chips)`` batch."""
+    chips = np.asarray(chips)
+    if chips.ndim != 2:
+        raise ShapeError("chips batch must be 2-D")
+    if chips.shape[1] % CHIPS_PER_SYMBOL != 0:
+        raise ShapeError(
+            f"chip count {chips.shape[1]} is not a multiple of "
+            f"{CHIPS_PER_SYMBOL}"
+        )
+    bipolar = 2.0 * chips.astype(np.float64) - 1.0
+    groups = bipolar.reshape(chips.shape[0], -1, CHIPS_PER_SYMBOL)
+    scores = groups @ BIPOLAR_PN_SEQUENCES.T
+    return np.argmax(scores, axis=2).astype(np.uint8)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from ..errors import ShapeError, SynchronizationError
 from ..dsp.convolution import cross_correlate_full
@@ -78,3 +79,66 @@ def correlate_sync(
     else:
         metric = float(magnitudes[best] / ref_energy)
     return SyncResult(offset=best, metric=metric)
+
+
+def correlate_sync_batch(
+    received: np.ndarray,
+    reference: np.ndarray,
+    search_window: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Frame-sync a ``(P, samples)`` batch against one clean SHR reference.
+
+    Only ``search_window + 1`` candidate lags exist, so the batched path
+    computes them as direct inner products (one small matmul over strided
+    windows) instead of a full FFT correlation per packet.
+
+    Returns
+    -------
+    tuple
+        ``(offsets, metrics)`` arrays of shape ``(P,)`` matching
+        :func:`correlate_sync` per row.
+    """
+    received = np.asarray(received, dtype=np.complex128)
+    reference = np.asarray(reference, dtype=np.complex128)
+    if received.ndim != 2 or reference.ndim != 1:
+        raise ShapeError(
+            "correlate_sync_batch expects a 2-D batch and 1-D reference"
+        )
+    if search_window < 0:
+        raise ShapeError("search_window must be >= 0")
+    if received.shape[1] < len(reference):
+        raise SynchronizationError(
+            f"received window ({received.shape[1]}) shorter than reference "
+            f"({len(reference)})"
+        )
+    # The scalar full correlation offers one candidate per received
+    # sample; beyond the full-overlap range the windows are partial.
+    num_lags = min(search_window + 1, received.shape[1])
+    full_lags = min(num_lags, received.shape[1] - len(reference) + 1)
+    if num_lags <= 0:
+        raise SynchronizationError("empty synchronization search window")
+    conj_reference = np.conj(reference)
+    correlation = np.empty(
+        (received.shape[0], num_lags), dtype=np.complex128
+    )
+    windows = sliding_window_view(received, len(reference), axis=1)
+    correlation[:, :full_lags] = (
+        windows[:, :full_lags, :] @ conj_reference
+    )
+    # Lags whose reference window runs past the end of the rows only
+    # partially overlap — match the scalar full correlation there.
+    for lag in range(full_lags, num_lags):
+        overlap = received.shape[1] - lag
+        correlation[:, lag] = (
+            received[:, lag:] @ conj_reference[:overlap]
+        )
+    magnitudes = np.abs(correlation)
+    offsets = np.argmax(magnitudes, axis=1)
+    ref_energy = float(np.sum(np.abs(reference) ** 2))
+    if ref_energy == 0:
+        metrics = np.zeros(received.shape[0])
+    else:
+        metrics = (
+            magnitudes[np.arange(received.shape[0]), offsets] / ref_energy
+        )
+    return offsets.astype(np.int64), metrics

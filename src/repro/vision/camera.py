@@ -16,6 +16,7 @@ from ..errors import ShapeError
 from .rendering import (
     ray_box_intersection,
     ray_cylinder_intersection,
+    ray_cylinder_intersection_batch,
     ray_room_intersection,
 )
 
@@ -124,3 +125,37 @@ class DepthCamera:
         )
         depth = np.minimum(self._static_depth, t)
         return np.minimum(depth, self.config.max_depth_m)
+
+    def render_batch(
+        self, humans_xy, chunk_size: int = 8
+    ) -> np.ndarray:
+        """Depth images for a batch of positions, shape ``(F, *grid)``.
+
+        Only the human cylinder moves between frames, so the static scene
+        is shared and the cylinder intersection is vectorized across
+        position chunks (chunked to keep the working set cache-sized).
+        """
+        humans_xy = np.asarray(humans_xy, dtype=np.float64)
+        if humans_xy.ndim != 2 or humans_xy.shape[1] < 2:
+            raise ShapeError(
+                f"humans_xy must be (F, >=2), got {humans_xy.shape}"
+            )
+        chunk_size = max(1, chunk_size)
+        out = np.empty(
+            (len(humans_xy),) + self._static_depth.shape,
+            dtype=np.float64,
+        )
+        for lo in range(0, len(humans_xy), chunk_size):
+            chunk = humans_xy[lo : lo + chunk_size, :2]
+            t = ray_cylinder_intersection_batch(
+                self._origin,
+                self._directions,
+                chunk,
+                self.channel.human_radius_m,
+                self.channel.human_height_m,
+            )
+            depth = np.minimum(self._static_depth[None], t)
+            out[lo : lo + len(chunk)] = np.minimum(
+                depth, self.config.max_depth_m
+            )
+        return out

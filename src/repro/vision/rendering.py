@@ -126,6 +126,62 @@ def ray_cylinder_intersection(
     return np.minimum(side, cap)
 
 
+def ray_cylinder_intersection_batch(
+    origin: np.ndarray,
+    directions: np.ndarray,
+    centres_xy: np.ndarray,
+    radius: float,
+    height: float,
+) -> np.ndarray:
+    """Vectorized :func:`ray_cylinder_intersection` over cylinder centres.
+
+    ``centres_xy`` has shape ``(F, 2)``; returns ``(F, *grid)`` hit
+    distances matching the scalar function per centre.
+    """
+    directions = _check_dirs(directions)
+    origin = np.asarray(origin, dtype=np.float64)
+    centres = np.asarray(centres_xy, dtype=np.float64)
+    if centres.ndim != 2 or centres.shape[1] != 2:
+        raise ShapeError(
+            f"centres_xy must be (F, 2), got {centres.shape}"
+        )
+    if radius <= 0 or height <= 0:
+        raise ShapeError("cylinder radius and height must be positive")
+
+    grid_axes = (1,) * (directions.ndim - 1)
+    dx = directions[..., 0][None]
+    dy = directions[..., 1][None]
+    dz = directions[..., 2][None]
+    ox = (origin[0] - centres[:, 0]).reshape(-1, *grid_axes)
+    oy = (origin[1] - centres[:, 1]).reshape(-1, *grid_axes)
+
+    a = dx * dx + dy * dy
+    b = 2.0 * (ox * dx + oy * dy)
+    c = ox * ox + oy * oy - radius * radius
+    disc = b * b - 4.0 * a * c
+    sqrt_disc = np.sqrt(np.maximum(disc, 0.0))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_lo = (-b - sqrt_disc) / (2.0 * a)
+        t_hi = (-b + sqrt_disc) / (2.0 * a)
+    valid = disc >= 0.0
+
+    def _side_hit(t: np.ndarray) -> np.ndarray:
+        z = origin[2] + dz * t
+        ok = valid & (t > _EPS) & (z >= 0.0) & (z <= height)
+        return np.where(ok, t, np.inf)
+
+    side = np.minimum(_side_hit(t_lo), _side_hit(t_hi))
+
+    # Top cap disc at z = height.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t_cap = (height - origin[2]) / dz
+        px = origin[0] + dx * t_cap - centres[:, 0].reshape(-1, *grid_axes)
+        py = origin[1] + dy * t_cap - centres[:, 1].reshape(-1, *grid_axes)
+        cap_ok = (t_cap > _EPS) & (px * px + py * py <= radius * radius)
+    cap = np.where(cap_ok, np.broadcast_to(t_cap, cap_ok.shape), np.inf)
+    return np.minimum(side, cap)
+
+
 def ray_room_intersection(
     origin: np.ndarray,
     directions: np.ndarray,

@@ -1,6 +1,26 @@
 """Legacy setup shim: the offline environment lacks the `wheel` package, so
-PEP 660 editable installs are unavailable; this enables `setup.py develop`."""
+PEP 660 editable installs are unavailable; this enables `setup.py develop`.
 
-from setuptools import setup
+Also registers the ``repro`` console script so the campaign CLI installs
+alongside ``python -m repro``.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-vvd",
+    version="1.0.0",
+    description=(
+        "Reproduction of Veni Vidi Dixi (CoNEXT 2019): channel "
+        "estimation from depth images, with campaign orchestration"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.campaign.cli:main",
+        ]
+    },
+)

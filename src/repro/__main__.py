@@ -1,0 +1,12 @@
+"""``python -m repro`` — the campaign orchestration CLI.
+
+Thin launcher for :func:`repro.campaign.cli.main`; see that module (or
+``python -m repro --help``) for the subcommand reference.
+"""
+
+import sys
+
+from .campaign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

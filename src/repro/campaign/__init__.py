@@ -1,0 +1,67 @@
+"""Campaign orchestration: scenarios, dataset cache, resumable runs.
+
+The subsystem that turns the reproduction into an orchestrated,
+restartable system (see docs/ARCHITECTURE.md):
+
+- :mod:`repro.campaign.scenario` — declarative :class:`Scenario`
+  dataclasses and a registry of named presets (the paper's
+  configurations plus multi-human crossings, varied walking speeds and
+  a dense-office geometry).
+- :mod:`repro.campaign.cache` — a content-addressed on-disk cache of
+  generated measurement sets, keyed by a stable hash of the resolved
+  configuration plus a code-version salt.
+- :mod:`repro.campaign.manifest` — the per-step JSON journal that makes
+  killed campaigns resumable.
+- :mod:`repro.campaign.runner` — campaign DAG execution and the sweep /
+  figure step builders.
+- :mod:`repro.campaign.cli` — the ``repro`` / ``python -m repro``
+  command line.
+"""
+
+from .cache import (
+    CacheEntry,
+    CacheStats,
+    DatasetCache,
+    config_fingerprint,
+    default_cache_dir,
+)
+from .manifest import CampaignManifest
+from .runner import (
+    FIGURE_NAMES,
+    Campaign,
+    CampaignContext,
+    CampaignResult,
+    CampaignStep,
+    figure_steps,
+    render_figure,
+    sweep_steps,
+)
+from .scenario import (
+    ROOM_PRESETS,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "DatasetCache",
+    "config_fingerprint",
+    "default_cache_dir",
+    "CampaignManifest",
+    "FIGURE_NAMES",
+    "Campaign",
+    "CampaignContext",
+    "CampaignResult",
+    "CampaignStep",
+    "figure_steps",
+    "render_figure",
+    "sweep_steps",
+    "ROOM_PRESETS",
+    "Scenario",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+]

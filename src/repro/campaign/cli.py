@@ -1,0 +1,387 @@
+"""The ``repro`` command line: orchestrated, cached, resumable campaigns.
+
+Installed as the ``repro`` console script (``setup.py``) and runnable as
+``python -m repro``.  Subcommands:
+
+``list-scenarios``
+    Print every registered scenario preset.
+``generate``
+    Materialize a scenario's measurement sets in the dataset cache.
+``sweep``
+    Run the SNR-sweep campaign of a scenario as a resumable step DAG.
+``figure``
+    Render paper tables/figures from the cached evaluation bundle.
+``cache``
+    Inspect (``stats``/``list``) or invalidate (``clear``) the cache.
+
+Every subcommand accepts ``--cache-dir`` (default: ``$REPRO_CACHE_DIR``
+or ``~/.cache/repro-vvd/datasets``); dataset generation fans out over
+``--workers`` processes (default: ``$REPRO_BENCH_WORKERS``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from pathlib import Path
+
+from ..errors import ReproError
+from ..experiments.suite import SUITE_BUILDERS
+from .cache import DATASET_CACHE_SALT, DatasetCache
+from .runner import (
+    FIGURE_NAMES,
+    Campaign,
+    CampaignContext,
+    figure_steps,
+    sweep_steps,
+)
+from .scenario import Scenario, get_scenario, list_scenarios
+
+
+def _default_workers() -> int | None:
+    """Worker default: ``$REPRO_BENCH_WORKERS`` (unset/empty/0 = serial)."""
+    raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+    try:
+        return int(raw) or None
+    except ValueError:
+        return None
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="dataset cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-vvd/datasets)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=_default_workers(),
+        help="process-pool size for dataset generation "
+        "(default: $REPRO_BENCH_WORKERS or serial)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-step/per-set progress",
+    )
+
+
+def _campaign_dir(
+    cache: DatasetCache, kind: str, scenario: Scenario, options: dict
+) -> Path:
+    """Stable per-campaign directory under ``<cache root>/campaigns``.
+
+    The id hashes the scenario plus the campaign options and the
+    dataset code-version salt, so changing the SNR grid, the suite, the
+    set count — or bumping the generator version — starts a fresh
+    manifest, while re-running the identical command resumes the
+    previous one.  (Pass ``--fresh`` to force re-execution after code
+    changes the salt does not capture, e.g. estimator fixes.)
+    """
+    canonical = json.dumps(
+        {
+            "scenario": scenario.name,
+            "kind": kind,
+            "options": options,
+            "salt": DATASET_CACHE_SALT,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(canonical.encode()).hexdigest()[:12]
+    return (
+        cache.root
+        / "campaigns"
+        / f"{kind}-{scenario.name}-{digest}"
+    )
+
+
+# -- subcommands --------------------------------------------------------
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    scenarios = list_scenarios()
+    name_width = max(len(s.name) for s in scenarios)
+    print(f"{'scenario':<{name_width}}  {'base':<8} description")
+    print("-" * (name_width + 60))
+    for scenario in scenarios:
+        tags = f"  [{', '.join(scenario.tags)}]" if scenario.tags else ""
+        print(
+            f"{scenario.name:<{name_width}}  {scenario.base:<8} "
+            f"{scenario.description}{tags}"
+        )
+    print(
+        f"\n{len(scenarios)} scenario(s); run one with e.g. "
+        "`python -m repro generate --scenario <name>`"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    config = scenario.resolve()
+    cache = DatasetCache(args.cache_dir)
+    sets = cache.load_or_generate(
+        config,
+        workers=args.workers,
+        engine=args.engine,
+        verbose=args.verbose,
+        force=args.force,
+    )
+    print(
+        f"scenario {scenario.name!r}: {len(sets)} set(s) ready under "
+        f"{cache.entry_dir(config, engine=args.engine)}"
+    )
+    print(f"cache: {cache.stats.summary()}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    config = scenario.resolve()
+    snrs = tuple(args.snrs) if args.snrs else scenario.snr_grid_db
+    cache = DatasetCache(args.cache_dir)
+    options = {
+        "snrs_db": sorted(float(s) for s in snrs),
+        "num_sets": args.num_sets,
+        "suite": args.suite,
+    }
+    directory = _campaign_dir(cache, "sweep", scenario, options)
+    campaign = Campaign(
+        f"sweep[{scenario.name}]",
+        sweep_steps(
+            config,
+            snrs,
+            num_sets=args.num_sets,
+            suite=args.suite,
+        ),
+        directory,
+    )
+    context = CampaignContext(
+        config,
+        cache,
+        directory,
+        workers=args.workers,
+        verbose=args.verbose,
+    )
+    result = campaign.run(context, resume=not args.fresh)
+    print(context.read_output("report"))
+    print(
+        f"\nsteps: {len(result.executed)} executed, "
+        f"{len(result.skipped)} resumed from manifest "
+        f"({directory / 'manifest.json'})"
+    )
+    print(f"cache: {cache.stats.summary()}")
+    if cache.stats.sets_generated == 0:
+        print("no measurement sets regenerated (100% cache hits)")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    config = scenario.resolve()
+    names = []
+    for name in args.names:
+        if name == "all":
+            names.extend(
+                f for f in FIGURE_NAMES if f not in names
+            )
+        elif name not in names:
+            names.append(name)
+    cache = DatasetCache(args.cache_dir)
+    options = {
+        "figures": names,
+        "combinations": args.combinations,
+    }
+    directory = _campaign_dir(cache, "figure", scenario, options)
+    campaign = Campaign(
+        f"figure[{scenario.name}]",
+        figure_steps(config, names),
+        directory,
+    )
+    context = CampaignContext(
+        config,
+        cache,
+        directory,
+        workers=args.workers,
+        verbose=args.verbose,
+        options={"combinations": args.combinations},
+    )
+    result = campaign.run(context, resume=not args.fresh)
+    for name in names:
+        print(context.read_output(f"figure:{name}"))
+        print()
+    print(
+        f"steps: {len(result.executed)} executed, "
+        f"{len(result.skipped)} resumed; cache: {cache.stats.summary()}"
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = DatasetCache(args.cache_dir)
+    if args.action == "stats":
+        entries = cache.entries()
+        total = sum(entry.size_bytes for entry in entries)
+        complete = sum(1 for entry in entries if entry.complete)
+        print(f"cache root: {cache.root}")
+        print(
+            f"{len(entries)} entr(ies), {complete} complete, "
+            f"{total / 1e6:.1f} MB"
+        )
+        return 0
+    if args.action == "list":
+        entries = cache.entries()
+        if not entries:
+            print(f"cache root {cache.root} is empty")
+            return 0
+        for entry in entries:
+            state = "complete" if entry.complete else "partial"
+            print(
+                f"{entry.key}  {entry.num_sets_present} set(s)  "
+                f"{entry.size_bytes / 1e6:8.1f} MB  {state}  "
+                f"{entry.description}"
+            )
+        return 0
+    if args.action == "clear":
+        if args.key:
+            removed = cache.invalidate(key=args.key)
+        else:
+            removed = cache.clear()
+        print(f"removed {removed} cache entr(ies) from {cache.root}")
+        return 0
+    raise ReproError(f"unknown cache action {args.action!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Campaign orchestration for the VVD reproduction: "
+        "named scenarios, a content-addressed dataset cache and "
+        "resumable sweep/figure campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser(
+        "list-scenarios", help="print every registered scenario preset"
+    )
+    p_list.set_defaults(func=_cmd_list_scenarios)
+
+    p_generate = sub.add_parser(
+        "generate",
+        help="materialize a scenario's measurement sets in the cache",
+    )
+    p_generate.add_argument(
+        "--scenario", default="reduced", help="scenario preset name"
+    )
+    p_generate.add_argument(
+        "--engine",
+        choices=("batch", "scalar"),
+        default="batch",
+        help="packet-processing engine",
+    )
+    p_generate.add_argument(
+        "--force",
+        action="store_true",
+        help="discard any cached entry and regenerate",
+    )
+    _add_common_options(p_generate)
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run the resumable SNR-sweep campaign of a scenario",
+    )
+    p_sweep.add_argument(
+        "--scenario", default="reduced", help="scenario preset name"
+    )
+    p_sweep.add_argument(
+        "--snrs",
+        type=float,
+        nargs="+",
+        default=None,
+        help="SNR grid in dB (default: the scenario's grid)",
+    )
+    p_sweep.add_argument(
+        "--num-sets",
+        type=int,
+        default=None,
+        help="limit the measurement sets per point",
+    )
+    p_sweep.add_argument(
+        "--suite",
+        default="baseline",
+        choices=sorted(SUITE_BUILDERS),
+        help="estimator line-up evaluated per point",
+    )
+    p_sweep.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore the campaign manifest and re-run every step",
+    )
+    _add_common_options(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_figure = sub.add_parser(
+        "figure",
+        help="render paper tables/figures from the cached bundle",
+    )
+    p_figure.add_argument(
+        "names",
+        nargs="+",
+        choices=FIGURE_NAMES + ("all",),
+        help="figures/tables to render ('all' = the full report)",
+    )
+    p_figure.add_argument(
+        "--scenario", default="reduced", help="scenario preset name"
+    )
+    p_figure.add_argument(
+        "--combinations",
+        type=int,
+        default=3,
+        help="Table 2 combinations evaluated (15 = full)",
+    )
+    p_figure.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore the campaign manifest and re-run every step",
+    )
+    _add_common_options(p_figure)
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or invalidate the dataset cache"
+    )
+    p_cache.add_argument(
+        "action",
+        choices=("stats", "list", "clear"),
+        help="stats = totals, list = per-entry, clear = invalidate",
+    )
+    p_cache.add_argument(
+        "--key",
+        default=None,
+        help="with 'clear': remove only this cache key",
+    )
+    _add_common_options(p_cache)
+    p_cache.set_defaults(func=_cmd_cache)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - python -m repro.campaign.cli
+    sys.exit(main())

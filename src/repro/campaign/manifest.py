@@ -1,0 +1,97 @@
+"""Per-step campaign manifests: the resume journal of a campaign run.
+
+A manifest is one JSON file mapping step id -> {status, detail,
+updated}.  The campaign runner marks each step ``running`` before
+executing it and ``done``/``failed`` after, saving atomically on every
+transition, so a killed campaign records exactly which steps completed;
+the next run skips ``done`` steps and re-executes the rest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from ..errors import ConfigurationError
+
+#: Step states persisted in the manifest.
+STATUS_PENDING = "pending"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+STATUS_FAILED = "failed"
+
+_VALID_STATUSES = (
+    STATUS_PENDING,
+    STATUS_RUNNING,
+    STATUS_DONE,
+    STATUS_FAILED,
+)
+
+_MANIFEST_VERSION = 1
+
+
+class CampaignManifest:
+    """Load/update/save the per-step status journal of one campaign."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.steps: dict[str, dict] = {}
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignManifest":
+        """Read a manifest from disk (empty manifest if absent)."""
+        manifest = cls(path)
+        if manifest.path.exists():
+            data = json.loads(manifest.path.read_text())
+            if data.get("version") != _MANIFEST_VERSION:
+                raise ConfigurationError(
+                    f"manifest {manifest.path} has version "
+                    f"{data.get('version')!r}; expected {_MANIFEST_VERSION}"
+                )
+            manifest.steps = dict(data.get("steps", {}))
+        return manifest
+
+    def save(self) -> None:
+        """Persist atomically (temp file + rename)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"version": _MANIFEST_VERSION, "steps": self.steps},
+            indent=2,
+            sort_keys=True,
+        )
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, self.path)
+
+    def status(self, step_id: str) -> str:
+        """Current status of a step (``pending`` when never recorded)."""
+        return self.steps.get(step_id, {}).get("status", STATUS_PENDING)
+
+    def mark(self, step_id: str, status: str, detail: str = "") -> None:
+        """Record a status transition and save immediately."""
+        if status not in _VALID_STATUSES:
+            raise ConfigurationError(
+                f"unknown step status {status!r}; expected one of "
+                f"{_VALID_STATUSES}"
+            )
+        self.steps[step_id] = {
+            "status": status,
+            "detail": detail,
+            "updated": time.time(),
+        }
+        self.save()
+
+    def counts(self) -> dict[str, int]:
+        """Histogram of step statuses (only statuses that occur)."""
+        out: dict[str, int] = {}
+        for record in self.steps.values():
+            status = record.get("status", STATUS_PENDING)
+            out[status] = out.get(status, 0) + 1
+        return out
+
+    def reset(self) -> None:
+        """Forget every recorded step (used by ``--fresh`` runs)."""
+        self.steps = {}
+        self.save()

@@ -1,0 +1,477 @@
+"""Campaign execution: a DAG of cached, resumable steps.
+
+A campaign is a list of :class:`CampaignStep` objects with declared
+dependencies.  :class:`Campaign` topologically orders them and executes
+each step at most once, journaling per-step status into a
+:class:`~repro.campaign.manifest.CampaignManifest` and persisting each
+step's text payload under the campaign directory — so a killed run
+resumes exactly where it stopped, and a completed campaign replays its
+report without touching the simulator.
+
+Two campaign shapes are provided:
+
+:func:`sweep_steps`
+    One ``dataset@<snr>`` + ``eval@<snr>`` pair per SNR operating point
+    (datasets resolved through the content-addressed cache, evaluation
+    via :func:`~repro.experiments.snr_sweep.evaluate_snr_point`) and a
+    final ``report`` step assembling the PER table.
+
+:func:`figure_steps`
+    One ``dataset`` step plus one ``figure:<name>`` step per requested
+    table/figure; the evaluation bundle is built lazily once and shared
+    in-process between figure steps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from ..experiments.bundle import EvaluationBundle, build_evaluation_bundle
+from ..experiments.reporting import format_series_table
+from ..experiments.snr_sweep import evaluate_snr_point, snr_point_config
+from .cache import DatasetCache
+from .manifest import (
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_RUNNING,
+    CampaignManifest,
+)
+
+#: Figures/tables renderable by ``figure_steps`` (CLI ``repro figure``).
+FIGURE_NAMES = (
+    "table1",
+    "table2",
+    "fig5",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+)
+
+
+class CampaignContext:
+    """Everything steps need at run time.
+
+    Holds the resolved configuration, the dataset cache, the worker
+    fan-out, per-run options and a ``shared`` dict for expensive
+    in-process artifacts (the evaluation bundle, aging results) that are
+    memoized across steps of one run but never persisted.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        cache: DatasetCache,
+        directory: str | Path,
+        workers: int | None = None,
+        verbose: bool = False,
+        options: dict | None = None,
+    ) -> None:
+        self.config = config
+        self.cache = cache
+        self.directory = Path(directory)
+        self.workers = workers
+        self.verbose = verbose
+        self.options = dict(options or {})
+        self.shared: dict = {}
+
+    def output_path(self, step_id: str) -> Path:
+        """File persisting one step's text payload."""
+        safe = step_id.replace("/", "_")
+        return self.directory / "outputs" / f"{safe}.out"
+
+    def write_output(self, step_id: str, payload: str) -> None:
+        """Persist a step payload (atomic enough for text artifacts)."""
+        path = self.output_path(step_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(payload)
+
+    def read_output(self, step_id: str) -> str:
+        """Payload a completed step stored (raises if absent)."""
+        path = self.output_path(step_id)
+        if not path.exists():
+            raise ConfigurationError(
+                f"no stored output for step {step_id!r} at {path}"
+            )
+        return path.read_text()
+
+
+@dataclass(frozen=True)
+class CampaignStep:
+    """One node of the campaign DAG."""
+
+    #: Unique id, also the manifest key and output file stem.
+    step_id: str
+    #: One-line human description (shown in verbose runs).
+    description: str
+    #: Step body; returns the text payload persisted for resume/report.
+    run: Callable[[CampaignContext], str | None]
+    #: Ids of steps that must be ``done`` before this one runs.
+    depends_on: tuple[str, ...] = ()
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one :meth:`Campaign.run` invocation."""
+
+    executed: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Steps visited this run (executed + resumed)."""
+        return len(self.executed) + len(self.skipped)
+
+
+class Campaign:
+    """Topologically ordered, manifest-journaled step executor."""
+
+    def __init__(
+        self,
+        name: str,
+        steps: Sequence[CampaignStep],
+        directory: str | Path,
+    ) -> None:
+        self.name = name
+        self.directory = Path(directory)
+        self.steps = list(steps)
+        self._order = self._topological_order(self.steps)
+        self.manifest = CampaignManifest.load(
+            self.directory / "manifest.json"
+        )
+
+    @staticmethod
+    def _topological_order(
+        steps: Sequence[CampaignStep],
+    ) -> list[CampaignStep]:
+        """Dependency-respecting order; rejects dup ids/unknown deps/cycles.
+
+        Greedy by declaration order: repeatedly runs the *first declared*
+        step whose dependencies are satisfied.  This keeps producer →
+        consumer chains adjacent (``dataset@s`` directly before
+        ``eval@s``), so a cache-cold sweep holds at most one operating
+        point's measurement sets in memory instead of stacking every
+        point's datasets before the first evaluation.
+        """
+        by_id: dict[str, CampaignStep] = {}
+        for step in steps:
+            if step.step_id in by_id:
+                raise ConfigurationError(
+                    f"duplicate step id {step.step_id!r}"
+                )
+            by_id[step.step_id] = step
+        for step in steps:
+            for dep in step.depends_on:
+                if dep not in by_id:
+                    raise ConfigurationError(
+                        f"step {step.step_id!r} depends on unknown step "
+                        f"{dep!r}"
+                    )
+        done: set[str] = set()
+        remaining = list(steps)
+        order: list[CampaignStep] = []
+        while remaining:
+            for index, step in enumerate(remaining):
+                if all(dep in done for dep in step.depends_on):
+                    order.append(step)
+                    done.add(step.step_id)
+                    del remaining[index]
+                    break
+            else:
+                raise ConfigurationError(
+                    "campaign DAG has a cycle among "
+                    f"{sorted(s.step_id for s in remaining)}"
+                )
+        return order
+
+    def run(
+        self, context: CampaignContext, resume: bool = True
+    ) -> CampaignResult:
+        """Execute every step not already completed.
+
+        With ``resume=True`` (default) steps whose manifest status is
+        ``done`` and whose output file survives are skipped; otherwise
+        the manifest is reset and everything re-runs.  A step exception
+        is journaled as ``failed`` (with the exception text) before
+        propagating, so the next run retries from that step.
+        """
+        if not resume:
+            self.manifest.reset()
+        result = CampaignResult()
+        for step in self._order:
+            done = self.manifest.status(step.step_id) == STATUS_DONE
+            if done and context.output_path(step.step_id).exists():
+                result.skipped.append(step.step_id)
+                if context.verbose:
+                    print(f"[{self.name}] {step.step_id}: resumed (done)")
+                continue
+            self.manifest.mark(step.step_id, STATUS_RUNNING)
+            if context.verbose:
+                print(f"[{self.name}] {step.step_id}: {step.description}")
+            try:
+                payload = step.run(context)
+            except BaseException as exc:
+                self.manifest.mark(
+                    step.step_id,
+                    STATUS_FAILED,
+                    detail=f"{type(exc).__name__}: {exc}",
+                )
+                raise
+            context.write_output(step.step_id, payload or "")
+            self.manifest.mark(step.step_id, STATUS_DONE)
+            result.executed.append(step.step_id)
+        return result
+
+
+# -- sweep campaign -----------------------------------------------------
+def _snr_tag(snr_db: float) -> str:
+    return f"{snr_db:g}dB"
+
+
+def _materialize_dataset(
+    ctx: CampaignContext, config: SimulationConfig
+) -> str:
+    """Shared dataset-step body: ensure ``config`` is cached.
+
+    A complete on-disk entry is left untouched (the consuming step loads
+    it once); otherwise the missing sets are generated and the loaded
+    campaign is stashed under ``ctx.shared['sets:<key>']`` for the
+    consumer to pop, avoiding an immediate reload.  Returns the JSON
+    payload persisted for the step.
+    """
+    key = ctx.cache.key_for(config)
+    if ctx.cache.has(config):
+        return json.dumps({"key": key, "sets_generated": 0})
+    generated_before = ctx.cache.stats.sets_generated
+    ctx.shared[f"sets:{key}"] = ctx.cache.load_or_generate(
+        config, workers=ctx.workers, verbose=ctx.verbose
+    )
+    return json.dumps(
+        {
+            "key": key,
+            "sets_generated": ctx.cache.stats.sets_generated
+            - generated_before,
+        }
+    )
+
+
+def sweep_steps(
+    config: SimulationConfig,
+    snrs_db: Sequence[float],
+    num_sets: int | None = None,
+    suite: str = "baseline",
+) -> list[CampaignStep]:
+    """Steps of an SNR-sweep campaign over ``config``.
+
+    Per operating point: a ``dataset@<snr>`` step that materializes the
+    point's measurement sets in the cache (a no-op cache hit on repeat
+    runs) and an ``eval@<snr>`` step persisting the per-technique
+    PER/CER as JSON.  The final ``report`` step assembles the Sec. 6.6
+    PER-vs-SNR table purely from the stored JSON payloads.
+    """
+    if len(snrs_db) < 2:
+        raise ConfigurationError("sweep needs at least two SNR points")
+    ordered = sorted(set(float(s) for s in snrs_db))
+    steps: list[CampaignStep] = []
+    eval_ids = []
+    for snr in ordered:
+        tag = _snr_tag(snr)
+        point = snr_point_config(config, snr, num_sets=num_sets)
+
+        def _run_dataset(
+            ctx: CampaignContext, point=point
+        ) -> str:
+            return _materialize_dataset(ctx, point)
+
+        def _run_eval(
+            ctx: CampaignContext, point=point, snr=snr
+        ) -> str:
+            techniques = evaluate_snr_point(
+                point,
+                suite=suite,
+                cache=ctx.cache,
+                workers=ctx.workers,
+                sets=ctx.shared.pop(
+                    f"sets:{ctx.cache.key_for(point)}", None
+                ),
+            )
+            return json.dumps(
+                {
+                    "snr_db": snr,
+                    "per": {
+                        name: result.per
+                        for name, result in techniques.items()
+                    },
+                    "cer": {
+                        name: result.cer
+                        for name, result in techniques.items()
+                    },
+                }
+            )
+
+        steps.append(
+            CampaignStep(
+                step_id=f"dataset@{tag}",
+                description=f"materialize cached dataset at {tag}",
+                run=_run_dataset,
+            )
+        )
+        steps.append(
+            CampaignStep(
+                step_id=f"eval@{tag}",
+                description=f"evaluate suite {suite!r} at {tag}",
+                run=_run_eval,
+                depends_on=(f"dataset@{tag}",),
+            )
+        )
+        eval_ids.append(f"eval@{tag}")
+
+    def _run_report(ctx: CampaignContext) -> str:
+        points = [
+            json.loads(ctx.read_output(step_id)) for step_id in eval_ids
+        ]
+        names = list(points[0]["per"])
+        series = {
+            name: [point["per"][name] for point in points]
+            for name in names
+        }
+        return format_series_table(
+            f"SNR sweep — PER per technique (suite: {suite})",
+            "snr_db",
+            [point["snr_db"] for point in points],
+            series,
+        )
+
+    steps.append(
+        CampaignStep(
+            step_id="report",
+            description="assemble PER-vs-SNR table",
+            run=_run_report,
+            depends_on=tuple(eval_ids),
+        )
+    )
+    return steps
+
+
+# -- figure campaign ----------------------------------------------------
+def _bundle(ctx: CampaignContext) -> EvaluationBundle:
+    """Build (once per run) the shared evaluation bundle via the cache."""
+    bundle = ctx.shared.get("bundle")
+    if bundle is None:
+        bundle = build_evaluation_bundle(
+            ctx.config,
+            num_combinations=ctx.options.get("combinations"),
+            verbose=ctx.verbose,
+            workers=ctx.workers,
+            cache=ctx.cache,
+            sets=ctx.shared.pop(
+                f"sets:{ctx.cache.key_for(ctx.config)}", None
+            ),
+        )
+        ctx.shared["bundle"] = bundle
+    return bundle
+
+
+def _aging(ctx: CampaignContext) -> object:
+    """Memoized Figs. 16/17 aging result (one experiment, two figures)."""
+    from ..experiments.figures import fig16
+
+    aging = ctx.shared.get("aging")
+    if aging is None:
+        aging = fig16.generate(_bundle(ctx))
+        ctx.shared["aging"] = aging
+    return aging
+
+
+def render_figure(name: str, ctx: CampaignContext) -> str:
+    """Render one paper table/figure from the cached evaluation bundle."""
+    from ..experiments.figures import (
+        fig5,
+        fig11,
+        fig12,
+        fig13,
+        fig14,
+        fig15,
+        fig16,
+        fig17,
+        table1,
+        table2,
+    )
+
+    if name == "table1":
+        return table1.render(_bundle(ctx))
+    if name == "table2":
+        return table2.render(_bundle(ctx).sets)
+    if name == "fig5":
+        bundle = _bundle(ctx)
+        return fig5.render(
+            fig5.generate(bundle.sets[1], bundle.sets[2:])
+        )
+    if name == "fig11":
+        bundle = _bundle(ctx)
+        return fig11.render(
+            fig11.generate(
+                bundle.runner, bundle.combinations, bundle.config
+            )
+        )
+    if name == "fig12":
+        return fig12.render(_bundle(ctx))
+    if name == "fig13":
+        return fig13.render(_bundle(ctx))
+    if name == "fig14":
+        return fig14.render(_bundle(ctx))
+    if name == "fig15":
+        return fig15.render(fig15.generate(_bundle(ctx)))
+    if name == "fig16":
+        return fig16.render(_aging(ctx))
+    if name == "fig17":
+        return fig17.render(_aging(ctx))
+    raise ConfigurationError(
+        f"unknown figure {name!r}; known figures: "
+        f"{', '.join(FIGURE_NAMES)}"
+    )
+
+
+def figure_steps(
+    config: SimulationConfig, names: Sequence[str]
+) -> list[CampaignStep]:
+    """Steps of a figure campaign: one cached dataset + one step/figure."""
+    unknown = [name for name in names if name not in FIGURE_NAMES]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown figures {unknown}; known figures: "
+            f"{', '.join(FIGURE_NAMES)}"
+        )
+
+    def _run_dataset(ctx: CampaignContext) -> str:
+        return _materialize_dataset(ctx, ctx.config)
+
+    steps = [
+        CampaignStep(
+            step_id="dataset",
+            description="materialize cached dataset",
+            run=_run_dataset,
+        )
+    ]
+    for name in names:
+
+        def _run_figure(ctx: CampaignContext, name=name) -> str:
+            return render_figure(name, ctx)
+
+        steps.append(
+            CampaignStep(
+                step_id=f"figure:{name}",
+                description=f"render {name}",
+                run=_run_figure,
+                depends_on=("dataset",),
+            )
+        )
+    return steps

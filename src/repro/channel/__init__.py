@@ -6,8 +6,8 @@ Substitutes the paper's measured laboratory channel (see DESIGN.md):
   (image method), segment/point clearances.
 - :mod:`repro.channel.multipath` — propagation paths: LoS, first-order
   wall/ceiling reflections, static-object scatter paths, human scatter.
-- :mod:`repro.channel.human` — the single mobile human: cylinder blocker
-  plus random-waypoint mobility (Sec. 3's movement area).
+- :mod:`repro.channel.human` — mobile humans: cylinder blockers with
+  random-waypoint or LoS-crossing mobility (Sec. 3's movement area).
 - :mod:`repro.channel.blockage` — soft knife-edge attenuation of paths
   passing near the human (Fig. 1's MPC distortions).
 - :mod:`repro.channel.noise` — complex AWGN with explicit generators.
@@ -21,7 +21,12 @@ from .geometry import (
     segment_clearance,
 )
 from .multipath import PropagationPath, build_static_paths, human_scatter_path
-from .human import RandomWaypointMobility, sample_trajectory
+from .human import (
+    CrossingMobility,
+    RandomWaypointMobility,
+    make_walker,
+    sample_trajectory,
+)
 from .blockage import blockage_attenuation, path_blockage_factor
 from .noise import awgn, noise_power_for_snr
 from .environment import IndoorEnvironment
@@ -33,7 +38,9 @@ __all__ = [
     "PropagationPath",
     "build_static_paths",
     "human_scatter_path",
+    "CrossingMobility",
     "RandomWaypointMobility",
+    "make_walker",
     "sample_trajectory",
     "blockage_attenuation",
     "path_blockage_factor",

@@ -141,34 +141,15 @@ class IndoorEnvironment:
             self._static_state = state
         return state
 
-    def cir_batch(self, humans_xy) -> np.ndarray:
-        """Complex CIRs for a batch of human positions, ``(P, num_taps)``.
+    def _human_scatter_batch(self, humans_xy: np.ndarray) -> np.ndarray:
+        """Additive scatter-path taps of one human per batch row.
 
-        Matches :meth:`cir` row by row: per-path blockage factors and the
-        human scatter path are evaluated vectorized, static-path kernels
-        are reused across the batch.
+        ``humans_xy`` is ``(P, 2)`` float64; returns the ``(P, num_taps)``
+        complex128 geometric-tap contribution of the (never self-blocked)
+        mobile scatter path, windowed-sinc interpolated onto the tap grid
+        exactly as in the scalar :meth:`cir` path.
         """
-        humans_xy = np.asarray(humans_xy, dtype=np.float64)
-        if humans_xy.ndim != 2 or humans_xy.shape[1] != 2:
-            raise ShapeError(
-                f"humans_xy must be (P, 2), got {humans_xy.shape}"
-            )
         num_taps = self.channel.num_taps
-        gains, kernels, device_matrix = self._static_batch_state()
-        factors = np.stack(
-            [
-                path_blockage_factor_batch(
-                    path, humans_xy, self.channel
-                )
-                for path in self.static_paths
-            ],
-            axis=1,
-        )
-        geometric = (factors * gains[None, :]).astype(
-            np.complex128
-        ) @ kernels.astype(np.complex128)
-
-        # Mobile human scatter path (never self-blocked).
         tx = np.asarray(self.room.tx_position, dtype=np.float64)
         rx = np.asarray(self.room.rx_position, dtype=np.float64)
         scatter = np.concatenate(
@@ -202,17 +183,106 @@ class IndoorEnvironment:
         sinc = np.sinc(offsets)
         clipped = np.clip(offsets / 5.0, -1.0, 1.0)
         window = 0.5 * (1.0 + np.cos(np.pi * clipped))
-        geometric += human_gains[:, None] * (sinc * window)
+        return human_gains[:, None] * (sinc * window)
 
+    def cir_batch(self, humans_xy) -> np.ndarray:
+        """Complex CIRs for a batch of human positions.
+
+        Parameters
+        ----------
+        humans_xy:
+            ``(P, 2)`` float64 xy positions, one human per batch row.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(P, num_taps)`` complex128 matrix whose row ``p`` matches
+            ``cir(humans_xy[p])`` to numerical precision (the batch
+            equivalence suite bounds the difference at ``1e-10``):
+            per-path blockage factors and the human scatter path are
+            evaluated vectorized, static-path kernels are reused across
+            the batch.
+        """
+        humans_xy = np.asarray(humans_xy, dtype=np.float64)
+        if humans_xy.ndim != 2 or humans_xy.shape[1] != 2:
+            raise ShapeError(
+                f"humans_xy must be (P, 2), got {humans_xy.shape}"
+            )
+        return self.cir_multi_batch(humans_xy[:, None, :])
+
+    def cir_multi_batch(self, humans_xy) -> np.ndarray:
+        """CIRs for batches of *multiple* simultaneous humans.
+
+        First-order multi-body model used by the campaign scenarios:
+        every static path is attenuated by the product of the per-human
+        knife-edge blockage factors (each body can shadow the path
+        independently) and one scatter path is added per human.
+
+        Parameters
+        ----------
+        humans_xy:
+            ``(P, H, 2)`` float64 positions — ``H`` humans per row.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(P, num_taps)`` complex128 tap matrix.  With ``H == 1``
+            this reduces exactly to :meth:`cir_batch`.
+        """
+        humans_xy = np.asarray(humans_xy, dtype=np.float64)
+        if humans_xy.ndim != 3 or humans_xy.shape[2] != 2:
+            raise ShapeError(
+                f"humans_xy must be (P, H, 2), got {humans_xy.shape}"
+            )
+        num_humans = humans_xy.shape[1]
+        gains, kernels, device_matrix = self._static_batch_state()
+        factors = np.ones(
+            (humans_xy.shape[0], len(self.static_paths)), dtype=np.float64
+        )
+        for h in range(num_humans):
+            factors *= np.stack(
+                [
+                    path_blockage_factor_batch(
+                        path, humans_xy[:, h, :], self.channel
+                    )
+                    for path in self.static_paths
+                ],
+                axis=1,
+            )
+        geometric = (factors * gains[None, :]).astype(
+            np.complex128
+        ) @ kernels.astype(np.complex128)
+        for h in range(num_humans):
+            geometric += self._human_scatter_batch(humans_xy[:, h, :])
         return self._scale * (geometric @ device_matrix)
 
     def los_clearance_batch(self, humans_xy) -> np.ndarray:
-        """Vectorized :meth:`los_clearance` over positions."""
+        """Vectorized :meth:`los_clearance` over ``(P, 2)`` positions."""
         return path_clearance_batch(
             np.asarray(self.static_paths[0].points, dtype=np.float64),
             np.asarray(humans_xy, dtype=np.float64),
             self.channel.human_height_m,
         )
+
+    def los_clearance_multi_batch(self, humans_xy) -> np.ndarray:
+        """Smallest per-row LoS clearance over ``(P, H, 2)`` positions.
+
+        The LoS is blocked when *any* human intrudes, so the campaign
+        blockage annotation uses the minimum clearance across humans.
+        """
+        humans_xy = np.asarray(humans_xy, dtype=np.float64)
+        if humans_xy.ndim != 3 or humans_xy.shape[2] != 2:
+            raise ShapeError(
+                f"humans_xy must be (P, H, 2), got {humans_xy.shape}"
+            )
+        clearances = np.stack(
+            [
+                self.los_clearance_batch(humans_xy[:, h, :])
+                for h in range(humans_xy.shape[1])
+            ],
+            axis=1,
+        )
+        return clearances.min(axis=1)
 
     def los_clearance(self, human_xy) -> float:
         """Horizontal clearance between the human and the LoS path."""

@@ -1,7 +1,12 @@
-"""The single mobile human: random-waypoint mobility inside the camera-
-covered movement area (Sec. 3: "The human is always mobile during the
-measurements" and the movement area is limited so all movements are
-captured).
+"""Mobile humans inside the camera-covered movement area.
+
+The paper's campaign walks a single human on random waypoints (Sec. 3:
+"The human is always mobile during the measurements" and the movement
+area is limited so all movements are captured).  Campaign scenarios add
+:class:`CrossingMobility`, a walker that shuttles between the two sides
+of the movement area so the LoS path is crossed on every traversal, and
+:func:`make_walker` selects the trajectory preset configured in
+:class:`~repro.config.MobilityConfig`.
 """
 
 from __future__ import annotations
@@ -51,11 +56,19 @@ class RandomWaypointMobility:
             [rng.uniform(x0, x1), rng.uniform(y0, y1)], dtype=np.float64
         )
 
+    # Trajectory presets override only where the walker goes next; the
+    # walk/pause segment construction below is shared.
+    def _initial_point(self, rng: np.random.Generator) -> np.ndarray:
+        return self._random_point(rng)
+
+    def _next_target(self, rng: np.random.Generator) -> np.ndarray:
+        return self._random_point(rng)
+
     def _build(self, rng: np.random.Generator, duration_s: float) -> None:
         time = 0.0
-        position = self._random_point(rng)
+        position = self._initial_point(rng)
         while time < duration_s:
-            target = self._random_point(rng)
+            target = self._next_target(rng)
             speed = rng.uniform(
                 self._mobility.speed_min_mps, self._mobility.speed_max_mps
             )
@@ -81,6 +94,59 @@ class RandomWaypointMobility:
                 frac = (time_s - start) / (end - start)
                 return a + frac * (b - a)
         return self._segments[-1][3].copy()
+
+
+class CrossingMobility(RandomWaypointMobility):
+    """Walker that repeatedly crosses the TX-RX line.
+
+    Targets alternate between a strip along the low-``y`` edge and a
+    strip along the high-``y`` edge of the movement area, so every leg
+    traverses the middle of the area — where the LoS path runs in the
+    paper's room — and periodic deep blockage events are guaranteed.
+    Speeds, pauses and the segment representation are shared with
+    :class:`RandomWaypointMobility`.
+    """
+
+    #: Fraction of the area's depth used for each edge strip.
+    _STRIP_FRACTION = 0.25
+
+    def _initial_point(self, rng: np.random.Generator) -> np.ndarray:
+        self._side = int(rng.integers(0, 2))
+        return self._edge_point(rng, self._side)
+
+    def _next_target(self, rng: np.random.Generator) -> np.ndarray:
+        self._side = 1 - self._side
+        return self._edge_point(rng, self._side)
+
+    def _edge_point(
+        self, rng: np.random.Generator, side: int
+    ) -> np.ndarray:
+        x0, y0, x1, y1 = self._area
+        strip = (y1 - y0) * self._STRIP_FRACTION
+        if side == 0:
+            low, high = y0, y0 + strip
+        else:
+            low, high = y1 - strip, y1
+        return np.array(
+            [rng.uniform(x0, x1), rng.uniform(low, high)],
+            dtype=np.float64,
+        )
+
+
+def make_walker(
+    room: RoomConfig,
+    mobility: MobilityConfig,
+    rng: np.random.Generator,
+    duration_s: float,
+) -> RandomWaypointMobility:
+    """Build the walker class selected by ``mobility.trajectory``."""
+    if mobility.trajectory == "crossing":
+        return CrossingMobility(room, mobility, rng, duration_s)
+    if mobility.trajectory == "random-waypoint":
+        return RandomWaypointMobility(room, mobility, rng, duration_s)
+    raise ConfigurationError(
+        f"unknown trajectory preset {mobility.trajectory!r}"
+    )
 
 
 def sample_trajectory(

@@ -198,19 +198,40 @@ class CameraConfig:
         return 1.0 / self.fps
 
 
+#: Trajectory presets understood by the dataset generator.
+TRAJECTORY_PRESETS = ("random-waypoint", "crossing")
+
+
 @dataclass(frozen=True)
 class MobilityConfig:
-    """Random-waypoint mobility for the single human (Sec. 3)."""
+    """Human mobility inside the movement area (Sec. 3).
+
+    The paper walks a single human on random waypoints; campaign
+    scenarios additionally support deterministic LoS-crossing walks
+    (``trajectory="crossing"``) and multiple simultaneous humans
+    (``num_humans > 1``, each with an independently seeded trajectory).
+    """
 
     speed_min_mps: float = 0.3
     speed_max_mps: float = 0.8
     pause_max_s: float = 2.5
+    num_humans: int = 1
+    trajectory: str = "random-waypoint"
 
     def __post_init__(self) -> None:
         if not 0 < self.speed_min_mps <= self.speed_max_mps:
             raise ConfigurationError(
                 "need 0 < speed_min_mps <= speed_max_mps, got "
                 f"{self.speed_min_mps}..{self.speed_max_mps}"
+            )
+        if self.num_humans < 1:
+            raise ConfigurationError(
+                f"num_humans must be >= 1, got {self.num_humans}"
+            )
+        if self.trajectory not in TRAJECTORY_PRESETS:
+            raise ConfigurationError(
+                f"trajectory must be one of {TRAJECTORY_PRESETS}, got "
+                f"{self.trajectory!r}"
             )
 
 

@@ -1,8 +1,10 @@
 """Simulation of the measurement campaign (paper Sec. 3).
 
-Each measurement take ("set") walks one human through the room for
-``packets_per_set * 100 ms``, transmitting a 802.15.4 packet every 100 ms
-and capturing a depth frame every 33.3 ms.  Per packet the generator
+Each measurement take ("set") walks one human — or, for campaign
+scenarios, ``MobilityConfig.num_humans`` humans on the configured
+trajectory preset — through the room for ``packets_per_set * 100 ms``,
+transmitting a 802.15.4 packet every 100 ms and capturing a depth frame
+every 33.3 ms.  Per packet the generator
 records what the paper's pipeline extracts from the USRP trace: the
 whole-packet LS estimate (perfect estimate), the SHR-region LS estimate,
 the preamble-detection outcome, and the LED-matched camera frame.
@@ -29,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..channel import IndoorEnvironment, RandomWaypointMobility
+from ..channel import IndoorEnvironment, make_walker
 from ..channel.noise import awgn, noise_power_for_snr
 from ..config import SimulationConfig
 from ..dsp.phase import canonicalize_phase, canonicalize_phase_batch
@@ -284,12 +286,29 @@ def generate_measurement_set(
     num_packets = config.dataset.packets_per_set
     duration = (num_packets + 1) * interval + 0.5
 
-    walker = RandomWaypointMobility(
-        config.room,
-        config.mobility,
-        np.random.default_rng([config.seed, 101, set_index]),
-        duration_s=duration,
-    )
+    # The primary human keeps the seed derivation of the original
+    # single-human campaign so existing datasets replay bit-identically;
+    # additional humans (campaign scenarios) extend the seed tuple.
+    walkers = [
+        make_walker(
+            config.room,
+            config.mobility,
+            np.random.default_rng([config.seed, 101, set_index]),
+            duration_s=duration,
+        )
+    ]
+    for extra in range(1, config.mobility.num_humans):
+        walkers.append(
+            make_walker(
+                config.room,
+                config.mobility,
+                np.random.default_rng(
+                    [config.seed, 101, set_index, extra]
+                ),
+                duration_s=duration,
+            )
+        )
+    multi_human = len(walkers) > 1
     packet_rng = np.random.default_rng([config.seed, 202, set_index])
 
     # -- camera frames ----------------------------------------------------
@@ -300,13 +319,21 @@ def generate_measurement_set(
     )
     frame_times = timeline.timestamps
     human_positions = np.stack(
-        [walker.position_at(float(t)) for t in frame_times]
-    )
-    if engine == "batch":
-        rendered = components.camera.render_batch(human_positions)
+        [
+            [walker.position_at(float(t)) for walker in walkers]
+            for t in frame_times
+        ]
+    )  # (F, H, 2)
+    rows, cols = config.camera.output_shape
+    top, left = config.camera.crop_top, config.camera.crop_left
+    if multi_human:
+        rendered = components.camera.render_multi_batch(human_positions)
+        frames = rendered[
+            :, top : top + rows, left : left + cols
+        ].astype(np.float32)
+    elif engine == "batch":
+        rendered = components.camera.render_batch(human_positions[:, 0])
         # Batched equivalent of per-frame preprocess_depth (pure crop).
-        rows, cols = config.camera.output_shape
-        top, left = config.camera.crop_top, config.camera.crop_left
         frames = rendered[
             :, top : top + rows, left : left + cols
         ].astype(np.float32)
@@ -316,18 +343,32 @@ def generate_measurement_set(
                 preprocess_depth(
                     components.camera.render(position), config.camera
                 ).astype(np.float32)
-                for position in human_positions
+                for position in human_positions[:, 0]
             ]
         )
 
     # -- packets ------------------------------------------------------------
-    packet_positions = np.stack(
+    packet_positions_all = np.stack(
         [
-            walker.position_at((k + 1) * interval)
+            [
+                walker.position_at((k + 1) * interval)
+                for walker in walkers
+            ]
             for k in range(num_packets)
         ]
-    )
-    if engine == "batch":
+    )  # (P, H, 2)
+    packet_positions = packet_positions_all[:, 0]
+    if multi_human:
+        # The multi-body CIR/clearance is only implemented vectorized;
+        # both engines share it (the engine flag governs packet-estimate
+        # processing, not channel synthesis).
+        channels = components.environment.cir_multi_batch(
+            packet_positions_all
+        )
+        clearances = components.environment.los_clearance_multi_batch(
+            packet_positions_all
+        )
+    elif engine == "batch":
         channels = components.environment.cir_batch(packet_positions)
         clearances = components.environment.los_clearance_batch(
             packet_positions
@@ -364,7 +405,11 @@ def generate_measurement_set(
         packets=records,
         frames=frames,
         frame_times=frame_times,
-        human_positions=human_positions,
+        # Single-human campaigns keep the historical (F, 2) layout;
+        # multi-human scenarios store every walker as (F, H, 2).
+        human_positions=(
+            human_positions if multi_human else human_positions[:, 0]
+        ),
     )
     measurement_set.validate()
     return measurement_set

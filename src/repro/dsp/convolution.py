@@ -44,12 +44,14 @@ def convolve_batch(
 ) -> np.ndarray:
     """Row-wise full linear convolution of a signal batch with a tap batch.
 
-    ``convolve_batch(S, T)[p] == np.convolve(S[p], T[p])`` for every row.
+    ``convolve_batch(S, T)[p] == np.convolve(S[p], T[p])`` for every row
+    (exactly on the direct path, within ``1e-10`` on the FFT path — the
+    bound asserted by the batch equivalence suite).
 
     Parameters
     ----------
     signals:
-        ``(P, L)`` batch of signals.
+        ``(P, L)`` batch of signals (real or complex).
     taps:
         ``(P, M)`` batch of FIR taps, or a single ``(M,)`` tap vector
         shared by every row.
@@ -57,6 +59,12 @@ def convolve_batch(
         ``"auto"`` (default), ``"direct"`` or ``"fft"``.  Short filters
         are fastest as direct convolutions; long filters switch to one
         batched FFT convolution over the whole matrix.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(P, L + M - 1)`` matrix in the promoted dtype of the inputs
+        (``complex128`` throughout the receive chain).
     """
     signals = np.asarray(signals)
     taps = np.asarray(taps)
@@ -91,6 +99,19 @@ def correlate_lags_batch(
     Computed as per-row direct correlations: at the paper's tap counts
     (``num_lags`` ~ 11) a handful of long dot products per row beats any
     FFT formulation.
+
+    Parameters
+    ----------
+    a, b:
+        ``(P, La)`` / ``(P, Lb)`` batches with matching row counts;
+        ``a`` is zero-padded/trimmed to ``Lb + num_lags - 1`` columns.
+    num_lags:
+        Number of non-negative lags to keep (the FIR order ``N``).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(P, num_lags)`` complex128 correlation matrix.
     """
     a = np.asarray(a)
     b = np.asarray(b)

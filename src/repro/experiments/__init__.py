@@ -22,9 +22,12 @@ from .metrics import (
 )
 from .runner import CombinationResult, EvaluationRunner
 from .suite import (
+    SUITE_BUILDERS,
     build_baseline_suite,
     build_full_suite,
     build_kalman_variants,
+    build_quick_suite,
+    build_suite,
     build_vvd_variants,
 )
 from .reporting import format_box_table, format_series_table
@@ -38,9 +41,12 @@ __all__ = [
     "packet_error_rate",
     "CombinationResult",
     "EvaluationRunner",
+    "SUITE_BUILDERS",
     "build_baseline_suite",
     "build_full_suite",
     "build_kalman_variants",
+    "build_quick_suite",
+    "build_suite",
     "build_vvd_variants",
     "format_box_table",
     "format_series_table",

@@ -10,6 +10,7 @@ and run their own (smaller) evaluations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..config import SimulationConfig
 from ..core.vvd import VVDEstimator
@@ -24,6 +25,9 @@ from ..dataset.trace import MeasurementSet
 from ..errors import ConfigurationError
 from .runner import CombinationResult, EvaluationRunner
 from .suite import build_full_suite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..campaign.cache import DatasetCache
 
 
 @dataclass
@@ -55,17 +59,30 @@ def build_evaluation_bundle(
     num_combinations: int | None = None,
     verbose: bool = False,
     workers: int | None = None,
+    cache: "DatasetCache | None" = None,
+    sets: list[MeasurementSet] | None = None,
 ) -> EvaluationBundle:
     """Generate the dataset and run the full suite over combinations.
 
     ``num_combinations`` limits the Table 2 rows evaluated (the benchmark
     preset uses a subset; passing ``None`` runs all of them).
     ``workers`` fans dataset generation out over a process pool.
+    ``cache`` resolves the measurement sets through the campaign's
+    content-addressed dataset cache instead of regenerating them, and
+    ``sets`` short-circuits resolution entirely with already-loaded
+    measurement sets (they must belong to ``config``).
     """
     components = build_components(config)
-    sets = generate_dataset(
-        config, components, verbose=verbose, workers=workers
-    )
+    if sets is not None:
+        sets = list(sets)
+    elif cache is not None:
+        sets = cache.load_or_generate(
+            config, workers=workers, verbose=verbose
+        )
+    else:
+        sets = generate_dataset(
+            config, components, verbose=verbose, workers=workers
+        )
     runner = EvaluationRunner(components, sets)
     combinations = rotating_set_combinations(config.dataset.num_sets)
     if num_combinations is not None:

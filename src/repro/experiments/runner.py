@@ -10,12 +10,14 @@ estimate differs, as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
+from ..config import SimulationConfig
 from ..dataset.generator import (
     SimulationComponents,
+    build_components,
     synthesize_received_batch,
 )
 from ..dataset.sets import SetCombination
@@ -30,6 +32,9 @@ from ..estimation.base import (
 )
 from ..phy.transmitter import TransmittedPacket
 from .metrics import PacketOutcome, TechniqueResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..campaign.cache import DatasetCache
 
 
 @dataclass
@@ -58,6 +63,24 @@ class EvaluationRunner:
     ) -> None:
         self.components = components
         self.sets = list(sets)
+
+    @classmethod
+    def from_cache(
+        cls,
+        config: SimulationConfig,
+        cache: "DatasetCache",
+        workers: int | None = None,
+    ) -> "EvaluationRunner":
+        """Build a runner whose sets resolve through the dataset cache.
+
+        Used by :func:`~repro.experiments.snr_sweep.evaluate_snr_point`
+        (and thus the campaign CLI): components are constructed from
+        ``config`` and the measurement sets are loaded from (or, on a
+        miss, generated into) ``cache``.
+        """
+        components = build_components(config)
+        sets = cache.load_or_generate(config, workers=workers)
+        return cls(components, sets)
 
     # -- single-packet decoding ------------------------------------------
     def decode_packet(

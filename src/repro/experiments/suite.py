@@ -2,7 +2,10 @@
 
 ``build_full_suite`` is the Fig. 12/13/14 ten-technique comparison;
 ``build_baseline_suite`` omits VVD (used for fast calibration and tests);
-``build_kalman_variants`` / ``build_vvd_variants`` feed Fig. 11.
+``build_quick_suite`` keeps only the stateless techniques (CI smoke and
+campaign sweeps on micro scenarios); ``build_kalman_variants`` /
+``build_vvd_variants`` feed Fig. 11.  ``build_suite`` resolves a
+line-up by registry name (the ``--suite`` CLI flag).
 
 The VVD instance is shared between its standalone entry and the
 Preamble-VVD Combined entry so the CNN is trained once per combination.
@@ -10,8 +13,11 @@ Preamble-VVD Combined entry so the CNN is trained once per combination.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ..config import SimulationConfig
 from ..core.vvd import VVDEstimator
+from ..errors import ConfigurationError
 from ..estimation import (
     CombinedEstimator,
     GroundTruth,
@@ -81,6 +87,46 @@ def build_full_suite(
         PreambleGenie(),
         GroundTruth(),
     ]
+
+
+def build_quick_suite(
+    config: SimulationConfig,
+) -> list[ChannelEstimator]:
+    """Stateless techniques only — fast smoke evaluations.
+
+    Omits every technique that needs per-combination fitting (VVD,
+    Kalman), so the suite runs on arbitrarily small campaigns.
+    """
+    interval = config.dataset.packet_interval_s
+    return [
+        StandardDecoding(),
+        PreambleBased(),
+        PreviousEstimation(1, interval),
+        GroundTruth(),
+    ]
+
+
+#: Named line-ups selectable from the campaign CLI (``--suite``).
+SUITE_BUILDERS: dict[
+    str, Callable[[SimulationConfig], list[ChannelEstimator]]
+] = {
+    "baseline": build_baseline_suite,
+    "full": build_full_suite,
+    "quick": build_quick_suite,
+}
+
+
+def build_suite(
+    name: str, config: SimulationConfig
+) -> list[ChannelEstimator]:
+    """Build the estimator line-up registered under ``name``."""
+    builder = SUITE_BUILDERS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown suite {name!r}; known suites: "
+            f"{', '.join(sorted(SUITE_BUILDERS))}"
+        )
+    return builder(config)
 
 
 def build_kalman_variants(

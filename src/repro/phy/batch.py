@@ -38,12 +38,28 @@ _DELTA_CACHE_SIZE = 1024
 class BatchPhyEngine:
     """Template-factorized batch synthesis/LS engine for one transmitter.
 
+    All batch methods operate on ``(P, ...)`` matrices — one packet per
+    row — in ``complex128`` and reproduce the scalar pipeline row by
+    row: ``tests/test_batch_equivalence.py`` asserts agreement within
+    ``1e-10`` absolute tolerance for waveforms and LS estimates, and the
+    per-seed AWGN draws are bit-exact (the ``synthesize_received``
+    replay contract).
+
     Parameters
     ----------
     transmitter:
         The campaign :class:`~repro.phy.transmitter.Transmitter`.
     num_taps:
         FIR channel model order ``N`` (11 throughout the paper).
+
+    Attributes
+    ----------
+    waveform_length:
+        Samples of one clean packet waveform.
+    received_length:
+        Samples after channel convolution:
+        ``waveform_length + num_taps - 1``; the row width of every
+        received matrix.
     """
 
     def __init__(self, transmitter, num_taps: int) -> None:
@@ -103,11 +119,12 @@ class BatchPhyEngine:
     ) -> list[tuple[int, np.ndarray]]:
         """Sparse waveform difference of one packet vs the template.
 
-        Returns ``(start_sample, delta)`` spans such that the packet's
-        clean waveform equals the template plus the spans (bit-exact:
-        same-parity half-sine pulses never overlap, so patching replaces
-        each sample's single chip contribution).  Spans are LRU-cached
-        per sequence number; treat them as read-only.
+        Returns ``(start_sample, delta)`` spans — ``delta`` a 1-D
+        ``complex128`` segment — such that the packet's clean waveform
+        equals the template plus the spans (bit-exact: same-parity
+        half-sine pulses never overlap, so patching replaces each
+        sample's single chip contribution).  Spans are LRU-cached per
+        sequence number; treat them as read-only.
         """
         cached = self._delta_cache.get(sequence_number)
         if cached is not None:
@@ -166,7 +183,24 @@ class BatchPhyEngine:
         channels: np.ndarray,
         out: np.ndarray | None = None,
     ) -> np.ndarray:
-        """``np.convolve(waveform_p, channels[p])`` for a packet batch."""
+        """``np.convolve(waveform_p, channels[p])`` for a packet batch.
+
+        Parameters
+        ----------
+        deltas:
+            Per-packet :meth:`packet_deltas` span lists, length ``P``.
+        channels:
+            ``(P, num_taps)`` complex FIR channels.
+        out:
+            Optional ``(P, received_length)`` complex128 output buffer.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(P, received_length)`` complex128 matrix; row ``p``
+            matches the scalar convolution of packet ``p``'s clean
+            waveform with ``channels[p]`` within ``1e-10``.
+        """
         channels = np.asarray(channels, dtype=np.complex128)
         if channels.ndim != 2 or channels.shape[1] != self.num_taps:
             raise ShapeError(
@@ -197,10 +231,32 @@ class BatchPhyEngine:
         """Batched equivalent of :func:`repro.dataset.generator.
         synthesize_received` — identical per-seed noise realizations.
 
-        With ``reuse_buffer=True`` the returned matrix aliases an
-        internal scratch buffer that the next ``reuse_buffer`` call
-        overwrites; use it when the rows are consumed before the engine
-        is invoked again (the chunked generator/runner loops).
+        Parameters
+        ----------
+        deltas:
+            Per-packet :meth:`packet_deltas` span lists, length ``P``.
+        channels:
+            ``(P, num_taps)`` complex FIR channels (``h_true``).
+        phase_offsets:
+            ``(P,)`` float64 crystal phases in radians.
+        noise_seeds:
+            ``(P,)`` uint64 per-packet AWGN seeds.
+        noise_power:
+            Shared complex noise power (one SNR operating point).
+        reuse_buffer:
+            With ``True`` the returned matrix aliases an internal
+            scratch buffer that the next ``reuse_buffer`` call
+            overwrites; use it when the rows are consumed before the
+            engine is invoked again (the chunked generator/runner
+            loops).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(P, received_length)`` complex128 received matrix.  The
+            clean part matches the scalar path within ``1e-10``; the
+            noise realization per seed is bit-exact, so recorded
+            campaigns replay identically under either engine.
         """
         channels = np.asarray(channels, dtype=np.complex128)
         phases = np.exp(
@@ -243,8 +299,20 @@ class BatchPhyEngine:
     ) -> np.ndarray:
         """Whole-packet LS estimates for a batch of received rows.
 
-        Matches ``ls_channel_estimate(x_p, received[p], N, mode="full")``
-        to numerical precision without materializing any ``x_p``.
+        Parameters
+        ----------
+        received:
+            ``(P, received_length)`` complex received matrix.
+        deltas:
+            Per-packet :meth:`packet_deltas` span lists, length ``P``.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(P, num_taps)`` complex128 tap matrix; row ``p`` matches
+            ``ls_channel_estimate(x_p, received[p], N, mode="full")``
+            within ``1e-10`` without materializing any per-packet
+            reference ``x_p``.
         """
         from ..dsp.estimation import solve_ls_normal_equations
 

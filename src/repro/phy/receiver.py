@@ -231,8 +231,27 @@ class Receiver:
     ) -> list[DecodeResult]:
         """Row-wise :meth:`decode_with_estimate` over a packet batch.
 
-        Equalizes and despreads the whole ``(P, samples)`` matrix at
-        once; results match the scalar path per row.
+        Parameters
+        ----------
+        received:
+            ``(P, samples)`` complex received matrix (one packet per
+            row, equal lengths).
+        estimates:
+            ``(P, taps)`` complex channel estimates; every row must
+            have the same tap count (it fixes the shared equalizer
+            delay).
+
+        Returns
+        -------
+        list[DecodeResult]
+            One result per row.  Equalization, O-QPSK demodulation and
+            despreading run as whole-matrix operations; the decoded
+            chips, symbols and PSDUs match the scalar
+            :meth:`decode_with_estimate` per row (hard decisions are
+            bit-identical; soft values agree within ``1e-10``).  ZF
+            equalizers are LRU-cached per distinct estimate, so
+            repeated estimates (e.g. a technique tracking slowly) cost
+            one design each.
         """
         received = np.asarray(received, dtype=np.complex128)
         estimates = np.asarray(estimates, dtype=np.complex128)

@@ -129,11 +129,25 @@ class DepthCamera:
     def render_batch(
         self, humans_xy, chunk_size: int = 8
     ) -> np.ndarray:
-        """Depth images for a batch of positions, shape ``(F, *grid)``.
+        """Depth images for a batch of positions.
 
-        Only the human cylinder moves between frames, so the static scene
-        is shared and the cylinder intersection is vectorized across
-        position chunks (chunked to keep the working set cache-sized).
+        Parameters
+        ----------
+        humans_xy:
+            ``(F, >=2)`` float64 positions; only the leading xy columns
+            are used (one human per frame).
+        chunk_size:
+            Frames intersected per vectorized chunk (keeps the working
+            set cache-sized).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(F, rows, cols)`` float64 depth images at the configured
+            ``render_shape``, frame ``f`` matching
+            ``render(humans_xy[f])`` exactly: only the human cylinder
+            moves between frames, so the static scene is shared and the
+            cylinder intersection is vectorized across position chunks.
         """
         humans_xy = np.asarray(humans_xy, dtype=np.float64)
         if humans_xy.ndim != 2 or humans_xy.shape[1] < 2:
@@ -158,4 +172,49 @@ class DepthCamera:
             out[lo : lo + len(chunk)] = np.minimum(
                 depth, self.config.max_depth_m
             )
+        return out
+
+    def render_multi_batch(
+        self, humans_xy, chunk_size: int = 8
+    ) -> np.ndarray:
+        """Depth images for frames containing *multiple* humans.
+
+        Parameters
+        ----------
+        humans_xy:
+            ``(F, H, 2)`` float64 positions — ``H`` human cylinders per
+            frame; the rendered depth is the per-pixel minimum over the
+            static scene and every cylinder.
+        chunk_size:
+            As in :meth:`render_batch`.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(F, rows, cols)`` float64 depth images.  With ``H == 1``
+            this reduces exactly to :meth:`render_batch`.
+        """
+        humans_xy = np.asarray(humans_xy, dtype=np.float64)
+        if humans_xy.ndim != 3 or humans_xy.shape[2] < 2:
+            raise ShapeError(
+                f"humans_xy must be (F, H, >=2), got {humans_xy.shape}"
+            )
+        out = self.render_batch(humans_xy[:, 0, :], chunk_size=chunk_size)
+        for h in range(1, humans_xy.shape[1]):
+            chunk_size = max(1, chunk_size)
+            positions = humans_xy[:, h, :2]
+            for lo in range(0, len(positions), chunk_size):
+                chunk = positions[lo : lo + chunk_size]
+                t = ray_cylinder_intersection_batch(
+                    self._origin,
+                    self._directions,
+                    chunk,
+                    self.channel.human_radius_m,
+                    self.channel.human_height_m,
+                )
+                np.minimum(
+                    out[lo : lo + len(chunk)],
+                    t,
+                    out=out[lo : lo + len(chunk)],
+                )
         return out

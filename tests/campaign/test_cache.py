@@ -1,0 +1,153 @@
+"""Dataset cache: key stability, hit/miss accounting, set-level resume."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.campaign.cache import DatasetCache, config_fingerprint
+from repro.campaign.scenario import get_scenario
+from repro.config import SimulationConfig
+from repro.dataset import build_components, generate_dataset
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def micro_config() -> SimulationConfig:
+    return get_scenario("smoke").resolve()
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self, micro_config):
+        again = get_scenario("smoke").resolve()
+        assert config_fingerprint(micro_config) == config_fingerprint(again)
+
+    def test_any_field_change_changes_key(self, micro_config):
+        base = config_fingerprint(micro_config)
+        changed = [
+            micro_config.replace(seed=1),
+            micro_config.replace(
+                channel=dataclasses.replace(
+                    micro_config.channel, snr_db=7.0
+                )
+            ),
+            micro_config.replace(
+                dataset=dataclasses.replace(
+                    micro_config.dataset, packets_per_set=9
+                )
+            ),
+            micro_config.replace(
+                mobility=dataclasses.replace(
+                    micro_config.mobility, num_humans=2
+                )
+            ),
+        ]
+        keys = {config_fingerprint(c) for c in changed}
+        assert base not in keys
+        assert len(keys) == len(changed)
+
+    def test_key_format(self, micro_config):
+        key = config_fingerprint(micro_config)
+        assert len(key) == 16
+        int(key, 16)  # hex
+
+    def test_engine_is_part_of_the_key(self, micro_config, tmp_path):
+        # The engines agree only to 1e-10, so a scalar verification run
+        # must never be served batch-generated floats.
+        assert config_fingerprint(
+            micro_config, engine="batch"
+        ) != config_fingerprint(micro_config, engine="scalar")
+        cache = DatasetCache(tmp_path / "cache")
+        cache.load_or_generate(micro_config, engine="batch")
+        cache.stats.reset()
+        cache.load_or_generate(micro_config, engine="scalar")
+        assert cache.stats.misses == 1  # not served the batch entry
+        assert len(cache.entries()) == 2
+
+
+class TestLoadOrGenerate:
+    def test_miss_then_hit(self, micro_config, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        sets = cache.load_or_generate(micro_config)
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        assert cache.stats.sets_generated == micro_config.dataset.num_sets
+
+        reloaded = cache.load_or_generate(micro_config)
+        assert cache.stats.hits == 1
+        assert cache.stats.sets_generated == micro_config.dataset.num_sets
+
+        # The reloaded campaign is numerically identical to the fresh one.
+        fresh = generate_dataset(
+            micro_config, build_components(micro_config)
+        )
+        for cached_set, fresh_set in zip(reloaded, fresh):
+            assert cached_set.index == fresh_set.index
+            np.testing.assert_allclose(
+                np.stack([p.h_ls for p in cached_set.packets]),
+                np.stack([p.h_ls for p in fresh_set.packets]),
+            )
+        assert [s.index for s in sets] == [s.index for s in reloaded]
+
+    def test_partial_entry_resumes_missing_sets_only(
+        self, micro_config, tmp_path
+    ):
+        cache = DatasetCache(tmp_path / "cache")
+        cache.load_or_generate(micro_config)
+        # Simulate a campaign killed mid-generation: one set file gone.
+        victim = cache.entry_dir(micro_config) / "set_01.npz"
+        victim.unlink()
+        cache.stats.reset()
+
+        sets = cache.load_or_generate(micro_config)
+        assert cache.stats.misses == 1
+        assert cache.stats.sets_generated == 1  # only the missing set
+        assert len(sets) == micro_config.dataset.num_sets
+        assert [s.index for s in sets] == list(
+            range(micro_config.dataset.num_sets)
+        )
+
+    def test_force_regenerates(self, micro_config, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        cache.load_or_generate(micro_config)
+        cache.stats.reset()
+        cache.load_or_generate(micro_config, force=True)
+        assert cache.stats.misses == 1
+        assert cache.stats.sets_generated == micro_config.dataset.num_sets
+
+
+class TestInvalidation:
+    def test_invalidate_and_entries(self, micro_config, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        cache.load_or_generate(micro_config)
+        entries = cache.entries()
+        assert len(entries) == 1
+        assert entries[0].complete
+        assert entries[0].key == cache.key_for(micro_config)
+
+        assert cache.invalidate(config=micro_config) == 1
+        assert cache.entries() == []
+        assert cache.invalidate(key="0" * 16) == 0
+
+    def test_invalidate_rejects_non_fingerprint_keys(self, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        # Traversal or campaign-dir names must never reach rmtree.
+        for bad in ("../..", "campaigns", "abc", "Z" * 16, ""):
+            with pytest.raises(ConfigurationError, match="cache key"):
+                cache.invalidate(key=bad)
+
+    def test_invalidate_needs_exactly_one_selector(
+        self, micro_config, tmp_path
+    ):
+        cache = DatasetCache(tmp_path / "cache")
+        with pytest.raises(ConfigurationError):
+            cache.invalidate()
+        with pytest.raises(ConfigurationError):
+            cache.invalidate(config=micro_config, key="abc")
+
+    def test_clear(self, micro_config, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        cache.load_or_generate(micro_config)
+        assert cache.clear() == 1
+        assert cache.entries() == []

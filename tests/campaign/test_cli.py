@@ -1,0 +1,139 @@
+"""CLI smoke tests: list-scenarios, generate, sweep resume, cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.cli import main
+
+
+@pytest.fixture(scope="module")
+def populated_cache(tmp_path_factory):
+    """One cached 'smoke' campaign shared by the read-only CLI tests."""
+    cache_dir = tmp_path_factory.mktemp("cli-cache")
+    code = main(
+        ["generate", "--scenario", "smoke", "--cache-dir", str(cache_dir)]
+    )
+    assert code == 0
+    return cache_dir
+
+
+class TestListScenarios:
+    def test_lists_builtins(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("reduced", "smoke", "multi-human-crossing"):
+            assert name in out
+
+    def test_unknown_scenario_is_an_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "--scenario",
+                "nope",
+                "--cache-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_generate_populates_cache(self, populated_cache, capsys):
+        # Second generate over the same cache dir is a pure hit.
+        code = main(
+            [
+                "generate",
+                "--scenario",
+                "smoke",
+                "--cache-dir",
+                str(populated_cache),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 hit(s), 0 miss(es)" in out
+        assert "0 set(s) generated" in out
+
+
+class TestCacheSubcommand:
+    def test_stats_and_list(self, populated_cache, capsys):
+        assert (
+            main(["cache", "list", "--cache-dir", str(populated_cache)])
+            == 0
+        )
+        assert "complete" in capsys.readouterr().out
+        assert (
+            main(["cache", "stats", "--cache-dir", str(populated_cache)])
+            == 0
+        )
+        assert "entr(ies)" in capsys.readouterr().out
+
+    def test_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--scenario",
+                    "smoke",
+                    "--cache-dir",
+                    str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        )
+        assert "removed 1" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_generate_feeds_the_sweeps_matching_point(
+        self, populated_cache, capsys
+    ):
+        # The smoke grid includes the base 9.5 dB operating point, so a
+        # sweep over a cache populated by `generate` hits that entry.
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scenario",
+                    "smoke",
+                    "--suite",
+                    "quick",
+                    "--cache-dir",
+                    str(populated_cache),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 hit(s), 2 miss(es)" in out
+
+
+    def test_sweep_twice_hits_cache_and_resumes(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "sweep",
+            "--scenario",
+            "smoke",
+            "--suite",
+            "quick",
+            "--cache-dir",
+            cache_dir,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "SNR sweep" in first
+        assert "7 executed, 0 resumed" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 7 resumed" in second
+        assert "no measurement sets regenerated (100% cache hits)" in second
+        # The replayed report is identical.
+        assert first.splitlines()[:6] == second.splitlines()[:6]

@@ -1,0 +1,186 @@
+"""Campaign DAG execution and manifest-based resume after a kill."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.cache import DatasetCache
+from repro.campaign.manifest import CampaignManifest
+from repro.campaign.runner import Campaign, CampaignContext, CampaignStep
+from repro.campaign.scenario import get_scenario
+from repro.errors import ConfigurationError
+
+
+def _context(tmp_path, directory) -> CampaignContext:
+    return CampaignContext(
+        config=get_scenario("smoke").resolve(),
+        cache=DatasetCache(tmp_path / "cache"),
+        directory=directory,
+    )
+
+
+class TestManifest:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = CampaignManifest.load(path)
+        assert manifest.status("a") == "pending"
+        manifest.mark("a", "done", detail="ok")
+        manifest.mark("b", "failed", detail="boom")
+
+        reloaded = CampaignManifest.load(path)
+        assert reloaded.status("a") == "done"
+        assert reloaded.status("b") == "failed"
+        assert reloaded.counts() == {"done": 1, "failed": 1}
+
+    def test_rejects_unknown_status(self, tmp_path):
+        manifest = CampaignManifest(tmp_path / "m.json")
+        with pytest.raises(ConfigurationError):
+            manifest.mark("a", "exploded")
+
+
+class TestDagValidation:
+    def test_duplicate_ids_rejected(self, tmp_path):
+        steps = [
+            CampaignStep("a", "", lambda ctx: ""),
+            CampaignStep("a", "", lambda ctx: ""),
+        ]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Campaign("c", steps, tmp_path)
+
+    def test_unknown_dependency_rejected(self, tmp_path):
+        steps = [CampaignStep("a", "", lambda ctx: "", depends_on=("z",))]
+        with pytest.raises(ConfigurationError, match="unknown step"):
+            Campaign("c", steps, tmp_path)
+
+    def test_cycle_rejected(self, tmp_path):
+        steps = [
+            CampaignStep("a", "", lambda ctx: "", depends_on=("b",)),
+            CampaignStep("b", "", lambda ctx: "", depends_on=("a",)),
+        ]
+        with pytest.raises(ConfigurationError, match="cycle"):
+            Campaign("c", steps, tmp_path)
+
+    def test_dependencies_run_first(self, tmp_path):
+        order: list[str] = []
+
+        def track(name):
+            def run(ctx):
+                order.append(name)
+                return name
+
+            return run
+
+        steps = [
+            CampaignStep("report", "", track("report"), depends_on=("b",)),
+            CampaignStep("b", "", track("b"), depends_on=("a",)),
+            CampaignStep("a", "", track("a")),
+        ]
+        campaign = Campaign("c", steps, tmp_path / "dir")
+        campaign.run(_context(tmp_path, tmp_path / "dir"))
+        assert order == ["a", "b", "report"]
+
+    def test_producer_consumer_chains_interleave(self, tmp_path):
+        """Each eval runs right after its dataset, not after all datasets.
+
+        Keeps a cache-cold sweep's peak memory at one operating point's
+        datasets instead of the whole grid's.
+        """
+        order: list[str] = []
+
+        def track(name):
+            def run(ctx):
+                order.append(name)
+                return name
+
+            return run
+
+        steps = [
+            CampaignStep("d1", "", track("d1")),
+            CampaignStep("e1", "", track("e1"), depends_on=("d1",)),
+            CampaignStep("d2", "", track("d2")),
+            CampaignStep("e2", "", track("e2"), depends_on=("d2",)),
+            CampaignStep(
+                "report", "", track("report"), depends_on=("e1", "e2")
+            ),
+        ]
+        campaign = Campaign("c", steps, tmp_path / "dir")
+        campaign.run(_context(tmp_path, tmp_path / "dir"))
+        assert order == ["d1", "e1", "d2", "e2", "report"]
+
+
+class TestResume:
+    def _steps(self, calls, fail_step=None, exc=RuntimeError):
+        def make(name):
+            def run(ctx):
+                calls.append(name)
+                if name == fail_step:
+                    raise exc(f"{name} interrupted")
+                return json.dumps({"step": name})
+
+            return run
+
+        return [
+            CampaignStep("a", "", make("a")),
+            CampaignStep("b", "", make("b"), depends_on=("a",)),
+            CampaignStep("c", "", make("c"), depends_on=("b",)),
+        ]
+
+    def test_resume_after_simulated_kill(self, tmp_path):
+        directory = tmp_path / "campaign"
+        calls: list[str] = []
+        campaign = Campaign(
+            "c", self._steps(calls, fail_step="b"), directory
+        )
+        with pytest.raises(RuntimeError, match="interrupted"):
+            campaign.run(_context(tmp_path, directory))
+        assert calls == ["a", "b"]
+        assert campaign.manifest.status("a") == "done"
+        assert campaign.manifest.status("b") == "failed"
+        assert campaign.manifest.status("c") == "pending"
+
+        # A fresh process: new Campaign object over the same directory.
+        calls2: list[str] = []
+        resumed = Campaign("c", self._steps(calls2), directory)
+        result = resumed.run(_context(tmp_path, directory))
+        assert calls2 == ["b", "c"]  # 'a' resumed from the manifest
+        assert result.skipped == ["a"]
+        assert result.executed == ["b", "c"]
+        assert resumed.manifest.counts() == {"done": 3}
+
+    def test_keyboard_interrupt_is_journaled(self, tmp_path):
+        directory = tmp_path / "campaign"
+        calls: list[str] = []
+        campaign = Campaign(
+            "c",
+            self._steps(calls, fail_step="b", exc=KeyboardInterrupt),
+            directory,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run(_context(tmp_path, directory))
+        reloaded = CampaignManifest.load(directory / "manifest.json")
+        assert reloaded.status("a") == "done"
+        assert reloaded.status("b") == "failed"
+
+    def test_fresh_run_ignores_manifest(self, tmp_path):
+        directory = tmp_path / "campaign"
+        calls: list[str] = []
+        campaign = Campaign("c", self._steps(calls), directory)
+        campaign.run(_context(tmp_path, directory))
+        assert calls == ["a", "b", "c"]
+
+        calls2: list[str] = []
+        again = Campaign("c", self._steps(calls2), directory)
+        result = again.run(_context(tmp_path, directory), resume=False)
+        assert calls2 == ["a", "b", "c"]
+        assert result.skipped == []
+
+    def test_step_outputs_persisted(self, tmp_path):
+        directory = tmp_path / "campaign"
+        campaign = Campaign("c", self._steps([]), directory)
+        context = _context(tmp_path, directory)
+        campaign.run(context)
+        assert json.loads(context.read_output("c")) == {"step": "c"}
+        with pytest.raises(ConfigurationError, match="no stored output"):
+            context.read_output("zzz")

@@ -1,0 +1,89 @@
+"""Scenario registry: presets, resolution, registration errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.scenario import (
+    ROOM_PRESETS,
+    Scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_builtin_presets_present(self):
+        names = {s.name for s in list_scenarios()}
+        assert {
+            "paper",
+            "reduced",
+            "tiny",
+            "smoke",
+            "multi-human-crossing",
+            "slow-walk",
+            "brisk-walk",
+            "dense-office",
+        } <= names
+
+    def test_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(ConfigurationError, match="reduced"):
+            get_scenario("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        scenario = get_scenario("tiny")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_scenario(scenario)
+        # replace=True is the explicit override.
+        register_scenario(scenario, replace=True)
+
+    def test_unknown_base_and_room_rejected(self):
+        with pytest.raises(ConfigurationError, match="base preset"):
+            Scenario(name="x", description="", base="huge")
+        with pytest.raises(ConfigurationError, match="room preset"):
+            Scenario(name="x", description="", room="warehouse")
+
+
+class TestResolve:
+    def test_reduced_resolves_to_reduced_preset(self):
+        assert (
+            get_scenario("reduced").resolve() == SimulationConfig.reduced()
+        )
+
+    def test_smoke_overrides_dimensions(self):
+        config = get_scenario("smoke").resolve()
+        assert config.dataset.num_sets == 3
+        assert config.dataset.packets_per_set == 8
+        assert config.dataset.skip_initial < 8
+
+    def test_multi_human_crossing_mobility(self):
+        config = get_scenario("multi-human-crossing").resolve()
+        assert config.mobility.num_humans == 2
+        assert config.mobility.trajectory == "crossing"
+
+    def test_speed_range_override(self):
+        config = get_scenario("slow-walk").resolve()
+        assert config.mobility.speed_min_mps == pytest.approx(0.15)
+        assert config.mobility.speed_max_mps == pytest.approx(0.35)
+
+    def test_dense_office_room(self):
+        config = get_scenario("dense-office").resolve()
+        assert config.room == ROOM_PRESETS["dense-office"]
+        assert len(config.room.scatterers) > len(
+            ROOM_PRESETS["paper-lab"].scatterers
+        )
+
+    def test_snr_and_seed_overrides(self):
+        scenario = Scenario(
+            name="x",
+            description="",
+            base="tiny",
+            snr_db=4.5,
+            seed=77,
+        )
+        config = scenario.resolve()
+        assert config.channel.snr_db == pytest.approx(4.5)
+        assert config.seed == 77

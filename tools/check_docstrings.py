@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Docstring regression gate for the public Python API.
+
+Equivalent in spirit to ``pydocstyle`` D1xx (missing-docstring) checks,
+but self-contained so it runs in the offline container and in CI
+without extra dependencies.  For every module, public class and public
+function/method in the given files or directories it requires a
+non-trivial docstring (present, non-empty, more than one word).
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/campaign src/repro/phy/batch.py
+
+Exits 1 listing every violation, 0 when clean.  The CI docs job runs it
+over the campaign subsystem and the batched PHY engine so their API
+docs cannot silently regress.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _docstring_problem(node: ast.AST) -> str | None:
+    """Why a node's docstring is inadequate, or None if fine."""
+    doc = ast.get_docstring(node)
+    if doc is None:
+        return "missing docstring"
+    if len(doc.split()) < 2:
+        return "docstring is trivially short"
+    return None
+
+
+def _walk_definitions(tree: ast.Module):
+    """Yield (node, qualified-ish name) for public defs worth checking.
+
+    Top-level classes/functions plus methods of top-level classes;
+    nested helper functions are exempt (their contracts are local).
+    """
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(node.name):
+                yield node, node.name
+        elif isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            yield node, node.name
+            for child in node.body:
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    if _is_public(child.name):
+                        yield child, f"{node.name}.{child.name}"
+
+
+def check_file(path: Path) -> list[str]:
+    """All docstring violations in one file, as report lines."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    problems = []
+    module_problem = _docstring_problem(tree)
+    if module_problem is not None:
+        problems.append(f"{path}:1: module: {module_problem}")
+    for node, name in _walk_definitions(tree):
+        problem = _docstring_problem(node)
+        if problem is not None:
+            problems.append(f"{path}:{node.lineno}: {name}: {problem}")
+    return problems
+
+
+def collect_files(targets: list[str]) -> list[Path]:
+    """Expand file/directory arguments into a sorted .py file list."""
+    files: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py" and path.exists():
+            files.append(path)
+        else:
+            raise SystemExit(f"error: no such python file or dir: {target}")
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the exit code."""
+    targets = (argv if argv is not None else sys.argv[1:]) or [
+        "src/repro/campaign",
+        "src/repro/phy/batch.py",
+    ]
+    problems: list[str] = []
+    files = collect_files(targets)
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print(f"{len(problems)} docstring violation(s):")
+        for line in problems:
+            print(f"  {line}")
+        return 1
+    print(f"docstrings ok across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

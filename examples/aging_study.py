@@ -14,6 +14,7 @@ Usage::
 
 import argparse
 
+from repro.campaign import DatasetCache, ModelCheckpointRegistry
 from repro.config import SimulationConfig
 from repro.experiments.bundle import build_evaluation_bundle
 from repro.experiments.figures import fig16, fig17
@@ -28,11 +29,28 @@ def main() -> None:
         default=[0.0, 0.1, 0.5, 1.0],
         help="estimate ages in seconds (multiples of 0.1)",
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="dataset cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-vvd/datasets)",
+    )
+    parser.add_argument(
+        "--model-dir",
+        default=None,
+        help="model checkpoint registry root (default: $REPRO_MODEL_DIR "
+        "or ~/.cache/repro-vvd/models)",
+    )
     args = parser.parse_args()
 
     config = SimulationConfig.tiny()
-    print("Building evaluation bundle (tiny preset)...")
-    bundle = build_evaluation_bundle(config, num_combinations=1)
+    print("Building evaluation bundle (tiny preset, cached artifacts)...")
+    bundle = build_evaluation_bundle(
+        config,
+        num_combinations=1,
+        cache=DatasetCache(args.cache_dir),
+        checkpoints=ModelCheckpointRegistry(args.model_dir),
+    )
 
     ages = tuple(args.ages)
     result = fig16.generate(bundle, ages_s=ages)

@@ -10,6 +10,9 @@ restartable system (see docs/ARCHITECTURE.md):
 - :mod:`repro.campaign.cache` — a content-addressed on-disk cache of
   generated measurement sets, keyed by a stable hash of the resolved
   configuration plus a code-version salt.
+- :mod:`repro.campaign.models` — the matching content-addressed registry
+  of trained VVD model checkpoints, keyed by the dataset cache key, the
+  Table 2 split, the prediction horizon and the seed.
 - :mod:`repro.campaign.manifest` — the per-step JSON journal that makes
   killed campaigns resumable.
 - :mod:`repro.campaign.runner` — campaign DAG execution and the sweep /
@@ -26,6 +29,13 @@ from .cache import (
     default_cache_dir,
 )
 from .manifest import CampaignManifest
+from .models import (
+    ModelCheckpointRegistry,
+    ModelEntry,
+    ModelRegistryStats,
+    default_model_dir,
+    model_fingerprint,
+)
 from .runner import (
     FIGURE_NAMES,
     Campaign,
@@ -35,6 +45,7 @@ from .runner import (
     figure_steps,
     render_figure,
     sweep_steps,
+    train_steps,
 )
 from .scenario import (
     ROOM_PRESETS,
@@ -51,6 +62,11 @@ __all__ = [
     "config_fingerprint",
     "default_cache_dir",
     "CampaignManifest",
+    "ModelCheckpointRegistry",
+    "ModelEntry",
+    "ModelRegistryStats",
+    "default_model_dir",
+    "model_fingerprint",
     "FIGURE_NAMES",
     "Campaign",
     "CampaignContext",
@@ -59,6 +75,7 @@ __all__ = [
     "figure_steps",
     "render_figure",
     "sweep_steps",
+    "train_steps",
     "ROOM_PRESETS",
     "Scenario",
     "get_scenario",

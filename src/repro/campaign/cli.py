@@ -9,13 +9,19 @@ Installed as the ``repro`` console script (``setup.py``) and runnable as
     Materialize a scenario's measurement sets in the dataset cache.
 ``sweep``
     Run the SNR-sweep campaign of a scenario as a resumable step DAG.
+``train``
+    Train every Table 2 VVD variant of a scenario through the
+    content-addressed model checkpoint registry (zero retraining on
+    repeat runs).
 ``figure``
     Render paper tables/figures from the cached evaluation bundle.
 ``cache``
     Inspect (``stats``/``list``) or invalidate (``clear``) the cache.
 
 Every subcommand accepts ``--cache-dir`` (default: ``$REPRO_CACHE_DIR``
-or ``~/.cache/repro-vvd/datasets``); dataset generation fans out over
+or ``~/.cache/repro-vvd/datasets``); model-training commands accept
+``--model-dir`` (default: ``$REPRO_MODEL_DIR`` or
+``~/.cache/repro-vvd/models``); dataset generation fans out over
 ``--workers`` processes (default: ``$REPRO_BENCH_WORKERS``).
 """
 
@@ -31,12 +37,15 @@ from pathlib import Path
 from ..errors import ReproError
 from ..experiments.suite import SUITE_BUILDERS
 from .cache import DATASET_CACHE_SALT, DatasetCache
+from .manifest import STATUS_DONE, STATUS_PENDING
+from .models import MODEL_CACHE_SALT, ModelCheckpointRegistry
 from .runner import (
     FIGURE_NAMES,
     Campaign,
     CampaignContext,
     figure_steps,
     sweep_steps,
+    train_steps,
 )
 from .scenario import Scenario, get_scenario, list_scenarios
 
@@ -68,6 +77,15 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--verbose",
         action="store_true",
         help="print per-step/per-set progress",
+    )
+
+
+def _add_model_dir_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model-dir",
+        default=None,
+        help="model checkpoint registry root (default: $REPRO_MODEL_DIR "
+        "or ~/.cache/repro-vvd/models)",
     )
 
 
@@ -180,6 +198,102 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _invalidate_stale_train_steps(
+    campaign: Campaign,
+    context: CampaignContext,
+    registry: ModelCheckpointRegistry,
+) -> int:
+    """Re-open ``done`` train steps whose checkpoint has vanished.
+
+    The campaign manifest can outlive the model registry (a wiped or
+    different ``--model-dir``); trusting it blindly would replay the
+    stored report and claim "100% checkpoint hits" over models that no
+    longer exist.  Any completed ``train@`` step whose recorded key is
+    absent from the registry — or whose payload is unreadable — is
+    marked ``pending`` again (along with the ``report`` step) so the
+    run re-resolves it.  Returns the number of re-opened train steps.
+    """
+    stale = []
+    for step in campaign.steps:
+        if not step.step_id.startswith("train@"):
+            continue
+        if campaign.manifest.status(step.step_id) != STATUS_DONE:
+            continue
+        path = context.output_path(step.step_id)
+        if not path.exists():
+            # The runner will re-execute the step anyway (its skip
+            # condition requires the output file), but the report step
+            # must be re-opened too — fall through to the stale list.
+            stale.append(step.step_id)
+            continue
+        try:
+            key = json.loads(path.read_text())["key"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            stale.append(step.step_id)
+            continue
+        if not registry.has_key(key):
+            stale.append(step.step_id)
+    if stale:
+        for step_id in stale:
+            campaign.manifest.mark(step_id, STATUS_PENDING)
+        campaign.manifest.mark("report", STATUS_PENDING)
+    return len(stale)
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    config = scenario.resolve()
+    cache = DatasetCache(args.cache_dir)
+    registry = ModelCheckpointRegistry(args.model_dir)
+    horizons = sorted(set(args.horizons))
+    options = {
+        "combinations": args.combinations,
+        "horizons": horizons,
+        "seed": args.seed,
+        "model_salt": MODEL_CACHE_SALT,
+    }
+    directory = _campaign_dir(cache, "train", scenario, options)
+    campaign = Campaign(
+        f"train[{scenario.name}]",
+        train_steps(
+            config,
+            num_combinations=args.combinations,
+            horizons=horizons,
+            seed=args.seed,
+        ),
+        directory,
+    )
+    context = CampaignContext(
+        config,
+        cache,
+        directory,
+        workers=args.workers,
+        verbose=args.verbose,
+        checkpoints=registry,
+    )
+    if not args.fresh:
+        reopened = _invalidate_stale_train_steps(
+            campaign, context, registry
+        )
+        if reopened and args.verbose:
+            print(
+                f"{reopened} completed step(s) lost their checkpoint; "
+                "re-resolving"
+            )
+    result = campaign.run(context, resume=not args.fresh)
+    print(context.read_output("report"))
+    print(
+        f"\nsteps: {len(result.executed)} executed, "
+        f"{len(result.skipped)} resumed from manifest "
+        f"({directory / 'manifest.json'})"
+    )
+    print(f"cache: {cache.stats.summary()}")
+    print(f"models: {registry.stats.summary()}")
+    if registry.stats.models_trained == 0:
+        print("no models retrained (100% checkpoint hits)")
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario)
     config = scenario.resolve()
@@ -195,6 +309,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     options = {
         "figures": names,
         "combinations": args.combinations,
+        "vvd_seed": args.seed,
     }
     directory = _campaign_dir(cache, "figure", scenario, options)
     campaign = Campaign(
@@ -208,7 +323,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         directory,
         workers=args.workers,
         verbose=args.verbose,
-        options={"combinations": args.combinations},
+        options={
+            "combinations": args.combinations,
+            "vvd_seed": args.seed,
+        },
+        checkpoints=ModelCheckpointRegistry(args.model_dir),
     )
     result = campaign.run(context, resume=not args.fresh)
     for name in names:
@@ -326,6 +445,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_options(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
+    p_train = sub.add_parser(
+        "train",
+        help="train every Table 2 VVD variant through the model "
+        "checkpoint registry",
+    )
+    p_train.add_argument(
+        "--scenario", default="reduced", help="scenario preset name"
+    )
+    p_train.add_argument(
+        "--combinations",
+        type=int,
+        default=None,
+        help="limit the Table 2 combinations trained (default: all)",
+    )
+    p_train.add_argument(
+        "--horizons",
+        type=int,
+        nargs="+",
+        default=[0],
+        help="prediction horizons in camera frames (0 = VVD-Current; "
+        "'0 1 3' pre-trains every Fig. 11 variant)",
+    )
+    p_train.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="weight-init / shuffle seed of every variant",
+    )
+    p_train.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore the campaign manifest and re-run every step",
+    )
+    _add_model_dir_option(p_train)
+    _add_common_options(p_train)
+    p_train.set_defaults(func=_cmd_train)
+
     p_figure = sub.add_parser(
         "figure",
         help="render paper tables/figures from the cached bundle",
@@ -346,10 +502,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="Table 2 combinations evaluated (15 = full)",
     )
     p_figure.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="VVD training seed; match the `repro train --seed` that "
+        "warmed the model registry so figures retrain nothing",
+    )
+    p_figure.add_argument(
         "--fresh",
         action="store_true",
         help="ignore the campaign manifest and re-run every step",
     )
+    _add_model_dir_option(p_figure)
     _add_common_options(p_figure)
     p_figure.set_defaults(func=_cmd_figure)
 

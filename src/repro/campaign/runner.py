@@ -20,6 +20,13 @@ Two campaign shapes are provided:
     One ``dataset`` step plus one ``figure:<name>`` step per requested
     table/figure; the evaluation bundle is built lazily once and shared
     in-process between figure steps.
+
+:func:`train_steps`
+    One ``train@combo<k>`` step per Table 2 set combination, each
+    resolving its VVD model through the content-addressed
+    :class:`~repro.campaign.models.ModelCheckpointRegistry` (training
+    only on a registry miss), plus a final ``report`` step summarizing
+    per-variant training outcomes.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from ..config import SimulationConfig
+from ..dataset.sets import rotating_set_combinations
 from ..errors import ConfigurationError
 from ..experiments.bundle import EvaluationBundle, build_evaluation_bundle
 from ..experiments.reporting import format_series_table
@@ -41,6 +49,7 @@ from .manifest import (
     STATUS_RUNNING,
     CampaignManifest,
 )
+from .models import ModelCheckpointRegistry
 
 #: Figures/tables renderable by ``figure_steps`` (CLI ``repro figure``).
 FIGURE_NAMES = (
@@ -60,10 +69,11 @@ FIGURE_NAMES = (
 class CampaignContext:
     """Everything steps need at run time.
 
-    Holds the resolved configuration, the dataset cache, the worker
-    fan-out, per-run options and a ``shared`` dict for expensive
-    in-process artifacts (the evaluation bundle, aging results) that are
-    memoized across steps of one run but never persisted.
+    Holds the resolved configuration, the dataset cache, the model
+    checkpoint registry, the worker fan-out, per-run options and a
+    ``shared`` dict for expensive in-process artifacts (the evaluation
+    bundle, aging results) that are memoized across steps of one run but
+    never persisted.
     """
 
     def __init__(
@@ -74,6 +84,7 @@ class CampaignContext:
         workers: int | None = None,
         verbose: bool = False,
         options: dict | None = None,
+        checkpoints: ModelCheckpointRegistry | None = None,
     ) -> None:
         self.config = config
         self.cache = cache
@@ -81,6 +92,10 @@ class CampaignContext:
         self.workers = workers
         self.verbose = verbose
         self.options = dict(options or {})
+        #: Content-addressed registry resolving VVD trainings; steps
+        #: that train models require it (``repro train``, figure
+        #: campaigns pass one so repeat runs never retrain).
+        self.checkpoints = checkpoints
         self.shared: dict = {}
 
     def output_path(self, step_id: str) -> Path:
@@ -375,6 +390,8 @@ def _bundle(ctx: CampaignContext) -> EvaluationBundle:
             sets=ctx.shared.pop(
                 f"sets:{ctx.cache.key_for(ctx.config)}", None
             ),
+            checkpoints=ctx.checkpoints,
+            vvd_seed=ctx.options.get("vvd_seed", 7),
         )
         ctx.shared["bundle"] = bundle
     return bundle
@@ -419,7 +436,11 @@ def render_figure(name: str, ctx: CampaignContext) -> str:
         bundle = _bundle(ctx)
         return fig11.render(
             fig11.generate(
-                bundle.runner, bundle.combinations, bundle.config
+                bundle.runner,
+                bundle.combinations,
+                bundle.config,
+                checkpoints=ctx.checkpoints,
+                vvd_seed=ctx.options.get("vvd_seed", 7),
             )
         )
     if name == "fig12":
@@ -474,4 +495,167 @@ def figure_steps(
                 depends_on=("dataset",),
             )
         )
+    return steps
+
+
+# -- training campaign ---------------------------------------------------
+def _campaign_sets(ctx: CampaignContext) -> list:
+    """The campaign's measurement sets, loaded once per run.
+
+    Unlike the sweep's producer/consumer stash (which *pops* its entry),
+    training steps share one in-memory copy across every variant: the
+    first caller resolves the sets through the cache and later callers —
+    including steps re-executed after a resume, when the ``dataset``
+    step itself was skipped — reuse it.
+    """
+    key = f"sets:{ctx.cache.key_for(ctx.config)}"
+    sets = ctx.shared.get(key)
+    if sets is None:
+        sets = ctx.cache.load_or_generate(
+            ctx.config, workers=ctx.workers, verbose=ctx.verbose
+        )
+        ctx.shared[key] = sets
+    return sets
+
+
+def train_steps(
+    config: SimulationConfig,
+    num_combinations: int | None = None,
+    horizons: Sequence[int] = (0,),
+    seed: int = 7,
+) -> list[CampaignStep]:
+    """Steps of a training campaign: one model per (combination, horizon).
+
+    Per Table 2 combination and prediction horizon: a
+    ``train@combo<k>@h<f>`` step that resolves the variant's VVD model
+    through the run's
+    :class:`~repro.campaign.models.ModelCheckpointRegistry`
+    (``ctx.checkpoints``) — training the CNN only when the registry has
+    no checkpoint for the (config, split, horizon, seed) key — and
+    persists a JSON payload recording the key and whether a training
+    actually ran.  ``horizons=(0, 1, 3)`` pre-trains every Fig. 11
+    future-prediction variant alongside the VVD-Current models.  The
+    final ``report`` step assembles the per-variant summary table
+    purely from the stored payloads, so a completed campaign replays
+    without touching the registry.
+    """
+    combinations = rotating_set_combinations(config.dataset.num_sets)
+    if num_combinations is not None:
+        if num_combinations < 1:
+            raise ConfigurationError("num_combinations must be >= 1")
+        combinations = combinations[:num_combinations]
+    horizons = tuple(dict.fromkeys(int(h) for h in horizons))
+    if not horizons:
+        raise ConfigurationError("horizons must not be empty")
+    if any(h < 0 for h in horizons):
+        raise ConfigurationError(
+            f"horizons must be >= 0, got {horizons}"
+        )
+
+    def _run_dataset(ctx: CampaignContext) -> str:
+        return _materialize_dataset(ctx, ctx.config)
+
+    steps = [
+        CampaignStep(
+            step_id="dataset",
+            description="materialize cached dataset",
+            run=_run_dataset,
+        )
+    ]
+    train_ids = []
+    for combination in combinations:
+        for horizon in horizons:
+
+            def _run_train(
+                ctx: CampaignContext,
+                combination=combination,
+                horizon=horizon,
+            ) -> str:
+                if ctx.checkpoints is None:
+                    raise ConfigurationError(
+                        "training steps need a CampaignContext with a "
+                        "checkpoints= model registry"
+                    )
+                sets = _campaign_sets(ctx)
+                training = [
+                    sets[i] for i in combination.training_indices()
+                ]
+                validation = [sets[combination.validation_index]]
+                trained_before = ctx.checkpoints.stats.models_trained
+                trained = ctx.checkpoints.load_or_train(
+                    training,
+                    validation,
+                    ctx.config,
+                    horizon_frames=horizon,
+                    seed=seed,
+                    verbose=ctx.verbose,
+                )
+                return json.dumps(
+                    {
+                        "combination": combination.number,
+                        "horizon": horizon,
+                        "key": ctx.checkpoints.key_for(
+                            ctx.config,
+                            training,
+                            validation,
+                            horizon_frames=horizon,
+                            seed=seed,
+                        ),
+                        "trained": ctx.checkpoints.stats.models_trained
+                        - trained_before,
+                        "epochs": len(trained.history.train_loss),
+                        "best_epoch": trained.history.best_epoch,
+                        "best_val_loss": trained.history.best_val_loss,
+                    }
+                )
+
+            step_id = (
+                f"train@combo{combination.number:02d}@h{horizon}"
+            )
+            steps.append(
+                CampaignStep(
+                    step_id=step_id,
+                    description=(
+                        f"train/resolve VVD for combination "
+                        f"{combination.number}, horizon {horizon}"
+                    ),
+                    run=_run_train,
+                    depends_on=("dataset",),
+                )
+            )
+            train_ids.append(step_id)
+
+    def _run_report(ctx: CampaignContext) -> str:
+        rows = [
+            json.loads(ctx.read_output(step_id)) for step_id in train_ids
+        ]
+        lines = [
+            f"Training campaign — {len(rows)} Table 2 variant(s), "
+            f"horizon(s) {list(horizons)}, seed {seed}",
+            f"{'Combo':>5}  {'Hzn':>3}  {'Model key':<16}  "
+            f"{'Trained':>7}  {'Best epoch':>10}  {'Best val MSE':>12}",
+        ]
+        for row in rows:
+            lines.append(
+                f"{row['combination']:>5}  {row['horizon']:>3}  "
+                f"{row['key']:<16}  "
+                f"{'yes' if row['trained'] else 'cached':>7}  "
+                f"{row['best_epoch'] + 1:>10}  "
+                f"{row['best_val_loss']:>12.3e}"
+            )
+        newly_trained = sum(row["trained"] for row in rows)
+        lines.append(
+            f"{newly_trained} model(s) trained, "
+            f"{len(rows) - newly_trained} resolved from checkpoints"
+        )
+        return "\n".join(lines)
+
+    steps.append(
+        CampaignStep(
+            step_id="report",
+            description="assemble per-variant training summary",
+            run=_run_report,
+            depends_on=tuple(train_ids),
+        )
+    )
     return steps

@@ -11,6 +11,8 @@ estimates with a CNN (Sec. 4):
   three prediction horizons (current / +33.3 ms / +100 ms).
 - :mod:`repro.core.training` — the training pipeline with validation-based
   model selection.
+- :mod:`repro.core.checkpoint` — lossless on-disk round-tripping of
+  trained models (consumed by the campaign model registry).
 - :mod:`repro.core.vvd` — the :class:`VVDEstimator` plugged into the
   evaluation suite.
 - :mod:`repro.core.blockage` — LoS blockage detector extension (Sec. 6.4
@@ -22,6 +24,11 @@ from .normalization import CIRNormalizer
 from .model import build_vvd_cnn
 from .targets import TrainingData, build_training_data, horizon_frame_offset
 from .training import TrainedVVD, train_vvd
+from .checkpoint import (
+    checkpoint_complete,
+    load_trained_vvd,
+    save_trained_vvd,
+)
 from .vvd import VVDEstimator
 from .blockage import BlockageDetector
 
@@ -35,6 +42,9 @@ __all__ = [
     "horizon_frame_offset",
     "TrainedVVD",
     "train_vvd",
+    "checkpoint_complete",
+    "load_trained_vvd",
+    "save_trained_vvd",
     "VVDEstimator",
     "BlockageDetector",
 ]

@@ -1,0 +1,199 @@
+"""On-disk serialization of trained VVD models.
+
+A :class:`~repro.core.training.TrainedVVD` round-trips through one
+directory holding two files:
+
+``weights.npz``
+    Every model parameter in ``Sequential.parameters()`` order, plus the
+    optional per-pixel input standardization (``image_mean`` /
+    ``image_std``).
+``meta.json``
+    Everything needed to rebuild the model around those arrays: the
+    per-sample input shape, tap count, prediction horizon, the fitted
+    :class:`~repro.core.normalization.CIRNormalizer` scale and the full
+    :class:`~repro.nn.model.TrainingHistory`.
+
+Writes are atomic (temp file + ``os.replace``) and ``meta.json`` lands
+last, so a killed save never leaves a directory that
+:func:`load_trained_vvd` would accept.  Loading rebuilds the CNN from the
+caller's :class:`~repro.config.VVDConfig` and installs the stored
+float32 weights verbatim, so predictions are bit-identical to the
+instance that was saved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..config import VVDConfig
+from ..errors import ConfigurationError
+from ..nn import BatchNorm2D, TrainingHistory
+from .model import build_vvd_cnn
+from .normalization import CIRNormalizer
+from .training import TrainedVVD
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+CHECKPOINT_FORMAT_VERSION = 1
+
+_WEIGHTS_FILE = "weights.npz"
+_META_FILE = "meta.json"
+
+
+def _atomic_write_bytes(path: Path, write) -> None:
+    """Write through a sibling temp file and rename into place."""
+    tmp = path.with_name(f".tmp_{path.name}")
+    write(tmp)
+    os.replace(tmp, path)
+
+
+def checkpoint_complete(directory: str | Path) -> bool:
+    """Whether ``directory`` holds a finished checkpoint.
+
+    ``meta.json`` is written last, so its presence (together with the
+    weights archive) marks a save that ran to completion.
+    """
+    directory = Path(directory)
+    return (directory / _META_FILE).exists() and (
+        directory / _WEIGHTS_FILE
+    ).exists()
+
+
+def save_trained_vvd(
+    trained: TrainedVVD,
+    directory: str | Path,
+    num_taps: int,
+    extra_meta: dict | None = None,
+) -> None:
+    """Persist ``trained`` under ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    arrays = {
+        f"weight_{i}": p.value
+        for i, p in enumerate(trained.model.parameters())
+    }
+    if trained.image_mean is not None:
+        arrays["image_mean"] = trained.image_mean
+        arrays["image_std"] = trained.image_std
+    # Non-parameter layer state: batch-norm running statistics (the
+    # Sec. 4 ablation path) are part of inference behavior but not of
+    # ``parameters()``, so they are persisted per layer index.
+    for index, layer in enumerate(trained.model.layers):
+        if isinstance(layer, BatchNorm2D):
+            arrays[f"bn_{index}_mean"] = layer.running_mean
+            arrays[f"bn_{index}_var"] = layer.running_var
+
+    def _write_npz(tmp: Path) -> None:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+
+    _atomic_write_bytes(directory / _WEIGHTS_FILE, _write_npz)
+
+    history = trained.history
+    meta = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "num_weights": len(trained.model.parameters()),
+        "input_shape": list(trained.input_shape),
+        "num_taps": int(num_taps),
+        "horizon_frames": int(trained.horizon_frames),
+        "normalizer_scale": float(trained.normalizer.scale),
+        "standardized_inputs": trained.image_mean is not None,
+        "history": {
+            "train_loss": [float(v) for v in history.train_loss],
+            "val_loss": [float(v) for v in history.val_loss],
+            "learning_rates": [
+                float(v) for v in history.learning_rates
+            ],
+            "best_epoch": int(history.best_epoch),
+        },
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+
+    def _write_meta(tmp: Path) -> None:
+        tmp.write_text(json.dumps(meta, indent=2, sort_keys=True))
+
+    _atomic_write_bytes(directory / _META_FILE, _write_meta)
+
+
+def load_trained_vvd(
+    directory: str | Path, vvd_config: VVDConfig
+) -> TrainedVVD:
+    """Rebuild a :class:`TrainedVVD` saved by :func:`save_trained_vvd`.
+
+    ``vvd_config`` must describe the architecture the checkpoint was
+    trained with (conv filters, kernel size, dense units, pooling) — a
+    mismatch surfaces as a :class:`~repro.errors.ConfigurationError`
+    before any weights are touched.
+    """
+    directory = Path(directory)
+    if not checkpoint_complete(directory):
+        raise ConfigurationError(
+            f"no complete model checkpoint under {directory}"
+        )
+    meta = json.loads((directory / _META_FILE).read_text())
+    version = meta.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"checkpoint {directory} has format version {version!r}; "
+            f"expected {CHECKPOINT_FORMAT_VERSION}"
+        )
+
+    input_shape = tuple(int(v) for v in meta["input_shape"])
+    model = build_vvd_cnn(
+        input_shape, int(meta["num_taps"]), vvd_config, seed=0
+    )
+    parameters = model.parameters()
+    if len(parameters) != int(meta["num_weights"]):
+        raise ConfigurationError(
+            f"checkpoint {directory} holds {meta['num_weights']} weight "
+            f"arrays but the configured architecture expects "
+            f"{len(parameters)}; was the VVD config changed?"
+        )
+    with np.load(directory / _WEIGHTS_FILE) as data:
+        try:
+            model.set_weights(
+                [data[f"weight_{i}"] for i in range(len(parameters))]
+            )
+        except Exception as exc:
+            raise ConfigurationError(
+                f"checkpoint {directory} does not fit the configured "
+                f"architecture: {exc}"
+            ) from exc
+        image_mean = image_std = None
+        if meta.get("standardized_inputs"):
+            image_mean = data["image_mean"]
+            image_std = data["image_std"]
+        for index, layer in enumerate(model.layers):
+            if isinstance(layer, BatchNorm2D):
+                try:
+                    layer.running_mean = data[f"bn_{index}_mean"]
+                    layer.running_var = data[f"bn_{index}_var"]
+                except KeyError as exc:
+                    raise ConfigurationError(
+                        f"checkpoint {directory} lacks batch-norm "
+                        f"running statistics for layer {index}"
+                    ) from exc
+
+    normalizer = CIRNormalizer()
+    normalizer.scale = float(meta["normalizer_scale"])
+    history_meta = meta["history"]
+    history = TrainingHistory(
+        train_loss=list(history_meta["train_loss"]),
+        val_loss=list(history_meta["val_loss"]),
+        learning_rates=list(history_meta["learning_rates"]),
+        best_epoch=int(history_meta["best_epoch"]),
+    )
+    return TrainedVVD(
+        model=model,
+        normalizer=normalizer,
+        history=history,
+        horizon_frames=int(meta["horizon_frames"]),
+        input_shape=(input_shape[0], input_shape[1]),
+        image_mean=image_mean,
+        image_std=image_std,
+    )

@@ -12,7 +12,7 @@ The estimator is safe to share between a standalone entry and a
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from ..estimation.base import (
 )
 from ..vision.preprocessing import normalize_depth
 from .training import TrainedVVD, train_vvd
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..campaign.models import ModelCheckpointRegistry
 
 _HORIZON_NAMES = {0: "VVD-Current", 1: "VVD-33.3ms Future", 3: "VVD-100ms Future"}
 
@@ -40,6 +43,8 @@ class VVDEstimator(ChannelEstimator):
         seed: int = 7,
         name: str | None = None,
         verbose: bool = False,
+        checkpoints: "ModelCheckpointRegistry | None" = None,
+        engine: str = "batch",
     ) -> None:
         self.horizon_frames = horizon_frames
         self.seed = seed
@@ -47,6 +52,17 @@ class VVDEstimator(ChannelEstimator):
         self.name = name or _HORIZON_NAMES.get(
             horizon_frames, f"VVD-{horizon_frames}frames Future"
         )
+        #: Optional :class:`~repro.campaign.models.ModelCheckpointRegistry`
+        #: resolving :meth:`prepare` through content-addressed
+        #: checkpoints instead of always retraining.
+        self.checkpoints = checkpoints
+        #: Dataset engine the training sets were generated with; part of
+        #: the checkpoint key (scalar- and batch-generated sets agree
+        #: only to 1e-10, so their models must never be interchanged).
+        #: Every orchestrated path (campaign CLI, bundle) trains from
+        #: batch-generated sets; pass ``"scalar"`` when preparing on
+        #: hand-built scalar-engine sets with a registry attached.
+        self.engine = engine
         self.trained: TrainedVVD | None = None
         self._max_depth: float | None = None
         self._cache: dict[tuple[int, int], np.ndarray] = {}
@@ -55,14 +71,25 @@ class VVDEstimator(ChannelEstimator):
     def prepare(self, training_sets, validation_sets, config) -> None:
         if self.trained is not None:
             return  # shared instance already trained for this combination
-        self.trained = train_vvd(
-            training_sets,
-            validation_sets,
-            config,
-            horizon_frames=self.horizon_frames,
-            seed=self.seed,
-            verbose=self.verbose,
-        )
+        if self.checkpoints is not None:
+            self.trained = self.checkpoints.load_or_train(
+                training_sets,
+                validation_sets,
+                config,
+                horizon_frames=self.horizon_frames,
+                seed=self.seed,
+                verbose=self.verbose,
+                engine=self.engine,
+            )
+        else:
+            self.trained = train_vvd(
+                training_sets,
+                validation_sets,
+                config,
+                horizon_frames=self.horizon_frames,
+                seed=self.seed,
+                verbose=self.verbose,
+            )
         self._max_depth = config.camera.max_depth_m
 
     def reset(self, test_set) -> None:

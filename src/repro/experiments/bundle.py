@@ -28,6 +28,7 @@ from .suite import build_full_suite
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..campaign.cache import DatasetCache
+    from ..campaign.models import ModelCheckpointRegistry
 
 
 @dataclass
@@ -61,6 +62,8 @@ def build_evaluation_bundle(
     workers: int | None = None,
     cache: "DatasetCache | None" = None,
     sets: list[MeasurementSet] | None = None,
+    checkpoints: "ModelCheckpointRegistry | None" = None,
+    vvd_seed: int = 7,
 ) -> EvaluationBundle:
     """Generate the dataset and run the full suite over combinations.
 
@@ -70,7 +73,12 @@ def build_evaluation_bundle(
     ``cache`` resolves the measurement sets through the campaign's
     content-addressed dataset cache instead of regenerating them, and
     ``sets`` short-circuits resolution entirely with already-loaded
-    measurement sets (they must belong to ``config``).
+    measurement sets (they must belong to ``config``).  ``checkpoints``
+    resolves every per-combination VVD training through the campaign's
+    content-addressed model registry, so a warmed registry rebuilds the
+    bundle without retraining a single CNN — provided ``vvd_seed``
+    matches the seed the registry was warmed with (``repro train
+    --seed``).
     """
     components = build_components(config)
     if sets is not None:
@@ -93,7 +101,9 @@ def build_evaluation_bundle(
     results: list[CombinationResult] = []
     first_vvd: VVDEstimator | None = None
     for combination in combinations:
-        suite = build_full_suite(config)
+        suite = build_full_suite(
+            config, vvd_seed=vvd_seed, checkpoints=checkpoints
+        )
         results.append(
             runner.run_combination(combination, suite, verbose=verbose)
         )

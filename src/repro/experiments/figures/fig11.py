@@ -8,13 +8,16 @@ similar — the channel behaves almost memoryless).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ...config import SimulationConfig
 from ...dataset.sets import SetCombination
 from ..metrics import BoxStats, box_stats
 from ..runner import EvaluationRunner
 from ..suite import build_kalman_variants, build_vvd_variants
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ...campaign.models import ModelCheckpointRegistry
 
 
 @dataclass
@@ -29,13 +32,15 @@ def generate(
     runner: EvaluationRunner,
     combinations: Sequence[SetCombination],
     config: SimulationConfig,
+    checkpoints: "ModelCheckpointRegistry | None" = None,
+    vvd_seed: int = 7,
 ) -> VariantsResult:
     vvd_values: dict[str, list[float]] = {}
     kalman_values: dict[str, list[float]] = {}
     for combination in combinations:
-        estimators = build_vvd_variants(config) + build_kalman_variants(
-            config
-        )
+        estimators = build_vvd_variants(
+            config, vvd_seed=vvd_seed, checkpoints=checkpoints
+        ) + build_kalman_variants(config)
         result = runner.run_combination(combination, estimators)
         for name, technique in result.techniques.items():
             bucket = vvd_values if name.startswith("VVD") else kalman_values

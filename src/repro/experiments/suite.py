@@ -13,7 +13,7 @@ Preamble-VVD Combined entry so the CNN is trained once per combination.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..config import SimulationConfig
 from ..core.vvd import VVDEstimator
@@ -28,6 +28,9 @@ from ..estimation import (
     StandardDecoding,
 )
 from ..estimation.base import ChannelEstimator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..campaign.models import ModelCheckpointRegistry
 
 
 def build_baseline_suite(
@@ -59,12 +62,20 @@ def build_baseline_suite(
 
 
 def build_full_suite(
-    config: SimulationConfig, vvd_seed: int = 7
+    config: SimulationConfig,
+    vvd_seed: int = 7,
+    checkpoints: "ModelCheckpointRegistry | None" = None,
 ) -> list[ChannelEstimator]:
-    """The ten techniques of Figs. 12-14 (one shared VVD training)."""
+    """The ten techniques of Figs. 12-14 (one shared VVD training).
+
+    ``checkpoints`` resolves the VVD training through the campaign's
+    content-addressed model registry (zero retraining on repeat runs).
+    """
     interval = config.dataset.packet_interval_s
     order = config.kalman.default_order
-    vvd = VVDEstimator(horizon_frames=0, seed=vvd_seed)
+    vvd = VVDEstimator(
+        horizon_frames=0, seed=vvd_seed, checkpoints=checkpoints
+    )
     return [
         StandardDecoding(),
         PreambleBased(),
@@ -144,15 +155,24 @@ def build_kalman_variants(
 
 
 def build_vvd_variants(
-    config: SimulationConfig, vvd_seed: int = 7
+    config: SimulationConfig,
+    vvd_seed: int = 7,
+    checkpoints: "ModelCheckpointRegistry | None" = None,
 ) -> list[ChannelEstimator]:
     """VVD-Current / 33.3 ms / 100 ms future for Fig. 11a.
 
     Horizon offsets assume the paper's 30 fps camera and 100 ms packet
-    interval: 0, 1 and 3 frames.
+    interval: 0, 1 and 3 frames.  ``checkpoints`` resolves each horizon
+    variant through the campaign's model registry.
     """
     return [
-        VVDEstimator(horizon_frames=3, seed=vvd_seed),
-        VVDEstimator(horizon_frames=1, seed=vvd_seed),
-        VVDEstimator(horizon_frames=0, seed=vvd_seed),
+        VVDEstimator(
+            horizon_frames=3, seed=vvd_seed, checkpoints=checkpoints
+        ),
+        VVDEstimator(
+            horizon_frames=1, seed=vvd_seed, checkpoints=checkpoints
+        ),
+        VVDEstimator(
+            horizon_frames=0, seed=vvd_seed, checkpoints=checkpoints
+        ),
     ]

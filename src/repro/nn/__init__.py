@@ -11,6 +11,7 @@ Data layout is NHWC; all math is float64 for numerical robustness.
 
 from .initializers import glorot_uniform, zeros_init
 from .layers import (
+    CONV_IMPLEMENTATIONS,
     AveragePooling2D,
     BatchNorm2D,
     Conv2D,
@@ -35,6 +36,7 @@ __all__ = [
     "ReLU",
     "Flatten",
     "Conv2D",
+    "CONV_IMPLEMENTATIONS",
     "AveragePooling2D",
     "MaxPooling2D",
     "BatchNorm2D",

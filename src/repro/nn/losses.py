@@ -1,6 +1,18 @@
 """Loss functions.
 
 The paper trains and model-selects on mean squared error (Sec. 4).
+
+Convention (pinned by ``tests/nn/test_mse_convention.py``): the loss is
+the mean over **every element** of the batch, ``mean((pred - target)^2)``
+over all ``B * D`` entries, and :meth:`MeanSquaredError.gradient` is the
+exact derivative of that value, ``2 * (pred - target) / (B * D)``.  This
+matches Keras' ``'mse'`` up to reduction order (Keras averages per-sample
+means, which equals the per-element mean for equal-sized samples), so the
+paper's Nadam learning rates transfer unchanged.  A *per-sample* MSE
+(sum over the ``D`` outputs, mean over the batch) would scale gradients —
+and therefore the effective learning rate — by ``D`` (22 for the 11-tap
+Fig. 6 output); do not change the reduction without rescaling
+``VVDConfig.learning_rate``.
 """
 
 from __future__ import annotations

@@ -78,10 +78,21 @@ class Sequential:
             out = layer.forward(out, training)
         return out
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
-        for layer in reversed(self.layers):
+    def backward(
+        self, grad: np.ndarray, need_input_grad: bool = True
+    ) -> np.ndarray | None:
+        """Backpropagate ``grad``; returns the input gradient.
+
+        ``need_input_grad=False`` (the training loop's setting) lets the
+        first layer skip its input-gradient computation — nobody consumes
+        it — and returns ``None``.
+        """
+        for layer in reversed(self.layers[1:]):
             grad = layer.backward(grad)
-        return grad
+        first = self.layers[0]
+        if need_input_grad:
+            return first.backward(grad)
+        return first.backward_params_only(grad)
 
     # -- training ---------------------------------------------------------
     def train_batch(
@@ -94,7 +105,7 @@ class Sequential:
         prediction = self.forward(x, training=True)
         y = np.asarray(y, dtype=self.dtype)
         value = loss.value(prediction, y)
-        self.backward(loss.gradient(prediction, y))
+        self.backward(loss.gradient(prediction, y), need_input_grad=False)
         optimizer.step(self.parameters())
         return value
 

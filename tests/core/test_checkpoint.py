@@ -1,0 +1,126 @@
+"""Checkpoint contract: TrainedVVD save -> load is bit-identical."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    checkpoint_complete,
+    load_trained_vvd,
+    save_trained_vvd,
+    train_vvd,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_config, tiny_dataset):
+    return train_vvd(
+        list(tiny_dataset[:2]), [tiny_dataset[2]], tiny_config, seed=3
+    )
+
+
+@pytest.fixture()
+def probe_images(trained):
+    rng = np.random.default_rng(99)
+    rows, cols = trained.input_shape
+    return rng.uniform(0.0, 1.0, size=(4, rows, cols)).astype(np.float32)
+
+
+class TestRoundTrip:
+    def test_predictions_bit_identical(
+        self, trained, tiny_config, tmp_path, probe_images
+    ):
+        directory = tmp_path / "ckpt"
+        save_trained_vvd(trained, directory, tiny_config.channel.num_taps)
+        assert checkpoint_complete(directory)
+        loaded = load_trained_vvd(directory, tiny_config.vvd)
+        original = trained.predict_cir(probe_images)
+        restored = loaded.predict_cir(probe_images)
+        assert np.array_equal(original, restored)
+
+    def test_history_and_normalizer_round_trip(
+        self, trained, tiny_config, tmp_path
+    ):
+        directory = tmp_path / "ckpt"
+        save_trained_vvd(trained, directory, tiny_config.channel.num_taps)
+        loaded = load_trained_vvd(directory, tiny_config.vvd)
+        assert loaded.history.train_loss == trained.history.train_loss
+        assert loaded.history.val_loss == trained.history.val_loss
+        assert (
+            loaded.history.learning_rates
+            == trained.history.learning_rates
+        )
+        assert loaded.history.best_epoch == trained.history.best_epoch
+        assert loaded.normalizer.scale == trained.normalizer.scale
+        assert loaded.horizon_frames == trained.horizon_frames
+        assert loaded.input_shape == trained.input_shape
+        assert np.array_equal(loaded.image_mean, trained.image_mean)
+        assert np.array_equal(loaded.image_std, trained.image_std)
+
+    def test_weights_round_trip_exactly(
+        self, trained, tiny_config, tmp_path
+    ):
+        directory = tmp_path / "ckpt"
+        save_trained_vvd(trained, directory, tiny_config.channel.num_taps)
+        loaded = load_trained_vvd(directory, tiny_config.vvd)
+        for saved, restored in zip(
+            trained.model.get_weights(), loaded.model.get_weights()
+        ):
+            assert np.array_equal(saved, restored)
+            assert saved.dtype == restored.dtype
+
+
+class TestBatchNormRoundTrip:
+    def test_running_statistics_round_trip(
+        self, tiny_config, tiny_dataset, tmp_path
+    ):
+        """The Sec. 4 batch-norm ablation must round-trip its running
+        statistics, not just `parameters()`."""
+        import dataclasses
+
+        config = tiny_config.replace(
+            vvd=dataclasses.replace(tiny_config.vvd, use_batch_norm=True)
+        )
+        trained = train_vvd(
+            list(tiny_dataset[:2]), [tiny_dataset[2]], config, seed=3
+        )
+        directory = tmp_path / "bn-ckpt"
+        save_trained_vvd(trained, directory, config.channel.num_taps)
+        loaded = load_trained_vvd(directory, config.vvd)
+        rng = np.random.default_rng(1)
+        rows, cols = trained.input_shape
+        images = rng.uniform(0.0, 1.0, size=(3, rows, cols)).astype(
+            np.float32
+        )
+        assert np.array_equal(
+            trained.predict_cir(images), loaded.predict_cir(images)
+        )
+
+
+class TestErrorPaths:
+    def test_missing_directory_rejected(self, tiny_config, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_trained_vvd(tmp_path / "nope", tiny_config.vvd)
+
+    def test_partial_checkpoint_rejected(
+        self, trained, tiny_config, tmp_path
+    ):
+        directory = tmp_path / "ckpt"
+        save_trained_vvd(trained, directory, tiny_config.channel.num_taps)
+        (directory / "meta.json").unlink()
+        assert not checkpoint_complete(directory)
+        with pytest.raises(ConfigurationError):
+            load_trained_vvd(directory, tiny_config.vvd)
+
+    def test_architecture_mismatch_rejected(
+        self, trained, tiny_config, tmp_path
+    ):
+        import dataclasses
+
+        directory = tmp_path / "ckpt"
+        save_trained_vvd(trained, directory, tiny_config.channel.num_taps)
+        wrong = dataclasses.replace(
+            tiny_config.vvd, conv_filters=(4, 4), dense_units=16
+        )
+        with pytest.raises(ConfigurationError):
+            load_trained_vvd(directory, wrong)

@@ -1,0 +1,83 @@
+"""Pin the MSE reduction convention (satellite fix of the training PR).
+
+``MeanSquaredError.gradient`` divides by ``prediction.size`` — the total
+element count ``B * D`` — because :meth:`value` is the mean over every
+element.  These tests pin that convention so the paper's Nadam learning
+rates keep their meaning: switching to a per-sample (sum-over-outputs)
+MSE would silently scale every gradient, and thus the effective learning
+rate, by the output width ``D``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import MeanSquaredError
+
+
+class TestConvention:
+    def test_value_is_per_element_mean(self, rng):
+        prediction = rng.normal(size=(8, 22))
+        target = rng.normal(size=(8, 22))
+        value = MeanSquaredError().value(prediction, target)
+        assert value == pytest.approx(
+            float(np.mean((prediction - target) ** 2))
+        )
+
+    def test_gradient_divides_by_total_element_count(self, rng):
+        prediction = rng.normal(size=(8, 22))
+        target = rng.normal(size=(8, 22))
+        grad = MeanSquaredError().gradient(prediction, target)
+        assert np.allclose(
+            grad, 2.0 * (prediction - target) / (8 * 22)
+        )
+
+    def test_gradient_is_exact_derivative_of_value(self, rng):
+        """The pinned pair: gradient() must differentiate value()."""
+        loss = MeanSquaredError()
+        prediction = rng.normal(size=(3, 5))
+        target = rng.normal(size=(3, 5))
+        analytic = loss.gradient(prediction, target)
+        eps = 1e-6
+        flat = prediction.reshape(-1)
+        for i in range(flat.size):
+            original = flat[i]
+            flat[i] = original + eps
+            plus = loss.value(prediction, target)
+            flat[i] = original - eps
+            minus = loss.value(prediction, target)
+            flat[i] = original
+            assert analytic.reshape(-1)[i] == pytest.approx(
+                (plus - minus) / (2 * eps), abs=1e-6
+            )
+
+    def test_equals_mean_of_per_sample_means(self, rng):
+        """Keras-style reduction (mean over outputs, then batch) agrees
+        for equal-sized samples — LR semantics transfer unchanged."""
+        prediction = rng.normal(size=(6, 11))
+        target = rng.normal(size=(6, 11))
+        per_sample = ((prediction - target) ** 2).mean(axis=1)
+        assert MeanSquaredError().value(
+            prediction, target
+        ) == pytest.approx(float(per_sample.mean()))
+
+    def test_per_sample_convention_would_rescale_gradient(self, rng):
+        """Documents *why* the convention matters: a sum-over-outputs
+        per-sample MSE scales the gradient by the output width D."""
+        prediction = rng.normal(size=(4, 22))
+        target = rng.normal(size=(4, 22))
+        grad = MeanSquaredError().gradient(prediction, target)
+        per_sample_grad = 2.0 * (prediction - target) / 4  # mean over B only
+        assert np.allclose(per_sample_grad, grad * 22)
+
+
+class TestValidation:
+    def test_empty_arrays_rejected(self):
+        with pytest.raises(ShapeError):
+            MeanSquaredError().value(np.empty((0, 3)), np.empty((0, 3)))
+
+    def test_empty_gradient_rejected(self):
+        with pytest.raises(ShapeError):
+            MeanSquaredError().gradient(
+                np.empty((0, 3)), np.empty((0, 3))
+            )

@@ -44,6 +44,7 @@ from .runner import (
     CampaignStep,
     figure_steps,
     render_figure,
+    stream_steps,
     sweep_steps,
     train_steps,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "CampaignStep",
     "figure_steps",
     "render_figure",
+    "stream_steps",
     "sweep_steps",
     "train_steps",
     "ROOM_PRESETS",

@@ -15,6 +15,11 @@ Installed as the ``repro`` console script (``setup.py``) and runnable as
     repeat runs).
 ``figure``
     Render paper tables/figures from the cached evaluation bundle.
+``stream``
+    Replay a scenario as N concurrent links and run closed-loop link
+    adaptation (proactive VVD vs reactive vs genie) as a resumable
+    campaign: cached link traces, checkpoint-resolved serving model,
+    per-policy goodput/outage/deadline metrics and a timeline figure.
 ``cache``
     Inspect (``stats``/``list``) or invalidate (``clear``) the cache.
 
@@ -36,6 +41,7 @@ from pathlib import Path
 
 from ..errors import ReproError
 from ..experiments.suite import SUITE_BUILDERS
+from ..stream.policy import POLICY_BUILDERS, build_policy
 from .cache import DATASET_CACHE_SALT, DatasetCache
 from .manifest import STATUS_DONE, STATUS_PENDING
 from .models import MODEL_CACHE_SALT, ModelCheckpointRegistry
@@ -44,6 +50,7 @@ from .runner import (
     Campaign,
     CampaignContext,
     figure_steps,
+    stream_steps,
     sweep_steps,
     train_steps,
 )
@@ -340,6 +347,93 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    config = scenario.resolve()
+    policies = list(dict.fromkeys(args.policies))
+    links = args.links if args.links is not None else scenario.stream_links
+    # Probe-build every requested policy with its actual arguments so a
+    # bad --defer-threshold fails here, before any dataset generation
+    # or model training runs.
+    needs_service = any(
+        build_policy(
+            name,
+            **(
+                {"defer_threshold": args.defer_threshold}
+                if name == "proactive"
+                and args.defer_threshold is not None
+                else {}
+            ),
+        ).uses_predictions
+        for name in policies
+    )
+    cache = DatasetCache(args.cache_dir)
+    registry = ModelCheckpointRegistry(args.model_dir)
+    options = {
+        "links": links,
+        "slots": args.slots,
+        "policies": policies,
+        "deadline_slots": args.deadline_slots,
+        "horizon": args.horizon,
+        "seed": args.seed,
+        "defer_threshold": args.defer_threshold,
+        "model_salt": MODEL_CACHE_SALT if needs_service else None,
+    }
+    directory = _campaign_dir(cache, "stream", scenario, options)
+    campaign = Campaign(
+        f"stream[{scenario.name}]",
+        stream_steps(
+            config,
+            links,
+            policies,
+            slots=args.slots,
+            deadline_slots=args.deadline_slots,
+            horizon=args.horizon,
+            seed=args.seed,
+            defer_threshold=args.defer_threshold,
+        ),
+        directory,
+    )
+    context = CampaignContext(
+        config,
+        cache,
+        directory,
+        workers=args.workers,
+        verbose=args.verbose,
+        options=options,
+        checkpoints=registry,
+    )
+    if needs_service and not args.fresh:
+        reopened = _invalidate_stale_train_steps(
+            campaign, context, registry
+        )
+        if reopened and args.verbose:
+            print(
+                f"{reopened} completed step(s) lost their checkpoint; "
+                "re-resolving"
+            )
+    result = campaign.run(context, resume=not args.fresh)
+    print(context.read_output("report"))
+    service = context.shared.get(
+        f"stream-service:{args.horizon}:{args.seed}"
+    )
+    if service is not None:
+        print(f"\nservice: {service.stats.summary()}")
+    print(
+        f"\nsteps: {len(result.executed)} executed, "
+        f"{len(result.skipped)} resumed from manifest "
+        f"({directory / 'manifest.json'})"
+    )
+    print(f"cache: {cache.stats.summary()}")
+    if needs_service:
+        print(f"models: {registry.stats.summary()}")
+    if cache.stats.sets_generated == 0:
+        print("no measurement sets regenerated (100% cache hits)")
+    if needs_service and registry.stats.models_trained == 0:
+        print("no models retrained (100% checkpoint hits)")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = DatasetCache(args.cache_dir)
     if args.action == "stats":
@@ -516,6 +610,74 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_dir_option(p_figure)
     _add_common_options(p_figure)
     p_figure.set_defaults(func=_cmd_figure)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="run closed-loop link adaptation over N concurrent links",
+    )
+    p_stream.add_argument(
+        "--scenario",
+        default="stream-smoke",
+        help="scenario preset name",
+    )
+    p_stream.add_argument(
+        "--links",
+        type=int,
+        default=None,
+        help="concurrent links replayed (default: the scenario's "
+        "stream_links)",
+    )
+    p_stream.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        help="packet slots per link (default: the scenario's "
+        "packets-per-set)",
+    )
+    p_stream.add_argument(
+        "--policies",
+        nargs="+",
+        default=["proactive", "reactive"],
+        choices=sorted(POLICY_BUILDERS),
+        help="link-adaptation policies simulated (each gets its own "
+        "pass over the same event stream)",
+    )
+    p_stream.add_argument(
+        "--deadline-slots",
+        type=int,
+        default=3,
+        help="slots a packet may wait before it counts as a "
+        "deadline miss",
+    )
+    p_stream.add_argument(
+        "--horizon",
+        type=int,
+        default=0,
+        help="prediction horizon in camera frames of the serving model "
+        "(compensates camera->decision latency)",
+    )
+    p_stream.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="serving-model training seed; match `repro train --seed` "
+        "to reuse its checkpoints",
+    )
+    p_stream.add_argument(
+        "--defer-threshold",
+        type=float,
+        default=None,
+        help="proactive blockage-probability defer threshold "
+        "(default: the policy's 0.9; 1.0 disables deferral)",
+    )
+    p_stream.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore the campaign manifest and re-run every step",
+    )
+    _add_model_dir_option(p_stream)
+    _add_common_options(p_stream)
+    p_stream.set_defaults(func=_cmd_stream)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or invalidate the dataset cache"

@@ -27,6 +27,15 @@ Two campaign shapes are provided:
     :class:`~repro.campaign.models.ModelCheckpointRegistry` (training
     only on a registry miss), plus a final ``report`` step summarizing
     per-variant training outcomes.
+
+:func:`stream_steps`
+    The closed-loop streaming campaign: cached scenario dataset +
+    ``train@stream`` model resolution (when a prediction-driven policy
+    runs), a cached ``links`` dataset of per-link walks, one
+    ``stream@<policy>`` simulation step per requested link-adaptation
+    policy, and a ``report`` step assembling the policy comparison table
+    and the proactive-vs-reactive timeline figure purely from stored
+    payloads.
 """
 
 from __future__ import annotations
@@ -656,6 +665,283 @@ def train_steps(
             description="assemble per-variant training summary",
             run=_run_report,
             depends_on=tuple(train_ids),
+        )
+    )
+    return steps
+
+
+# -- streaming campaign ---------------------------------------------------
+def _stream_traces(
+    ctx: CampaignContext, links: int, slots: int | None
+) -> list:
+    """The run's link traces, loaded once and shared across steps.
+
+    Resolution goes through :func:`~repro.stream.events.
+    build_link_traces` with the dataset cache — a completed ``links``
+    step is a pure cache hit here, and a ``links`` step that just
+    generated the sets hands them over through the shared stash —
+    so simulation steps re-executed after a resume reload without
+    regenerating.  The campaign parameters come from the
+    :func:`stream_steps` closures, never from ``ctx.options``.
+    """
+    from ..stream.events import build_link_traces, stream_link_config
+
+    key = f"stream-traces:{links}:{slots}"
+    traces = ctx.shared.get(key)
+    if traces is None:
+        derived = stream_link_config(ctx.config, links, slots=slots)
+        traces = build_link_traces(
+            ctx.config,
+            links,
+            slots=slots,
+            cache=ctx.cache,
+            workers=ctx.workers,
+            verbose=ctx.verbose,
+            sets=ctx.shared.pop(
+                f"sets:{ctx.cache.key_for(derived)}", None
+            ),
+        )
+        ctx.shared[key] = traces
+    return traces
+
+
+def _stream_service(ctx: CampaignContext, horizon: int, seed: int):
+    """The run's :class:`~repro.stream.service.PredictionService`.
+
+    Built once per run from the campaign's model registry over the
+    scenario's first Table 2 split; on resumed runs the registry serves
+    the checkpoint, so no CNN is retrained.
+    """
+    from ..stream.service import PredictionService
+
+    key = f"stream-service:{horizon}:{seed}"
+    service = ctx.shared.get(key)
+    if service is None:
+        if ctx.checkpoints is None:
+            raise ConfigurationError(
+                "prediction-driven stream steps need a CampaignContext "
+                "with a checkpoints= model registry"
+            )
+        sets = _campaign_sets(ctx)
+        combination = rotating_set_combinations(
+            ctx.config.dataset.num_sets
+        )[0]
+        service = PredictionService.from_registry(
+            ctx.checkpoints,
+            ctx.config,
+            [sets[i] for i in combination.training_indices()],
+            [sets[combination.validation_index]],
+            horizon_frames=horizon,
+            seed=seed,
+            verbose=ctx.verbose,
+        )
+        ctx.shared[key] = service
+    return service
+
+
+def _stream_simulator(
+    ctx: CampaignContext,
+    links: int,
+    slots: int | None,
+    deadline_slots: int,
+):
+    """The run's simulator (components + traces), built once."""
+    from ..stream.simulator import StreamSimulator
+
+    key = f"stream-simulator:{links}:{slots}:{deadline_slots}"
+    simulator = ctx.shared.get(key)
+    if simulator is None:
+        from ..dataset.generator import build_components
+        from ..stream.events import stream_link_config
+
+        derived = stream_link_config(ctx.config, links, slots=slots)
+        simulator = StreamSimulator(
+            build_components(derived),
+            _stream_traces(ctx, links, slots),
+            deadline_slots=deadline_slots,
+        )
+        ctx.shared[key] = simulator
+    return simulator
+
+
+def stream_steps(
+    config: SimulationConfig,
+    links: int,
+    policies: Sequence[str],
+    slots: int | None = None,
+    deadline_slots: int = 3,
+    horizon: int = 0,
+    seed: int = 7,
+    defer_threshold: float | None = None,
+) -> list[CampaignStep]:
+    """Steps of a closed-loop streaming campaign over ``config``.
+
+    The DAG mirrors the training campaign: a cached ``dataset`` step
+    and a ``train@stream`` model-resolution step exist only when a
+    prediction-driven policy (``proactive``) is requested; a ``links``
+    step materializes the derived per-link walk dataset in the cache;
+    one ``stream@<policy>`` step per policy runs the closed loop and
+    persists its deterministic metrics payload; the final ``report``
+    step assembles the comparison table and the timeline figure purely
+    from the stored JSON payloads, so a completed campaign replays
+    without touching the simulator.
+    """
+    from ..stream.policy import POLICY_BUILDERS, build_policy
+
+    policies = list(dict.fromkeys(policies))
+    if not policies:
+        raise ConfigurationError("stream_steps needs >= 1 policy")
+    unknown = [p for p in policies if p not in POLICY_BUILDERS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown policies {unknown}; known policies: "
+            f"{', '.join(sorted(POLICY_BUILDERS))}"
+        )
+    needs_service = any(
+        build_policy(name).uses_predictions for name in policies
+    )
+
+    steps: list[CampaignStep] = []
+    stream_deps = ["links"]
+    if needs_service:
+
+        def _run_dataset(ctx: CampaignContext) -> str:
+            return _materialize_dataset(ctx, ctx.config)
+
+        def _run_train(ctx: CampaignContext) -> str:
+            if ctx.checkpoints is None:
+                raise ConfigurationError(
+                    "the stream train step needs a CampaignContext "
+                    "with a checkpoints= model registry"
+                )
+            sets = _campaign_sets(ctx)
+            combination = rotating_set_combinations(
+                ctx.config.dataset.num_sets
+            )[0]
+            training = [
+                sets[i] for i in combination.training_indices()
+            ]
+            validation = [sets[combination.validation_index]]
+            trained_before = ctx.checkpoints.stats.models_trained
+            _stream_service(ctx, horizon, seed)
+            return json.dumps(
+                {
+                    "key": ctx.checkpoints.key_for(
+                        ctx.config,
+                        training,
+                        validation,
+                        horizon_frames=horizon,
+                        seed=seed,
+                    ),
+                    "horizon": horizon,
+                    "seed": seed,
+                    "trained": ctx.checkpoints.stats.models_trained
+                    - trained_before,
+                }
+            )
+
+        steps.append(
+            CampaignStep(
+                step_id="dataset",
+                description="materialize cached training dataset",
+                run=_run_dataset,
+            )
+        )
+        steps.append(
+            CampaignStep(
+                step_id="train@stream",
+                description="resolve the serving VVD model",
+                run=_run_train,
+                depends_on=("dataset",),
+            )
+        )
+        stream_deps.append("train@stream")
+
+    def _run_links(ctx: CampaignContext) -> str:
+        from ..stream.events import stream_link_config
+
+        derived = stream_link_config(
+            ctx.config, links, slots=slots
+        )
+        return _materialize_dataset(ctx, derived)
+
+    steps.append(
+        CampaignStep(
+            step_id="links",
+            description=f"materialize {links} cached link trace(s)",
+            run=_run_links,
+        )
+    )
+
+    stream_ids = []
+    for name in policies:
+
+        def _run_stream(ctx: CampaignContext, name=name) -> str:
+            kwargs = {}
+            if defer_threshold is not None and name == "proactive":
+                kwargs["defer_threshold"] = defer_threshold
+            policy = build_policy(name, **kwargs)
+            service = (
+                _stream_service(ctx, horizon, seed)
+                if policy.uses_predictions
+                else None
+            )
+            result = _stream_simulator(
+                ctx, links, slots, deadline_slots
+            ).run(policy, service=service, verbose=ctx.verbose)
+            return json.dumps(result.payload(), sort_keys=True)
+
+        step_id = f"stream@{name}"
+        steps.append(
+            CampaignStep(
+                step_id=step_id,
+                description=f"closed-loop simulation, policy {name!r}",
+                run=_run_stream,
+                depends_on=tuple(stream_deps),
+            )
+        )
+        stream_ids.append(step_id)
+
+    def _run_report(ctx: CampaignContext) -> str:
+        from ..experiments.figures import stream_timeline
+        from ..experiments.metrics import StreamMetrics
+
+        payloads = [
+            json.loads(ctx.read_output(step_id))
+            for step_id in stream_ids
+        ]
+        name_width = max(
+            [len(p["policy"]) for p in payloads] + [len("policy")]
+        )
+        lines = [
+            f"Stream campaign — {links} link(s) x "
+            f"{payloads[0]['num_slots']} slot(s), deadline "
+            f"{deadline_slots} slot(s)",
+            f"{'policy':<{name_width}}  {'goodput':>9}  {'outage':>7}  "
+            f"{'ddl-miss':>8}  {'defer':>6}  {'delivered':>12}",
+        ]
+        for payload in payloads:
+            metrics = StreamMetrics.from_dict(payload["metrics"])
+            lines.append(
+                f"{payload['policy']:<{name_width}}  "
+                f"{metrics.goodput_pps:>7.2f}/s  "
+                f"{metrics.outage:>7.3f}  "
+                f"{metrics.deadline_miss_rate:>8.3f}  "
+                f"{metrics.defer_rate:>6.3f}  "
+                f"{metrics.delivered:>5}/{metrics.offered:<6}"
+            )
+        lines.append("")
+        lines.append(
+            stream_timeline.render(stream_timeline.generate(payloads))
+        )
+        return "\n".join(lines)
+
+    steps.append(
+        CampaignStep(
+            step_id="report",
+            description="assemble policy comparison + timeline figure",
+            run=_run_report,
+            depends_on=tuple(stream_ids),
         )
     )
     return steps

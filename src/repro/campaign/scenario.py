@@ -87,6 +87,9 @@ class Scenario:
     packets_per_set: int | None = None
     #: Campaign seed override.
     seed: int | None = None
+    #: Concurrent links the ``repro stream`` campaign replays by
+    #: default (each link walks its own seed-disjoint trajectory).
+    stream_links: int = 4
     #: Free-form labels shown by ``repro list-scenarios``.
     tags: tuple[str, ...] = ()
 
@@ -103,6 +106,10 @@ class Scenario:
             )
         if not self.snr_grid_db:
             raise ConfigurationError("snr_grid_db must not be empty")
+        if self.stream_links < 1:
+            raise ConfigurationError(
+                f"stream_links must be >= 1, got {self.stream_links}"
+            )
 
     def resolve(self) -> SimulationConfig:
         """Materialize the concrete :class:`SimulationConfig`.
@@ -269,6 +276,30 @@ def _register_builtins() -> None:
             base="reduced",
             room="dense-office",
             tags=("new-workload",),
+        ),
+        Scenario(
+            name="brisk-crossing",
+            description=(
+                "Streaming showcase: one brisk walker (1.0-1.6 m/s) "
+                "shuttling across the LoS — fast dynamics that starve "
+                "reactive estimation"
+            ),
+            base="reduced",
+            trajectory="crossing",
+            speed_range_mps=(1.0, 1.6),
+            stream_links=6,
+            tags=("new-workload", "stream"),
+        ),
+        Scenario(
+            name="stream-smoke",
+            description=(
+                "CI streaming smoke: single crossing walker, two "
+                "links, seconds-scale closed loop"
+            ),
+            base="tiny",
+            trajectory="crossing",
+            stream_links=2,
+            tags=("ci", "stream"),
         ),
     ]
     for scenario in builtins:

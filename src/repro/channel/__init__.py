@@ -27,7 +27,11 @@ from .human import (
     make_walker,
     sample_trajectory,
 )
-from .blockage import blockage_attenuation, path_blockage_factor
+from .blockage import (
+    blockage_attenuation,
+    path_blockage_factor,
+    shadow_clearance_m,
+)
 from .noise import awgn, noise_power_for_snr
 from .environment import IndoorEnvironment
 
@@ -44,6 +48,7 @@ __all__ = [
     "sample_trajectory",
     "blockage_attenuation",
     "path_blockage_factor",
+    "shadow_clearance_m",
     "awgn",
     "noise_power_for_snr",
     "IndoorEnvironment",

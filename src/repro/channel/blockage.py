@@ -35,6 +35,17 @@ def blockage_attenuation(
     return float(floor + (1.0 - floor) * ramp)
 
 
+def shadow_clearance_m(config: ChannelConfig) -> float:
+    """LoS clearance below which the human meaningfully shadows the link.
+
+    The soft knife-edge extends one sharpness width past the body
+    radius; packets with ``los_clearance_m`` at or below this threshold
+    are annotated as "blocked" in timeline figures (Fig. 15 and the
+    streaming link-adaptation timeline).
+    """
+    return config.human_radius_m + config.blockage_sharpness_m
+
+
 def path_blockage_factor(
     path: PropagationPath,
     human_xy,

@@ -30,7 +30,17 @@ def _pool_features(images: np.ndarray, factor: int = 5) -> np.ndarray:
 
 
 class BlockageDetector:
-    """Logistic regression: depth image -> P(LoS blocked)."""
+    """Logistic regression: depth image -> P(LoS blocked).
+
+    Features are standardized (per-feature z-score over the training
+    set) before the gradient descent: raw pooled depths are dominated by
+    the static room background, which leaves the loss surface so badly
+    conditioned that plain GD learns little beyond the class base rate.
+    Standardization makes the human silhouette the high-contrast feature
+    and the fit converges to a genuinely separating boundary — the
+    streaming proactive policy defers transmissions on this detector's
+    probabilities, so calibration matters there, not just accuracy.
+    """
 
     def __init__(
         self,
@@ -44,6 +54,8 @@ class BlockageDetector:
         self.epochs = epochs
         self.l2 = l2
         self.weights: np.ndarray | None = None
+        self._feature_mean: np.ndarray | None = None
+        self._feature_std: np.ndarray | None = None
 
     # -- data ------------------------------------------------------------
     def _dataset(
@@ -62,11 +74,22 @@ class BlockageDetector:
         return np.stack(images), np.asarray(labels, dtype=np.float64)
 
     # -- training ---------------------------------------------------------
+    def _standardize(self, features: np.ndarray) -> np.ndarray:
+        """Apply the stored per-feature z-scoring (bias column excluded)."""
+        return (features - self._feature_mean) / self._feature_std
+
     def fit(
         self, sets: Sequence[MeasurementSet], config: SimulationConfig
     ) -> "BlockageDetector":
         images, labels = self._dataset(sets, config)
         features = _pool_features(images, self.pool_factor)
+        # Standardize every pooled-depth feature; the bias column keeps
+        # mean 0 / std 1 so it passes through unchanged.
+        mean = features.mean(axis=0)
+        std = np.maximum(features.std(axis=0), 1e-6)
+        mean[-1], std[-1] = 0.0, 1.0
+        self._feature_mean, self._feature_std = mean, std
+        features = self._standardize(features)
         weights = np.zeros(features.shape[1])
         n = len(labels)
         for _ in range(self.epochs):
@@ -84,7 +107,9 @@ class BlockageDetector:
             raise NotFittedError("BlockageDetector used before fit()")
         if images.ndim == 2:
             images = images[None]
-        features = _pool_features(images, self.pool_factor)
+        features = self._standardize(
+            _pool_features(images, self.pool_factor)
+        )
         return 1.0 / (1.0 + np.exp(-(features @ self.weights)))
 
     def predict(self, images: np.ndarray) -> np.ndarray:

@@ -16,21 +16,44 @@ from .base import Capabilities, ChannelEstimate, ChannelEstimator, PacketContext
 
 
 class PreviousEstimation(ChannelEstimator):
-    """Perfect estimate from ``lag_packets`` transmissions in the past."""
+    """Perfect estimate from ``lag_packets`` transmissions in the past.
+
+    During the first ``lag_packets`` packets of a set no estimate that
+    old exists.  The legacy behaviour (``strict_lag=False``, the
+    default, kept for figure parity) clamps the source index to 0 and
+    silently serves a *younger* estimate — at index 0 the current
+    packet's own genie estimate.  ``strict_lag=True`` reports the
+    technique honestly: warm-up packets return ``None`` (no estimate
+    available, packet lost), which is what a receiver that has not yet
+    decoded anything would experience.  The streaming link-adaptation
+    policies (:mod:`repro.stream.policy`) build on the strict mode.
+    """
 
     capabilities = Capabilities(reliable=True, scalable=False, dynamic=False)
 
-    def __init__(self, lag_packets: int, packet_interval_s: float = 0.1):
+    def __init__(
+        self,
+        lag_packets: int,
+        packet_interval_s: float = 0.1,
+        strict_lag: bool = False,
+    ):
         if lag_packets < 1:
             raise ConfigurationError(
                 f"lag_packets must be >= 1, got {lag_packets}"
             )
         self.lag_packets = lag_packets
+        self.strict_lag = strict_lag
         interval_ms = lag_packets * packet_interval_s * 1000.0
         self.name = f"{interval_ms:.0f}ms Previous"
+        if strict_lag:
+            self.name += " (strict)"
 
     def estimate(self, ctx: PacketContext) -> Optional[ChannelEstimate]:
-        source = max(ctx.index - self.lag_packets, 0)
+        source = ctx.index - self.lag_packets
+        if source < 0:
+            if self.strict_lag:
+                return None  # warm-up: no estimate that old exists yet
+            source = 0  # legacy clamp (serves a younger estimate)
         record = ctx.measurement_set.packets[source]
         return ChannelEstimate(
             taps=record.h_ls_canonical,

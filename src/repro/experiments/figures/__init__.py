@@ -1,8 +1,10 @@
-"""One module per paper table/figure.
+"""One module per paper table/figure (plus post-paper figures).
 
 Every module exposes ``generate(...)`` returning the figure's data and a
 ``render(...)`` producing the ASCII form printed by the benchmarks (see
-EXPERIMENTS.md for paper-vs-measured values).
+EXPERIMENTS.md for paper-vs-measured values).  ``stream_timeline`` is a
+post-paper figure: the closed-loop proactive-vs-reactive companion of
+Fig. 15, rendered by ``repro stream``.
 """
 
 from . import (
@@ -14,6 +16,7 @@ from . import (
     fig15,
     fig16,
     fig17,
+    stream_timeline,
     table1,
     table2,
 )
@@ -29,4 +32,5 @@ __all__ = [
     "fig15",
     "fig16",
     "fig17",
+    "stream_timeline",
 ]

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...channel.blockage import shadow_clearance_m
 from ..bundle import EvaluationBundle
 from ..reporting import format_timeline
 
@@ -30,10 +31,7 @@ def generate(
     test_set = bundle.sets[result.combination.test_index]
     skip = bundle.config.dataset.skip_initial
     packets = test_set.packets[skip : skip + len(outcomes)]
-    # Mark packets where the human meaningfully shadows the LoS: the
-    # soft knife-edge extends one sharpness width past the body radius.
-    channel = bundle.config.channel
-    shadow = channel.human_radius_m + channel.blockage_sharpness_m
+    shadow = shadow_clearance_m(bundle.config.channel)
     return TimelineData(
         successes=[not o.packet_error for o in outcomes],
         blocked=[p.los_clearance_m <= shadow for p in packets],

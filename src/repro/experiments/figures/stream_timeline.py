@@ -1,0 +1,107 @@
+"""Streaming timeline — proactive vs reactive over a blockage event.
+
+Not a paper figure: the closed-loop companion to Fig. 15.  Where Fig. 15
+shows one offline technique's decode outcomes against LoS blockage, this
+figure aligns *policies* on the same link and slot grid: the reactive
+previous-estimation link transmits into the fade and burns failures
+(``X``), while the proactive VVD link defers (``d``) through the
+predicted blockage and resumes delivering (``.``) when the walker
+clears.
+
+``generate`` consumes the plain payload dicts persisted by ``stream``
+campaign steps (:meth:`repro.stream.simulator.StreamPolicyResult.
+payload`), so a completed campaign replays the figure without
+re-simulating anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigurationError
+from ..reporting import format_policy_timeline
+
+
+@dataclass
+class StreamTimelineData:
+    """Windowed per-policy symbol strips of one link."""
+
+    link: int
+    offset: int
+    width: int
+    #: Policy name -> full per-slot symbol string.
+    rows: dict[str, str]
+    #: Per-slot LoS-blockage flags of the chosen link.
+    blocked: list[bool]
+
+
+def _blockage_window(
+    blocked: list[bool], width: int
+) -> tuple[int, int]:
+    """Window ``[offset, offset+width)`` centred on the first blockage.
+
+    Falls back to the stream's head when the link never sees blockage.
+    """
+    try:
+        first = blocked.index(True)
+    except ValueError:
+        return 0, width
+    offset = max(0, first - width // 4)
+    return offset, width
+
+
+def generate(
+    payloads: list[dict],
+    link: int | None = None,
+    width: int = 100,
+) -> StreamTimelineData:
+    """Assemble timeline data from ``stream@<policy>`` step payloads.
+
+    ``link=None`` picks the link with the most blocked slots (the most
+    interesting strip); the window centres on its first blockage event.
+    Payload timelines must cover the same links and slot counts — they
+    come from passes over the same event stream.
+    """
+    if not payloads:
+        raise ConfigurationError("stream timeline needs >= 1 payload")
+    links = payloads[0]["links"]
+    for payload in payloads:
+        if payload["links"] != links:
+            raise ConfigurationError(
+                "stream timeline payloads cover different link counts"
+            )
+    reference = payloads[0]["timelines"]
+    if link is None:
+        link = max(
+            range(links),
+            key=lambda l: reference[l]["blocked"].count("#"),
+        )
+    if not 0 <= link < links:
+        raise ConfigurationError(
+            f"link {link} outside [0, {links})"
+        )
+    blocked = [c == "#" for c in reference[link]["blocked"]]
+    offset, width = _blockage_window(blocked, width)
+    rows = {
+        payload["policy"]: payload["timelines"][link]["symbols"]
+        for payload in payloads
+    }
+    return StreamTimelineData(
+        link=link,
+        offset=offset,
+        width=width,
+        rows=rows,
+        blocked=blocked,
+    )
+
+
+def render(data: StreamTimelineData) -> str:
+    """ASCII form printed by ``repro stream`` and the CI smoke."""
+    span_hi = min(data.offset + data.width, len(data.blocked))
+    header = (
+        f"Stream timeline — link {data.link}, slots "
+        f"{data.offset}..{span_hi} (closed-loop link adaptation)"
+    )
+    return header + "\n" + format_policy_timeline(
+        data.rows, data.blocked, width=data.width, offset=data.offset
+    )

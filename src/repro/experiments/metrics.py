@@ -1,4 +1,4 @@
-"""Comparison metrics (paper Sec. 5.5) and box-plot statistics.
+"""Comparison metrics (paper Sec. 5.5), stream metrics and box statistics.
 
 - **PER**: erroneous packets / transmitted packets.  A packet is erroneous
   when no estimate was available (preamble-detection failure for the
@@ -8,6 +8,13 @@
   (8128 chips per 127-byte packet).
 - **MSE**: Eq. 9 against the perfect (whole-packet LS) estimate, computed
   in the canonical phase domain.
+
+:class:`StreamMetrics` aggregates the closed-loop link-adaptation
+counters of :mod:`repro.stream.simulator` (goodput, outage,
+deadline-miss, deferral).  Every ratio is defined for empty runs — zero
+attempts, zero offered packets — so stream payloads never contain NaN
+or raise on division (the edge cases are pinned in
+``tests/experiments/test_stream_metrics.py``).
 """
 
 from __future__ import annotations
@@ -46,22 +53,29 @@ class TechniqueResult:
 
     @property
     def per(self) -> float:
+        """Packet error rate; raises :class:`ShapeError` on zero packets
+        (never a 0/0 NaN — an empty result is a caller bug)."""
         if not self.outcomes:
-            raise ShapeError("no outcomes recorded")
+            raise ShapeError(f"no outcomes recorded for {self.name!r}")
         return float(np.mean([o.packet_error for o in self.outcomes]))
 
     @property
     def cer(self) -> float:
+        """Chip error rate; raises :class:`ShapeError` on zero packets or
+        zero recorded chips instead of dividing by zero.  All-unavailable
+        results are well-defined (every chip counts as erroneous)."""
         if not self.outcomes:
-            raise ShapeError("no outcomes recorded")
+            raise ShapeError(f"no outcomes recorded for {self.name!r}")
         chips = sum(o.total_chips for o in self.outcomes)
         errors = sum(o.chip_errors for o in self.outcomes)
         if chips == 0:
-            raise ShapeError("no chips recorded")
+            raise ShapeError(f"no chips recorded for {self.name!r}")
         return errors / chips
 
     @property
     def mse(self) -> float:
+        """Mean Eq. 9 MSE over packets that carried a canonical estimate;
+        NaN when none did (zero-packet and all-unavailable results)."""
         values = [o.mse for o in self.outcomes if o.mse is not None]
         if not values:
             return float("nan")
@@ -69,10 +83,116 @@ class TechniqueResult:
 
     @property
     def availability(self) -> float:
-        """Fraction of packets for which an estimate existed."""
+        """Fraction of packets for which an estimate existed (0.0 for
+        all-unavailable results); raises on zero packets like :attr:`per`."""
         if not self.outcomes:
-            raise ShapeError("no outcomes recorded")
+            raise ShapeError(f"no outcomes recorded for {self.name!r}")
         return float(np.mean([o.estimate_available for o in self.outcomes]))
+
+
+@dataclass
+class StreamMetrics:
+    """Closed-loop counters of one policy over one (or many) links.
+
+    Counters are plain sums, so per-link instances combine into an
+    aggregate with :meth:`merge`.  The derived ratios are total
+    functions: a run with zero attempts has outage 0.0 (nothing was
+    transmitted, nothing failed), a run with zero offered packets has
+    deadline-miss rate 0.0, and a zero-duration run has goodput 0.0 —
+    no division by zero, no NaN in persisted payloads.
+    """
+
+    #: Packets that arrived at the link's transmit queue.
+    offered: int = 0
+    #: Packets successfully delivered (decoded with matching PSDU).
+    delivered: int = 0
+    #: Transmission attempts (retransmissions included).
+    attempts: int = 0
+    #: Attempts that failed to decode.
+    failures: int = 0
+    #: Slots where the policy chose not to transmit.
+    deferrals: int = 0
+    #: Offered packets dropped because their deadline passed undelivered.
+    deadline_misses: int = 0
+    #: Simulated wall time covered by the counters.
+    duration_s: float = 0.0
+
+    @property
+    def goodput_pps(self) -> float:
+        """Delivered packets per second of simulated time."""
+        if self.duration_s <= 0.0:
+            return 0.0
+        return self.delivered / self.duration_s
+
+    @property
+    def outage(self) -> float:
+        """Failed transmission attempts / attempts (0.0 when idle)."""
+        if self.attempts == 0:
+            return 0.0
+        return self.failures / self.attempts
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Deadline-expired packets / offered packets (0.0 when idle)."""
+        if self.offered == 0:
+            return 0.0
+        return self.deadline_misses / self.offered
+
+    @property
+    def defer_rate(self) -> float:
+        """Deferred slots / decision slots (0.0 when idle)."""
+        decisions = self.attempts + self.deferrals
+        if decisions == 0:
+            return 0.0
+        return self.deferrals / decisions
+
+    @property
+    def delivery_rate(self) -> float:
+        """Delivered / offered packets (0.0 when idle)."""
+        if self.offered == 0:
+            return 0.0
+        return self.delivered / self.offered
+
+    def merge(self, other: "StreamMetrics") -> "StreamMetrics":
+        """Accumulate another link's counters into this instance."""
+        self.offered += other.offered
+        self.delivered += other.delivered
+        self.attempts += other.attempts
+        self.failures += other.failures
+        self.deferrals += other.deferrals
+        self.deadline_misses += other.deadline_misses
+        self.duration_s = max(self.duration_s, other.duration_s)
+        return self
+
+    def as_dict(self) -> dict:
+        """Deterministic JSON-able form (counters + derived ratios)."""
+        return {
+            "offered": self.offered,
+            "delivered": self.delivered,
+            "attempts": self.attempts,
+            "failures": self.failures,
+            "deferrals": self.deferrals,
+            "deadline_misses": self.deadline_misses,
+            "duration_s": self.duration_s,
+            "goodput_pps": self.goodput_pps,
+            "outage": self.outage,
+            "deadline_miss_rate": self.deadline_miss_rate,
+            "defer_rate": self.defer_rate,
+            "delivery_rate": self.delivery_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StreamMetrics":
+        """Rebuild the counters from :meth:`as_dict` output."""
+        return cls(
+            offered=int(payload["offered"]),
+            delivered=int(payload["delivered"]),
+            attempts=int(payload["attempts"]),
+            failures=int(payload["failures"]),
+            deferrals=int(payload["deferrals"]),
+            deadline_misses=int(payload["deadline_misses"]),
+            duration_s=float(payload["duration_s"]),
+        )
 
 
 def packet_error_rate(results: list[TechniqueResult]) -> np.ndarray:

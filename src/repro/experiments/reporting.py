@@ -71,3 +71,33 @@ def format_timeline(
         "blocked: " + block_row + "\n"
         "('.'=success, 'X'=packet error, '#'=LoS blocked)"
     )
+
+
+def format_policy_timeline(
+    rows: Mapping[str, str],
+    blocked: Sequence[bool],
+    width: int = 100,
+    offset: int = 0,
+) -> str:
+    """Aligned multi-row timeline: one symbol strip per policy vs blockage.
+
+    ``rows`` maps a policy name to its per-slot symbol string (``.``
+    success, ``X`` failed attempt, ``d`` deferred slot); ``blocked``
+    flags the slots where the walker shadows the LoS.  ``offset``/
+    ``width`` window the strips onto the interesting span (e.g. around a
+    blockage event).  Used by the streaming link-adaptation figure.
+    """
+    name_width = max([len(name) for name in rows] + [len("blocked")])
+    lo = max(0, offset)
+    hi = lo + width
+    lines = [
+        f"{'blocked':<{name_width}}: "
+        + "".join("#" if b else " " for b in list(blocked)[lo:hi])
+    ]
+    for name, symbols in rows.items():
+        lines.append(f"{name:<{name_width}}: " + symbols[lo:hi])
+    lines.append(
+        "('.'=delivered, 'X'=failed attempt, 'd'=deferred, "
+        "'#'=LoS blocked)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Streaming inference and closed-loop link adaptation.
+
+The serving layer on top of the batched-PHY / cached-dataset /
+checkpointed-model stack (see docs/ARCHITECTURE.md):
+
+- :mod:`repro.stream.events` — deterministic, seed-reproducible
+  replay of any registered scenario as a time-ordered event stream of
+  depth frames and packet slots across N concurrent links.
+- :mod:`repro.stream.service` — :class:`PredictionService`, the
+  micro-batching VVD inference front-end (models resolve through the
+  content-addressed checkpoint registry; per-request latency and
+  aggregate throughput counters).
+- :mod:`repro.stream.policy` — pluggable link-adaptation policies:
+  proactive VVD (predict, defer into predicted blockage), reactive
+  previous-estimation, and a genie upper bound.
+- :mod:`repro.stream.simulator` — the closed loop: ARQ with deadlines
+  per link, micro-batched prediction rounds, offline-identical decode,
+  and goodput/outage/deadline-miss metrics per policy.
+
+Campaign integration (``repro stream`` CLI, the resumable ``stream``
+campaign step and the proactive-vs-reactive timeline figure) lives in
+:mod:`repro.campaign` and :mod:`repro.experiments.figures.stream_timeline`.
+"""
+
+from .events import (
+    STREAM_SEED_OFFSET,
+    LinkTrace,
+    StreamEvent,
+    build_link_traces,
+    merge_event_streams,
+    stream_link_config,
+)
+from .policy import (
+    POLICY_BUILDERS,
+    GeniePolicy,
+    LinkAdaptationPolicy,
+    LinkDecision,
+    ProactiveVVDPolicy,
+    ReactivePreviousPolicy,
+    SlotContext,
+    build_policy,
+)
+from .service import Prediction, PredictionService, ServiceStats
+from .simulator import (
+    LinkTimeline,
+    StreamPolicyResult,
+    StreamSimulator,
+)
+
+__all__ = [
+    "STREAM_SEED_OFFSET",
+    "LinkTrace",
+    "StreamEvent",
+    "build_link_traces",
+    "merge_event_streams",
+    "stream_link_config",
+    "POLICY_BUILDERS",
+    "GeniePolicy",
+    "LinkAdaptationPolicy",
+    "LinkDecision",
+    "ProactiveVVDPolicy",
+    "ReactivePreviousPolicy",
+    "SlotContext",
+    "build_policy",
+    "Prediction",
+    "PredictionService",
+    "ServiceStats",
+    "LinkTimeline",
+    "StreamPolicyResult",
+    "StreamSimulator",
+]

@@ -1,0 +1,251 @@
+"""Pluggable link-adaptation policies for the closed-loop simulator.
+
+A policy decides, per link and packet slot, whether to transmit the
+head-of-line packet and with which channel estimate to decode it —
+sharing the :class:`~repro.estimation.base.ChannelEstimate` contract of
+the offline techniques, so the receiver-side processing (footnote-4
+phase alignment, ZF equalization, Eq. 9 MSE) is identical to the
+Sec. 5.5 evaluation loop.
+
+Three policies reproduce the paper's argument in closed loop:
+
+:class:`ProactiveVVDPolicy`
+    The paper's thesis made operational: decode with the CNN's
+    depth-image prediction (no pilot), and *defer* the slot when the
+    Sec. 6.4 blockage head is confident the walker shadows the LoS —
+    the link reacts to blockage before it ever wastes a transmission
+    on it.
+:class:`ReactivePreviousPolicy`
+    The strict-lag streaming analogue of
+    :class:`~repro.estimation.previous.PreviousEstimation`: decode with
+    the canonical estimate of the most recent *successfully decoded*
+    packet; warm-up slots fall back to standard (unequalized) decoding.
+    Always transmits — a reactive link only learns about blockage from
+    the failure it just suffered.
+:class:`GeniePolicy`
+    Upper bound: the current slot's own whole-packet LS estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..estimation.base import ChannelEstimate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..dataset.trace import PacketRecord
+    from ..experiments.metrics import PacketOutcome
+    from .service import Prediction
+
+
+@dataclass
+class SlotContext:
+    """Everything a policy may inspect for one link's packet slot."""
+
+    link: int
+    slot: int
+    record: "PacketRecord"
+    #: Service response for this slot — canonical CIR estimate plus the
+    #: Sec. 6.4 blockage probability (prediction-driven policies only;
+    #: ``None`` otherwise).
+    prediction: "Prediction | None" = None
+
+
+@dataclass
+class LinkDecision:
+    """Outcome of one policy decision."""
+
+    #: Transmit this slot (``False`` defers the head-of-line packet).
+    transmit: bool
+    #: Estimate handed to the receiver when transmitting (``None`` taps
+    #: decode without equalization, exactly like the offline runner).
+    estimate: Optional[ChannelEstimate] = None
+    #: Short machine-readable cause (shown by verbose runs/tests).
+    reason: str = ""
+
+
+class LinkAdaptationPolicy:
+    """Base class of streaming link-adaptation policies."""
+
+    #: Display name used in reports, figures and CLI arguments.
+    name: str = "abstract"
+    #: Whether the simulator must serve this policy CIR predictions
+    #: through the :class:`~repro.stream.service.PredictionService`.
+    uses_predictions: bool = False
+
+    def reset(self, num_links: int) -> None:
+        """Clear per-run state before a simulation pass."""
+
+    def decide(self, ctx: SlotContext) -> LinkDecision:
+        """Transmit-or-defer decision for one slot."""
+        raise NotImplementedError
+
+    def observe(
+        self, ctx: SlotContext, outcome: "PacketOutcome | None"
+    ) -> None:
+        """Post-slot hook (``outcome is None`` for deferred slots)."""
+
+
+class ProactiveVVDPolicy(LinkAdaptationPolicy):
+    """Predict the channel from depth video; defer into predicted blockage.
+
+    Per slot the policy receives the service's answer for the link's
+    matched camera frame: the canonical CIR predicted by the VVD CNN and
+    the Sec. 6.4 blockage probability.  When the blockage head is
+    confident the walker shadows the LoS (``probability >=
+    defer_threshold``), the slot is deferred — the packet retries on a
+    later slot instead of burning a transmission the vision pipeline
+    already condemned.  Otherwise the slot transmits and decodes with
+    the predicted taps (blind estimate, footnote-4 phase alignment).
+
+    The default threshold is deliberately conservative (0.9): in this
+    simulator's operating range the DSSS PHY often survives blockage
+    when the estimate is fresh, so aggressive deferral trades goodput
+    for outage.  Lower the threshold for deadline-insensitive links
+    where failed attempts are expensive; ``defer_threshold=1.0``
+    disables deferral entirely (pure predicted-estimate operation, e.g.
+    for services without a blockage head).
+    """
+
+    uses_predictions = True
+
+    def __init__(
+        self,
+        defer_threshold: float = 0.9,
+        name: str = "Proactive VVD",
+    ) -> None:
+        if not 0.0 < defer_threshold <= 1.0:
+            raise ConfigurationError(
+                f"defer_threshold must be in (0, 1], got {defer_threshold}"
+            )
+        self.defer_threshold = float(defer_threshold)
+        self.name = name
+
+    def decide(self, ctx: SlotContext) -> LinkDecision:
+        """Defer on confident predicted blockage; else transmit with
+        the predicted estimate."""
+        if ctx.prediction is None:
+            raise ConfigurationError(
+                f"{self.name} needs a prediction for link {ctx.link} "
+                f"slot {ctx.slot}; run it with a PredictionService"
+            )
+        probability = ctx.prediction.blockage_probability
+        if (
+            probability is not None
+            and self.defer_threshold < 1.0
+            and probability >= self.defer_threshold
+        ):
+            return LinkDecision(
+                transmit=False, reason="predicted-blockage"
+            )
+        taps = ctx.prediction.taps
+        return LinkDecision(
+            transmit=True,
+            estimate=ChannelEstimate(
+                taps=taps,
+                needs_phase_alignment=True,
+                canonical_taps=taps,
+            ),
+            reason="predicted-estimate",
+        )
+
+
+class ReactivePreviousPolicy(LinkAdaptationPolicy):
+    """Streaming previous-estimation: last successful decode's estimate.
+
+    The strict-lag semantics of
+    :class:`~repro.estimation.previous.PreviousEstimation`
+    (``strict_lag=True``) applied to what a live receiver can actually
+    know: until the first successful reception there is no estimate and
+    the slot decodes standard (scalar gain, no equalizer); afterwards
+    every slot equalizes with the canonical whole-packet LS estimate of
+    the most recent *delivered* packet, re-aligned to the current block.
+    During blockage transitions that estimate is stale — the reactive
+    link keeps transmitting into the fade and learns only from its own
+    failures.
+    """
+
+    name = "Reactive Previous"
+
+    def __init__(self) -> None:
+        self._last_good: dict[int, np.ndarray] = {}
+
+    def reset(self, num_links: int) -> None:
+        """Forget every link's last-delivered estimate."""
+        self._last_good = {}
+
+    def decide(self, ctx: SlotContext) -> LinkDecision:
+        """Always transmit: last delivered estimate, or standard decode
+        during warm-up."""
+        taps = self._last_good.get(ctx.link)
+        if taps is None:
+            # Warm-up: nothing decoded yet on this link (strict lag).
+            return LinkDecision(
+                transmit=True,
+                estimate=ChannelEstimate(taps=None),
+                reason="warmup-standard",
+            )
+        return LinkDecision(
+            transmit=True,
+            estimate=ChannelEstimate(
+                taps=taps,
+                needs_phase_alignment=True,
+                canonical_taps=taps,
+            ),
+            reason="previous-success",
+        )
+
+    def observe(
+        self, ctx: SlotContext, outcome: "PacketOutcome | None"
+    ) -> None:
+        """Install this slot's estimate after a successful decode."""
+        if outcome is not None and not outcome.packet_error:
+            # The receiver decoded the PSDU, so it can compute the
+            # whole-packet LS estimate of this slot and canonicalize it.
+            self._last_good[ctx.link] = ctx.record.h_ls_canonical
+
+
+class GeniePolicy(LinkAdaptationPolicy):
+    """Upper bound: the current slot's own perfect (whole-packet LS)
+    estimate, as if estimation were free and instantaneous."""
+
+    name = "Genie"
+
+    def decide(self, ctx: SlotContext) -> LinkDecision:
+        """Always transmit with the current slot's perfect estimate."""
+        return LinkDecision(
+            transmit=True,
+            estimate=ChannelEstimate(
+                taps=ctx.record.h_ls,
+                needs_phase_alignment=False,
+                canonical_taps=ctx.record.h_ls_canonical,
+            ),
+            reason="genie",
+        )
+
+
+#: Policy line-up selectable from the campaign CLI (``--policies``).
+POLICY_BUILDERS = {
+    "proactive": ProactiveVVDPolicy,
+    "reactive": ReactivePreviousPolicy,
+    "genie": GeniePolicy,
+}
+
+
+def build_policy(name: str, **kwargs) -> LinkAdaptationPolicy:
+    """Instantiate the policy registered under ``name``.
+
+    ``kwargs`` are forwarded to the policy constructor (unknown names
+    raise with the known registry listed).
+    """
+    builder = POLICY_BUILDERS.get(name)
+    if builder is None:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known policies: "
+            f"{', '.join(sorted(POLICY_BUILDERS))}"
+        )
+    return builder(**kwargs)

@@ -1,0 +1,332 @@
+"""Closed-loop link-adaptation simulation over merged event streams.
+
+:class:`StreamSimulator` consumes the time-ordered event stream of N
+concurrent links (:mod:`repro.stream.events`) and runs one policy
+through it end to end: frames update each link's camera state, packet
+slots trigger an arrival, a deadline sweep, a (micro-batched) prediction
+round, the policy decision, and — for transmitting links — waveform
+synthesis and decoding under exactly the offline receiver processing
+(:meth:`~repro.experiments.runner.EvaluationRunner.decode_packet`).
+
+Per slot and link the simulator runs plain ARQ with a deadline: a new
+packet joins the link's queue every 100 ms, the head-of-line packet is
+attempted (or deferred) once per slot, failures retry on later slots,
+and packets whose deadline passes undelivered are dropped as misses.
+Waveforms re-synthesize bit-exactly from the recorded noise seeds, and
+every data path is deterministic, so one (scenario, seed, policy) tuple
+produces bit-identical :class:`~repro.experiments.metrics.StreamMetrics`
+across runs and worker settings — pinned by
+``tests/stream/test_stream_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from ..channel.blockage import shadow_clearance_m
+from ..dataset.generator import (
+    SimulationComponents,
+    synthesize_received_batch,
+)
+from ..errors import ConfigurationError
+from ..experiments.metrics import (
+    PacketOutcome,
+    StreamMetrics,
+    TechniqueResult,
+)
+from ..experiments.runner import EvaluationRunner
+from .events import (
+    EVENT_FRAME,
+    LinkTrace,
+    StreamEvent,
+    merge_event_streams,
+)
+from .policy import LinkAdaptationPolicy, SlotContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .service import PredictionService
+
+#: Timeline symbols: delivered / failed attempt / deferred slot.
+_SYMBOL_SUCCESS = "."
+_SYMBOL_FAILURE = "X"
+_SYMBOL_DEFER = "d"
+
+
+@dataclass
+class LinkTimeline:
+    """Per-slot strip of one link's closed-loop run (for figures)."""
+
+    #: One symbol per slot (see module constants).
+    symbols: str
+    #: ``#`` where the walker shadows the LoS, space otherwise.
+    blocked: str
+
+    def as_dict(self) -> dict:
+        """JSON-able form stored in campaign step payloads."""
+        return {"symbols": self.symbols, "blocked": self.blocked}
+
+
+@dataclass
+class StreamPolicyResult:
+    """Everything one policy's simulation pass produced."""
+
+    policy: str
+    links: int
+    num_slots: int
+    metrics: StreamMetrics
+    per_link: list[StreamMetrics]
+    #: Decode outcomes of every transmission attempt (PER/CER/MSE over
+    #: attempts, reusing the offline aggregation).
+    technique: TechniqueResult
+    timelines: list[LinkTimeline]
+
+    def payload(self) -> dict:
+        """Deterministic JSON-able payload persisted by campaign steps.
+
+        Wall-time service statistics are deliberately *not* part of the
+        payload: everything here is a pure function of (scenario, seed,
+        policy), which is what the determinism acceptance test hashes.
+        """
+        mse = self.technique.mse
+        return {
+            "policy": self.policy,
+            "links": self.links,
+            "num_slots": self.num_slots,
+            "metrics": self.metrics.as_dict(),
+            "per_link": [m.as_dict() for m in self.per_link],
+            "attempt_per": (
+                self.technique.per if self.technique.outcomes else None
+            ),
+            "attempt_mse": None if math.isnan(mse) else mse,
+            "timelines": [t.as_dict() for t in self.timelines],
+        }
+
+
+@dataclass
+class _LinkState:
+    """Mutable per-link bookkeeping of one simulation pass."""
+
+    queue: list[int]  # arrival slots of undelivered packets, FIFO
+    metrics: StreamMetrics
+    symbols: list[str]
+    blocked: list[str]
+    outcomes: list[PacketOutcome]
+    latest_frame: int = -1
+
+
+class StreamSimulator:
+    """Runs link-adaptation policies through one merged event stream."""
+
+    def __init__(
+        self,
+        components: SimulationComponents,
+        traces: Sequence[LinkTrace],
+        deadline_slots: int = 3,
+    ) -> None:
+        if not traces:
+            raise ConfigurationError("StreamSimulator needs link traces")
+        if deadline_slots < 1:
+            raise ConfigurationError(
+                f"deadline_slots must be >= 1, got {deadline_slots}"
+            )
+        self.components = components
+        self.traces = list(traces)
+        self.deadline_slots = int(deadline_slots)
+        #: Offline decode reuse: identical receiver processing per attempt.
+        self.runner = EvaluationRunner(
+            components, [t.measurement_set for t in self.traces]
+        )
+        self.events: list[StreamEvent] = merge_event_streams(self.traces)
+        self._shadow = shadow_clearance_m(components.config.channel)
+
+    # -- event loop -------------------------------------------------------
+    def run(
+        self,
+        policy: LinkAdaptationPolicy,
+        service: "PredictionService | None" = None,
+        verbose: bool = False,
+    ) -> StreamPolicyResult:
+        """Simulate one policy over the full event stream.
+
+        Each policy gets its own pass over the *same* events, packets
+        and noise realizations, so policies are compared on identical
+        channels.  Prediction-driven policies require ``service``; its
+        micro-batching happens here — all links pending at one slot time
+        are flushed in a single forward pass.
+        """
+        if policy.uses_predictions and service is None:
+            raise ConfigurationError(
+                f"policy {policy.name!r} needs a PredictionService"
+            )
+        num_links = len(self.traces)
+        interval = self.components.config.dataset.packet_interval_s
+        num_slots = min(trace.num_slots for trace in self.traces)
+        states = [
+            _LinkState(
+                queue=[],
+                metrics=StreamMetrics(duration_s=num_slots * interval),
+                symbols=[],
+                blocked=[],
+                outcomes=[],
+            )
+            for _ in range(num_links)
+        ]
+        policy.reset(num_links)
+
+        index = 0
+        while index < len(self.events):
+            event = self.events[index]
+            if event.kind == EVENT_FRAME:
+                state = states[event.link]
+                state.latest_frame = max(state.latest_frame, event.index)
+                index += 1
+                continue
+            # Group the packet events of this slot time (the links share
+            # the 100 ms slot grid, so they are adjacent after sorting).
+            slot_events = []
+            time_s = event.time_s
+            while (
+                index < len(self.events)
+                and self.events[index].kind != EVENT_FRAME
+                and self.events[index].time_s == time_s
+            ):
+                slot_events.append(self.events[index])
+                index += 1
+            slot_events = [
+                e for e in slot_events if e.index < num_slots
+            ]
+            if slot_events:
+                self._run_slot(
+                    slot_events, states, policy, service
+                )
+
+        per_link = [state.metrics for state in states]
+        total = StreamMetrics()
+        for metrics in per_link:
+            total.merge(metrics)
+        technique = TechniqueResult(policy.name)
+        for state in states:
+            for outcome in state.outcomes:
+                technique.add(outcome)
+        result = StreamPolicyResult(
+            policy=policy.name,
+            links=num_links,
+            num_slots=num_slots,
+            metrics=total,
+            per_link=per_link,
+            technique=technique,
+            timelines=[
+                LinkTimeline(
+                    symbols="".join(state.symbols),
+                    blocked="".join(state.blocked),
+                )
+                for state in states
+            ],
+        )
+        if verbose:
+            print(
+                f"[stream] {policy.name}: goodput "
+                f"{total.goodput_pps:.2f} pkt/s, outage "
+                f"{total.outage:.3f}, deadline-miss "
+                f"{total.deadline_miss_rate:.3f}, defer-rate "
+                f"{total.defer_rate:.3f}"
+            )
+        return result
+
+    def _run_slot(
+        self,
+        slot_events: Sequence[StreamEvent],
+        states: list[_LinkState],
+        policy: LinkAdaptationPolicy,
+        service: "PredictionService | None",
+    ) -> None:
+        """One synchronized slot: arrivals, predictions, decisions, decodes."""
+        contexts: dict[int, SlotContext] = {}
+        for event in slot_events:
+            link, slot = event.link, event.index
+            state = states[link]
+            record = self.traces[link].measurement_set.packets[slot]
+            # Arrival + deadline sweep.
+            state.queue.append(slot)
+            state.metrics.offered += 1
+            while (
+                state.queue
+                and state.queue[0] + self.deadline_slots <= slot
+            ):
+                state.queue.pop(0)
+                state.metrics.deadline_misses += 1
+            contexts[link] = SlotContext(
+                link=link, slot=slot, record=record
+            )
+
+        if policy.uses_predictions and service is not None:
+            # Horizon-trained models predict the CIR `horizon` frames
+            # after their input frame (core/targets.py), so serving one
+            # means submitting an *older* frame — the same clamped
+            # offset VVDEstimator.estimate uses offline.
+            horizon = service.trained.horizon_frames
+            for link, ctx in sorted(contexts.items()):
+                frame_index = max(ctx.record.frame_index - horizon, 0)
+                state = states[link]
+                # The LED-matched frame is captured at or before the
+                # blink; the event stream must have delivered it.
+                frame_index = min(
+                    frame_index, max(state.latest_frame, 0)
+                )
+                frames = self.traces[link].measurement_set.frames
+                service.submit(link, frames[frame_index])
+            predictions = service.flush()  # one micro-batched forward
+            for link, prediction in predictions.items():
+                contexts[link].prediction = prediction
+
+        decisions = {
+            link: policy.decide(ctx)
+            for link, ctx in sorted(contexts.items())
+        }
+        transmitting = [
+            link
+            for link in sorted(decisions)
+            if decisions[link].transmit
+        ]
+        received_rows = None
+        if transmitting:
+            received_rows = synthesize_received_batch(
+                self.components,
+                [contexts[link].record for link in transmitting],
+            )
+        row_of = {link: row for row, link in enumerate(transmitting)}
+
+        for link in sorted(contexts):
+            ctx = contexts[link]
+            state = states[link]
+            decision = decisions[link]
+            blocked_symbol = (
+                "#" if ctx.record.los_clearance_m <= self._shadow else " "
+            )
+            state.blocked.append(blocked_symbol)
+            if not decision.transmit:
+                state.metrics.deferrals += 1
+                state.symbols.append(_SYMBOL_DEFER)
+                policy.observe(ctx, None)
+                continue
+            packet = self.components.transmitter.transmit(
+                ctx.record.sequence_number
+            )
+            received = received_rows[row_of[link]]
+            outcome = self.runner.decode_packet(
+                decision.estimate, packet, received, ctx.record
+            )
+            state.metrics.attempts += 1
+            state.outcomes.append(outcome)
+            if outcome.packet_error:
+                state.metrics.failures += 1
+                state.symbols.append(_SYMBOL_FAILURE)
+            else:
+                # The attempt delivered the head-of-line packet.
+                if state.queue:
+                    state.queue.pop(0)
+                state.metrics.delivered += 1
+                state.symbols.append(_SYMBOL_SUCCESS)
+            policy.observe(ctx, outcome)

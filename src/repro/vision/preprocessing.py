@@ -77,3 +77,23 @@ def normalize_depth(image: np.ndarray, max_depth_m: float) -> np.ndarray:
         raise ShapeError(f"max_depth_m must be positive, got {max_depth_m}")
     image = np.asarray(image, dtype=np.float64)
     return np.clip(image / max_depth_m, 0.0, 1.0)
+
+
+def normalize_depth_batch(
+    frames: np.ndarray, max_depth_m: float
+) -> np.ndarray:
+    """Batched :func:`normalize_depth` over a ``(n, rows, cols)`` stack.
+
+    One vectorized clip instead of a per-frame Python loop — the
+    :class:`~repro.stream.service.PredictionService` hot path normalizes
+    every micro-batched depth frame through this function.  Delegates to
+    :func:`normalize_depth` (whose arithmetic is shape-agnostic) after
+    the stack-shape check, so serving-time normalization can never
+    diverge from the training-time path.
+    """
+    frames = np.asarray(frames)
+    if frames.ndim != 3:
+        raise ShapeError(
+            f"frames must be (n, rows, cols), got shape {frames.shape}"
+        )
+    return normalize_depth(frames, max_depth_m)

@@ -1,0 +1,100 @@
+"""Warm-up semantics of PreviousEstimation: legacy clamp vs strict lag.
+
+For the first ``lag_packets`` packets of a set no estimate that old
+exists.  The legacy behaviour (default, figure parity) clamps the source
+index to 0 — at index 0 it silently serves the current packet's own
+genie estimate.  ``strict_lag=True`` reports the technique honestly and
+returns ``None`` (estimate unavailable) during warm-up.  Both modes are
+pinned here so neither can drift silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.estimation import PreviousEstimation
+from repro.estimation.base import PacketContext
+
+
+def _ctx(measurement_set, index):
+    return PacketContext(
+        measurement_set=measurement_set,
+        index=index,
+        record=measurement_set.packets[index],
+        received=np.empty(0),
+        receiver=None,
+    )
+
+
+class TestLegacyClamp:
+    def test_warmup_serves_younger_estimate(self, tiny_dataset):
+        """Index 0 with lag 5 clamps to source 0: the packet's own
+        genie estimate (the documented legacy quirk)."""
+        measurement_set = tiny_dataset[0]
+        estimator = PreviousEstimation(5)
+        estimate = estimator.estimate(_ctx(measurement_set, 0))
+        assert estimate is not None
+        np.testing.assert_array_equal(
+            estimate.taps, measurement_set.packets[0].h_ls_canonical
+        )
+
+    def test_partial_warmup_clamps_to_zero(self, tiny_dataset):
+        """Index 3 with lag 5 still clamps to source 0 (a 300 ms-old
+        estimate served as if it were 500 ms old)."""
+        measurement_set = tiny_dataset[0]
+        estimator = PreviousEstimation(5)
+        estimate = estimator.estimate(_ctx(measurement_set, 3))
+        np.testing.assert_array_equal(
+            estimate.taps, measurement_set.packets[0].h_ls_canonical
+        )
+
+    def test_steady_state_serves_lagged_estimate(self, tiny_dataset):
+        measurement_set = tiny_dataset[0]
+        estimator = PreviousEstimation(5)
+        estimate = estimator.estimate(_ctx(measurement_set, 8))
+        np.testing.assert_array_equal(
+            estimate.taps, measurement_set.packets[3].h_ls_canonical
+        )
+        assert estimate.needs_phase_alignment
+
+    def test_default_is_legacy(self):
+        assert PreviousEstimation(1).strict_lag is False
+
+
+class TestStrictLag:
+    def test_warmup_returns_none(self, tiny_dataset):
+        measurement_set = tiny_dataset[0]
+        estimator = PreviousEstimation(5, strict_lag=True)
+        for index in range(5):
+            assert estimator.estimate(_ctx(measurement_set, index)) is None
+
+    def test_first_valid_index_serves_index_zero(self, tiny_dataset):
+        measurement_set = tiny_dataset[0]
+        estimator = PreviousEstimation(5, strict_lag=True)
+        estimate = estimator.estimate(_ctx(measurement_set, 5))
+        assert estimate is not None
+        np.testing.assert_array_equal(
+            estimate.taps, measurement_set.packets[0].h_ls_canonical
+        )
+
+    def test_steady_state_matches_legacy(self, tiny_dataset):
+        """Past warm-up the two modes are identical."""
+        measurement_set = tiny_dataset[0]
+        legacy = PreviousEstimation(5)
+        strict = PreviousEstimation(5, strict_lag=True)
+        for index in range(5, measurement_set.num_packets):
+            np.testing.assert_array_equal(
+                legacy.estimate(_ctx(measurement_set, index)).taps,
+                strict.estimate(_ctx(measurement_set, index)).taps,
+            )
+
+    def test_strict_name_is_distinct(self):
+        assert PreviousEstimation(5).name == "500ms Previous"
+        assert (
+            PreviousEstimation(5, strict_lag=True).name
+            == "500ms Previous (strict)"
+        )
+
+    def test_lag_validation_unchanged(self):
+        with pytest.raises(ConfigurationError):
+            PreviousEstimation(0, strict_lag=True)

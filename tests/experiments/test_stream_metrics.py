@@ -1,0 +1,139 @@
+"""Edge cases of the offline metrics and the new stream metrics.
+
+The offline ``TechniqueResult`` ratios must never divide by zero or
+produce surprise NaNs on zero-packet / all-unavailable results; the
+closed-loop :class:`StreamMetrics` ratios are total functions (0.0 on
+idle runs) because their payloads are persisted and diffed bit-exactly.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.experiments.metrics import (
+    PacketOutcome,
+    StreamMetrics,
+    TechniqueResult,
+)
+
+
+def _unavailable(chips=10):
+    return PacketOutcome(
+        packet_error=True,
+        chip_errors=chips,
+        total_chips=chips,
+        mse=None,
+        estimate_available=False,
+    )
+
+
+class TestTechniqueResultEdgeCases:
+    def test_zero_packet_per_raises_cleanly(self):
+        with pytest.raises(ShapeError, match="no outcomes"):
+            TechniqueResult("x").per
+
+    def test_zero_packet_cer_raises_cleanly(self):
+        with pytest.raises(ShapeError, match="no outcomes"):
+            TechniqueResult("x").cer
+
+    def test_zero_packet_availability_raises_cleanly(self):
+        with pytest.raises(ShapeError, match="no outcomes"):
+            TechniqueResult("x").availability
+
+    def test_zero_packet_mse_is_nan(self):
+        assert math.isnan(TechniqueResult("x").mse)
+
+    def test_zero_chips_cer_raises_cleanly(self):
+        """Outcomes recorded but zero chips: a clean error, not 0/0."""
+        result = TechniqueResult("x")
+        result.add(
+            PacketOutcome(
+                packet_error=True,
+                chip_errors=0,
+                total_chips=0,
+                mse=None,
+                estimate_available=False,
+            )
+        )
+        with pytest.raises(ShapeError, match="no chips"):
+            result.cer
+
+    def test_all_unavailable_is_well_defined(self):
+        """Preamble-style total detection failure: PER 1, CER 1,
+        availability 0, MSE NaN — no NaN in the rate metrics."""
+        result = TechniqueResult("x")
+        for _ in range(3):
+            result.add(_unavailable())
+        assert result.per == 1.0
+        assert result.cer == 1.0
+        assert result.availability == 0.0
+        assert math.isnan(result.mse)
+
+
+class TestStreamMetrics:
+    def test_idle_run_has_no_nan(self):
+        metrics = StreamMetrics()
+        assert metrics.goodput_pps == 0.0
+        assert metrics.outage == 0.0
+        assert metrics.deadline_miss_rate == 0.0
+        assert metrics.defer_rate == 0.0
+        assert metrics.delivery_rate == 0.0
+        assert not any(
+            isinstance(v, float) and math.isnan(v)
+            for v in metrics.as_dict().values()
+        )
+
+    def test_ratios(self):
+        metrics = StreamMetrics(
+            offered=10,
+            delivered=6,
+            attempts=8,
+            failures=2,
+            deferrals=2,
+            deadline_misses=3,
+            duration_s=2.0,
+        )
+        assert metrics.goodput_pps == 3.0
+        assert metrics.outage == 0.25
+        assert metrics.deadline_miss_rate == 0.3
+        assert metrics.defer_rate == 0.2
+        assert metrics.delivery_rate == 0.6
+
+    def test_all_deferred_outage_is_zero(self):
+        """A link that never transmits has outage 0 — nothing failed."""
+        metrics = StreamMetrics(
+            offered=5, deferrals=5, duration_s=1.0
+        )
+        assert metrics.outage == 0.0
+        assert metrics.defer_rate == 1.0
+
+    def test_merge_accumulates_counters(self):
+        total = StreamMetrics(duration_s=2.0)
+        total.merge(
+            StreamMetrics(
+                offered=4, delivered=2, attempts=3, failures=1,
+                duration_s=2.0,
+            )
+        )
+        total.merge(
+            StreamMetrics(
+                offered=4, delivered=4, attempts=4, deferrals=1,
+                duration_s=2.0,
+            )
+        )
+        assert total.offered == 8
+        assert total.delivered == 6
+        assert total.attempts == 7
+        assert total.failures == 1
+        assert total.deferrals == 1
+        assert total.duration_s == 2.0
+        assert total.goodput_pps == 3.0
+
+    def test_dict_round_trip(self):
+        metrics = StreamMetrics(
+            offered=7, delivered=5, attempts=6, failures=1,
+            deferrals=1, deadline_misses=1, duration_s=0.7,
+        )
+        rebuilt = StreamMetrics.from_dict(metrics.as_dict())
+        assert rebuilt == metrics

@@ -1,0 +1,61 @@
+"""Shared fixtures of the streaming subsystem tests.
+
+One seconds-scale streaming stack (the ``stream-smoke`` scenario: single
+crossing walker, tiny dimensions) is built per session and shared by the
+event/service/policy/simulator tests; the policy-adaptation acceptance
+test builds its own, larger stack in its module.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.models import ModelCheckpointRegistry
+from repro.campaign.scenario import get_scenario
+from repro.dataset import build_components, generate_dataset
+from repro.dataset.sets import rotating_set_combinations
+from repro.stream import (
+    PredictionService,
+    StreamSimulator,
+    build_link_traces,
+    stream_link_config,
+)
+
+
+@pytest.fixture(scope="session")
+def smoke_config():
+    return get_scenario("stream-smoke").resolve()
+
+
+@pytest.fixture(scope="session")
+def smoke_dataset(smoke_config):
+    return generate_dataset(smoke_config)
+
+
+@pytest.fixture(scope="session")
+def smoke_service(smoke_config, smoke_dataset, tmp_path_factory):
+    combination = rotating_set_combinations(
+        smoke_config.dataset.num_sets
+    )[0]
+    registry = ModelCheckpointRegistry(
+        tmp_path_factory.mktemp("stream-models")
+    )
+    return PredictionService.from_registry(
+        registry,
+        smoke_config,
+        [smoke_dataset[i] for i in combination.training_indices()],
+        [smoke_dataset[combination.validation_index]],
+    )
+
+
+@pytest.fixture(scope="session")
+def smoke_traces(smoke_config):
+    return build_link_traces(smoke_config, links=2, slots=20)
+
+
+@pytest.fixture(scope="session")
+def smoke_simulator(smoke_config, smoke_traces):
+    components = build_components(
+        stream_link_config(smoke_config, 2, slots=20)
+    )
+    return StreamSimulator(components, smoke_traces, deadline_slots=3)

@@ -1,0 +1,243 @@
+"""Unit tests of the link-adaptation policies and the simulator loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import PacketOutcome
+from repro.stream import (
+    GeniePolicy,
+    ProactiveVVDPolicy,
+    ReactivePreviousPolicy,
+    StreamSimulator,
+    build_policy,
+)
+from repro.stream.policy import SlotContext
+from repro.stream.service import Prediction
+
+
+def _ctx(record, prediction=None):
+    return SlotContext(link=0, slot=0, record=record, prediction=prediction)
+
+
+def _prediction(record, probability):
+    return Prediction(
+        taps=record.h_ls_canonical, blockage_probability=probability
+    )
+
+
+class TestProactivePolicy:
+    def test_transmits_with_predicted_estimate(self, smoke_traces):
+        record = smoke_traces[0].measurement_set.packets[0]
+        policy = ProactiveVVDPolicy()
+        decision = policy.decide(
+            _ctx(record, _prediction(record, 0.1))
+        )
+        assert decision.transmit
+        assert decision.estimate.needs_phase_alignment
+        np.testing.assert_array_equal(
+            decision.estimate.taps, record.h_ls_canonical
+        )
+        np.testing.assert_array_equal(
+            decision.estimate.canonical_taps, record.h_ls_canonical
+        )
+
+    def test_defers_on_confident_blockage(self, smoke_traces):
+        record = smoke_traces[0].measurement_set.packets[0]
+        policy = ProactiveVVDPolicy(defer_threshold=0.5)
+        decision = policy.decide(
+            _ctx(record, _prediction(record, 0.9))
+        )
+        assert not decision.transmit
+        assert decision.reason == "predicted-blockage"
+
+    def test_threshold_one_disables_deferral(self, smoke_traces):
+        record = smoke_traces[0].measurement_set.packets[0]
+        policy = ProactiveVVDPolicy(defer_threshold=1.0)
+        decision = policy.decide(
+            _ctx(record, _prediction(record, 1.0))
+        )
+        assert decision.transmit
+
+    def test_missing_probability_transmits(self, smoke_traces):
+        """Services without a blockage head never defer."""
+        record = smoke_traces[0].measurement_set.packets[0]
+        policy = ProactiveVVDPolicy(defer_threshold=0.5)
+        assert policy.decide(_ctx(record, _prediction(record, None))).transmit
+
+    def test_missing_prediction_raises(self, smoke_traces):
+        record = smoke_traces[0].measurement_set.packets[0]
+        with pytest.raises(ConfigurationError):
+            ProactiveVVDPolicy().decide(_ctx(record))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            ProactiveVVDPolicy(defer_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            ProactiveVVDPolicy(defer_threshold=1.5)
+
+    def test_simulator_rejects_missing_service(self, smoke_simulator):
+        with pytest.raises(ConfigurationError):
+            smoke_simulator.run(ProactiveVVDPolicy(), service=None)
+
+
+class TestReactivePolicy:
+    def test_warmup_decodes_standard(self, smoke_traces):
+        record = smoke_traces[0].measurement_set.packets[0]
+        policy = ReactivePreviousPolicy()
+        policy.reset(1)
+        decision = policy.decide(_ctx(record))
+        assert decision.transmit
+        assert decision.estimate.taps is None  # standard decoding
+
+    def test_success_installs_estimate_failure_does_not(
+        self, smoke_traces
+    ):
+        packets = smoke_traces[0].measurement_set.packets
+        policy = ReactivePreviousPolicy()
+        policy.reset(1)
+
+        def outcome(error):
+            return PacketOutcome(
+                packet_error=error,
+                chip_errors=0,
+                total_chips=10,
+                mse=None,
+                estimate_available=True,
+            )
+
+        policy.observe(_ctx(packets[0]), outcome(error=True))
+        assert policy.decide(_ctx(packets[1])).estimate.taps is None
+        policy.observe(_ctx(packets[1]), outcome(error=False))
+        decision = policy.decide(_ctx(packets[2]))
+        np.testing.assert_array_equal(
+            decision.estimate.taps, packets[1].h_ls_canonical
+        )
+        assert decision.estimate.needs_phase_alignment
+        # Deferred slots (outcome None) leave the estimate untouched.
+        policy.observe(_ctx(packets[2]), None)
+        np.testing.assert_array_equal(
+            policy.decide(_ctx(packets[3])).estimate.taps,
+            packets[1].h_ls_canonical,
+        )
+
+
+class TestGeniePolicy:
+    def test_uses_current_slot_estimate(self, smoke_traces):
+        record = smoke_traces[0].measurement_set.packets[4]
+        decision = GeniePolicy().decide(_ctx(record))
+        assert decision.transmit
+        np.testing.assert_array_equal(
+            decision.estimate.taps, record.h_ls
+        )
+        assert not decision.estimate.needs_phase_alignment
+
+
+class TestPolicyRegistry:
+    def test_builds_known_policies(self):
+        assert build_policy("proactive").uses_predictions
+        assert not build_policy("reactive").uses_predictions
+        assert not build_policy("genie").uses_predictions
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ConfigurationError, match="known policies"):
+            build_policy("alien")
+
+
+class TestSimulatorLoop:
+    def test_genie_pass_counts_every_slot(
+        self, smoke_simulator, smoke_traces
+    ):
+        result = smoke_simulator.run(GeniePolicy())
+        links = len(smoke_traces)
+        slots = result.num_slots
+        metrics = result.metrics
+        assert metrics.offered == links * slots
+        assert metrics.attempts + metrics.deferrals == links * slots
+        assert metrics.delivered + metrics.failures == metrics.attempts
+        assert len(result.timelines) == links
+        assert all(
+            len(t.symbols) == slots for t in result.timelines
+        )
+        assert result.technique.num_packets == metrics.attempts
+
+    def test_deadline_misses_from_forced_deferral(self, smoke_simulator):
+        """A policy that never transmits drops every packet at its
+        deadline (ARQ bookkeeping, not decode outcomes)."""
+
+        class NeverTransmit(GeniePolicy):
+            name = "never"
+
+            def decide(self, ctx):
+                decision = super().decide(ctx)
+                decision.transmit = False
+                return decision
+
+        result = smoke_simulator.run(NeverTransmit())
+        metrics = result.metrics
+        assert metrics.attempts == 0
+        assert metrics.outage == 0.0
+        assert metrics.defer_rate == 1.0
+        deadline = smoke_simulator.deadline_slots
+        expected_misses = sum(
+            max(result.num_slots - deadline, 0)
+            for _ in range(result.links)
+        )
+        assert metrics.deadline_misses == expected_misses
+        assert set(result.timelines[0].symbols) == {"d"}
+
+    def test_horizon_model_is_fed_older_frames(
+        self, smoke_simulator, smoke_traces
+    ):
+        """A horizon-h service predicts h frames past its input, so the
+        simulator must submit the frame h behind the LED match — the
+        same clamped offset VVDEstimator uses offline."""
+
+        class _RecordingService:
+            def __init__(self, horizon):
+                self.trained = type(
+                    "T", (), {"horizon_frames": horizon}
+                )()
+                self.submitted = []
+
+            def submit(self, link, frame):
+                self.submitted.append((link, frame))
+
+            def flush(self):
+                from repro.stream.service import Prediction
+
+                results = {}
+                for link, _ in self.submitted[-2:]:
+                    record = smoke_traces[
+                        link
+                    ].measurement_set.packets[0]
+                    results[link] = Prediction(
+                        taps=record.h_ls_canonical,
+                        blockage_probability=None,
+                    )
+                return results
+
+        horizon = 3
+        service = _RecordingService(horizon)
+        smoke_simulator.run(ProactiveVVDPolicy(), service=service)
+        slots = smoke_simulator.traces[0].num_slots
+        expected = []
+        for slot in range(min(slots, 5)):
+            for trace in smoke_traces:
+                record = trace.measurement_set.packets[slot]
+                expected.append(
+                    trace.measurement_set.frames[
+                        max(record.frame_index - horizon, 0)
+                    ]
+                )
+        for (_, got), want in zip(service.submitted, expected):
+            np.testing.assert_array_equal(got, want)
+
+    def test_payload_is_json_stable(self, smoke_simulator):
+        import json
+
+        result = smoke_simulator.run(GeniePolicy())
+        payload = json.dumps(result.payload(), sort_keys=True)
+        rebuilt = json.loads(payload)
+        assert rebuilt["policy"] == "Genie"
+        assert rebuilt["metrics"]["offered"] == result.metrics.offered

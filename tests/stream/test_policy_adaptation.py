@@ -1,0 +1,173 @@
+"""Closed-loop acceptance: proactive VVD beats reactive link adaptation.
+
+The PR's headline claim, asserted end to end on the blockage-heavy
+``multi-human-crossing`` scenario (two walkers shuttling across the LoS)
+at test scale: decoding with the CNN's depth-image prediction — and
+deferring slots the vision pipeline confidently condemns — yields
+strictly lower outage than the reactive previous-estimate policy without
+sacrificing goodput, with the genie bound confirming the remaining
+headroom.  The same run feeds the proactive-vs-reactive timeline figure.
+
+The module trains one CNN (~30 s); every test shares the resulting
+simulation results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.campaign.models import ModelCheckpointRegistry
+from repro.campaign.scenario import get_scenario
+from repro.dataset import build_components, generate_dataset
+from repro.dataset.sets import rotating_set_combinations
+from repro.experiments.figures import stream_timeline
+from repro.stream import (
+    GeniePolicy,
+    PredictionService,
+    ProactiveVVDPolicy,
+    ReactivePreviousPolicy,
+    StreamSimulator,
+    build_link_traces,
+    stream_link_config,
+)
+
+_LINKS = 6
+_SLOTS = 150
+
+
+def _acceptance_config():
+    """``multi-human-crossing`` at test scale.
+
+    The scenario keeps its identity — two crossing walkers in the
+    paper's lab — while the dimensions shrink to tiny-base PHY with
+    enough training packets/epochs for the CNN to learn the two-walker
+    channel (the pure ``tiny`` budget of 3 epochs underfits it).
+    """
+    scenario = dataclasses.replace(
+        get_scenario("multi-human-crossing"),
+        name="multi-human-crossing-test",
+        base="tiny",
+    )
+    config = scenario.resolve()
+    return config.replace(
+        dataset=dataclasses.replace(
+            config.dataset,
+            num_sets=8,
+            packets_per_set=150,
+            skip_initial=4,
+        ),
+        vvd=dataclasses.replace(
+            config.vvd, epochs=60, learning_rate=7e-4
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def adaptation_results(tmp_path_factory):
+    config = _acceptance_config()
+    sets = generate_dataset(config)
+    combination = rotating_set_combinations(config.dataset.num_sets)[0]
+    service = PredictionService.from_registry(
+        ModelCheckpointRegistry(tmp_path_factory.mktemp("models")),
+        config,
+        [sets[i] for i in combination.training_indices()],
+        [sets[combination.validation_index]],
+    )
+    traces = build_link_traces(config, links=_LINKS, slots=_SLOTS)
+    simulator = StreamSimulator(
+        build_components(
+            stream_link_config(config, _LINKS, slots=_SLOTS)
+        ),
+        traces,
+        deadline_slots=3,
+    )
+    return {
+        "proactive": simulator.run(ProactiveVVDPolicy(), service=service),
+        "reactive": simulator.run(ReactivePreviousPolicy()),
+        "genie": simulator.run(GeniePolicy()),
+    }
+
+
+class TestProactiveBeatsReactive:
+    def test_strictly_lower_outage(self, adaptation_results):
+        proactive = adaptation_results["proactive"].metrics
+        reactive = adaptation_results["reactive"].metrics
+        assert proactive.outage < reactive.outage, (
+            f"proactive outage {proactive.outage:.3f} must beat "
+            f"reactive {reactive.outage:.3f}"
+        )
+
+    def test_no_goodput_loss(self, adaptation_results):
+        proactive = adaptation_results["proactive"].metrics
+        reactive = adaptation_results["reactive"].metrics
+        assert proactive.goodput_pps >= reactive.goodput_pps, (
+            f"proactive goodput {proactive.goodput_pps:.2f}/s must not "
+            f"lose to reactive {reactive.goodput_pps:.2f}/s"
+        )
+
+    def test_no_worse_deadline_misses(self, adaptation_results):
+        proactive = adaptation_results["proactive"].metrics
+        reactive = adaptation_results["reactive"].metrics
+        assert (
+            proactive.deadline_miss_rate <= reactive.deadline_miss_rate
+        )
+
+    def test_genie_bounds_both(self, adaptation_results):
+        genie = adaptation_results["genie"].metrics
+        for name in ("proactive", "reactive"):
+            metrics = adaptation_results[name].metrics
+            assert genie.outage <= metrics.outage
+            assert genie.goodput_pps >= metrics.goodput_pps
+
+    def test_proactive_defers_into_predicted_blockage(
+        self, adaptation_results
+    ):
+        """The deferral mechanism actually engages on this scenario
+        (conservative default threshold, so only a modest share)."""
+        proactive = adaptation_results["proactive"].metrics
+        assert 0.0 < proactive.defer_rate < 0.5
+        assert any(
+            "d" in timeline.symbols
+            for timeline in adaptation_results["proactive"].timelines
+        )
+
+
+class TestTimelineFigure:
+    def test_renders_policy_comparison_over_blockage(
+        self, adaptation_results
+    ):
+        payloads = [
+            adaptation_results[name].payload()
+            for name in ("proactive", "reactive")
+        ]
+        data = stream_timeline.generate(payloads)
+        # The window is anchored on a link that actually sees blockage.
+        assert any(data.blocked)
+        rendered = stream_timeline.render(data)
+        assert "Proactive VVD" in rendered
+        assert "Reactive Previous" in rendered
+        assert "#" in rendered  # blockage strip
+        assert "'d'=deferred" in rendered
+
+    def test_reactive_fails_more_during_blockage(
+        self, adaptation_results
+    ):
+        """Slot-aligned evidence for the headline: counting only the
+        LoS-blocked slots, the reactive policy burns strictly more
+        failed attempts than the proactive policy across the links."""
+
+        def blocked_failures(result):
+            return sum(
+                1
+                for timeline in result.timelines
+                for symbol, flag in zip(
+                    timeline.symbols, timeline.blocked
+                )
+                if flag == "#" and symbol == "X"
+            )
+
+        assert blocked_failures(
+            adaptation_results["proactive"]
+        ) < blocked_failures(adaptation_results["reactive"])

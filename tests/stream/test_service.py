@@ -1,0 +1,137 @@
+"""PredictionService tests: micro-batch equivalence, coalescing, stats."""
+
+import numpy as np
+import pytest
+
+from repro.campaign.models import ModelCheckpointRegistry
+from repro.dataset.sets import rotating_set_combinations
+from repro.errors import ConfigurationError
+from repro.stream import PredictionService
+
+
+def _frames(traces, count):
+    """One depth frame per pseudo-link from the first trace."""
+    frames = traces[0].measurement_set.frames
+    return [frames[i % len(frames)] for i in range(count)]
+
+
+class TestMicroBatching:
+    def test_flush_matches_per_request_inference(
+        self, smoke_service, smoke_traces
+    ):
+        """Micro-batching is an accelerator, not a different model: the
+        predictions match per-request inference to float32 GEMM
+        accumulation order (batch-shape-dependent BLAS reductions)."""
+        frames = _frames(smoke_traces, 5)
+        for link, frame in enumerate(frames):
+            smoke_service.submit(link, frame)
+        batched = smoke_service.flush()
+        assert sorted(batched) == list(range(5))
+        for link, frame in enumerate(frames):
+            single = smoke_service.predict_one(frame)
+            np.testing.assert_allclose(
+                batched[link].taps, single.taps, rtol=1e-4, atol=1e-7
+            )
+            assert batched[link].blockage_probability == pytest.approx(
+                single.blockage_probability, rel=1e-9
+            )
+
+    def test_resubmit_coalesces_to_freshest_frame(
+        self, smoke_service, smoke_traces
+    ):
+        frames = _frames(smoke_traces, 2)
+        smoke_service.submit(0, frames[0])
+        smoke_service.submit(0, frames[1])  # stale request replaced
+        assert smoke_service.pending == 1
+        result = smoke_service.flush()
+        expected = smoke_service.predict_one(frames[1])
+        np.testing.assert_array_equal(result[0].taps, expected.taps)
+
+    def test_flush_empty_returns_nothing(self, smoke_service):
+        assert smoke_service.flush() == {}
+
+    def test_chunking_respects_max_batch(
+        self, smoke_service, smoke_traces
+    ):
+        service = PredictionService(
+            smoke_service.trained,
+            smoke_service.max_depth_m,
+            max_batch=4,
+            detector=smoke_service.detector,
+        )
+        for link, frame in enumerate(_frames(smoke_traces, 10)):
+            service.submit(link, frame)
+        results = service.flush()
+        assert len(results) == 10
+        assert service.stats.batches == 3  # 4 + 4 + 2
+        assert service.stats.max_batch == 4
+
+    def test_blockage_probabilities_served(
+        self, smoke_service, smoke_traces
+    ):
+        smoke_service.submit(0, _frames(smoke_traces, 1)[0])
+        (prediction,) = smoke_service.flush().values()
+        assert 0.0 <= prediction.blockage_probability <= 1.0
+
+    def test_max_batch_validation(self, smoke_service):
+        with pytest.raises(ConfigurationError):
+            PredictionService(
+                smoke_service.trained, 6.0, max_batch=0
+            )
+
+
+class TestServiceStats:
+    def test_counters_accumulate(self, smoke_service, smoke_traces):
+        service = PredictionService(
+            smoke_service.trained, smoke_service.max_depth_m
+        )
+        for link, frame in enumerate(_frames(smoke_traces, 3)):
+            service.submit(link, frame)
+        service.flush()
+        assert service.stats.requests == 3
+        assert service.stats.predictions == 3
+        assert service.stats.batches == 1
+        assert service.stats.flush_seconds > 0.0
+        assert len(service.stats.latencies_s) == 3
+        assert service.stats.predictions_per_second() > 0.0
+        p50, p95 = service.stats.latency_quantiles()
+        assert 0.0 < p50 <= p95
+        assert "3 prediction(s)" in service.stats.summary()
+
+    def test_idle_stats_are_total(self, smoke_service):
+        service = PredictionService(
+            smoke_service.trained, smoke_service.max_depth_m
+        )
+        assert service.stats.predictions_per_second() == 0.0
+        assert service.stats.latency_quantiles() == (0.0, 0.0)
+        assert service.stats.mean_batch_size() == 0.0
+
+
+class TestFromRegistry:
+    def test_restart_is_checkpoint_hit(
+        self, smoke_config, smoke_dataset, tmp_path
+    ):
+        """A service restart over a warmed registry retrains nothing and
+        serves bit-identical predictions."""
+        combination = rotating_set_combinations(
+            smoke_config.dataset.num_sets
+        )[0]
+        training = [
+            smoke_dataset[i] for i in combination.training_indices()
+        ]
+        validation = [smoke_dataset[combination.validation_index]]
+        registry = ModelCheckpointRegistry(tmp_path / "models")
+        first = PredictionService.from_registry(
+            registry, smoke_config, training, validation
+        )
+        assert registry.stats.models_trained == 1
+        second = PredictionService.from_registry(
+            registry, smoke_config, training, validation
+        )
+        assert registry.stats.models_trained == 1
+        assert registry.stats.models_loaded == 1
+        frame = smoke_dataset[0].frames[0]
+        np.testing.assert_array_equal(
+            first.predict_one(frame).taps,
+            second.predict_one(frame).taps,
+        )

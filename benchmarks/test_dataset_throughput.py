@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.config import SimulationConfig
 from repro.dataset import build_components, generate_measurement_set
+from tools.bench_trajectory import append_entry
 
 _REPEATS = 3
 _SPEEDUP_FLOOR = float(os.environ.get("REPRO_THROUGHPUT_FLOOR", 5.0))
@@ -55,6 +56,17 @@ def test_dataset_throughput():
         f"scalar {scalar_time:.3f}s ({num_packets / scalar_time:.1f} pkt/s), "
         f"batched {batch_time:.3f}s ({num_packets / batch_time:.1f} pkt/s), "
         f"speedup {speedup:.2f}x"
+    )
+    append_entry(
+        "dataset_throughput",
+        {
+            "packets_per_set": num_packets,
+            "scalar_s": scalar_time,
+            "batched_s": batch_time,
+            "speedup": speedup,
+            "floor": _SPEEDUP_FLOOR,
+            "timestamp": time.time(),
+        },
     )
 
     # The batched engine must be a pure accelerator: same campaign.

@@ -5,8 +5,9 @@ concurrent links of paper-size depth frames against the per-request
 serving layer the seed codebase implied: one forward per arriving frame
 through the reference (pre-im2col) conv engine.  The micro-batched
 service must clear ``REPRO_STREAM_FLOOR`` (default 1.8x; shared CI
-runners set a lower bar), and the measured numbers are appended to
-``BENCH_stream.json`` as a trajectory entry.
+runners set a lower bar), and the measured numbers are appended to the
+merged benchmark trajectory (``tools/bench_trajectory.py``; default
+``BENCH_trajectory.json``) under the ``stream_throughput`` bench.
 
 NOTE: the issue's ">= 5x" target assumed per-request inference pays the
 full conv lowering per frame with no intra-frame batching.  The PR 3
@@ -19,10 +20,8 @@ bar — and the trajectory entry records every measured ratio so the
 number can be revisited on multi-core hardware.
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
@@ -33,11 +32,11 @@ from repro.core.training import TrainedVVD
 from repro.nn import TrainingHistory
 from repro.nn.layers import Conv2D
 from repro.stream import PredictionService
+from tools.bench_trajectory import append_entry
 
 _LINKS = 64
 _REPEATS = 3
 _SPEEDUP_FLOOR = float(os.environ.get("REPRO_STREAM_FLOOR", 1.8))
-_BENCH_PATH = Path(os.environ.get("REPRO_BENCH_JSON", "BENCH_stream.json"))
 
 
 def _paper_size_service(conv_impl: str) -> PredictionService:
@@ -64,20 +63,6 @@ def _paper_size_service(conv_impl: str) -> PredictionService:
         input_shape=(50, 90),
     )
     return PredictionService(trained, max_depth_m=6.0)
-
-
-def _append_trajectory_entry(entry: dict) -> None:
-    """Append one measurement to the JSON trajectory file."""
-    history = []
-    if _BENCH_PATH.exists():
-        try:
-            history = json.loads(_BENCH_PATH.read_text())
-        except json.JSONDecodeError:
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append(entry)
-    _BENCH_PATH.write_text(json.dumps(history, indent=2, sort_keys=True))
 
 
 def test_stream_throughput():
@@ -141,9 +126,9 @@ def test_stream_throughput():
         f"{seed_time * 1e3:.1f} ms ({speedup_vs_seed:.2f}x)"
     )
 
-    _append_trajectory_entry(
+    append_entry(
+        "stream_throughput",
         {
-            "bench": "stream_throughput",
             "links": _LINKS,
             "batched_s": batched_time,
             "per_request_im2col_s": per_request_time,
@@ -154,7 +139,7 @@ def test_stream_throughput():
             "floor": _SPEEDUP_FLOOR,
             "max_batch": batched.max_batch,
             "timestamp": time.time(),
-        }
+        },
     )
 
     assert speedup_vs_seed >= _SPEEDUP_FLOOR, (

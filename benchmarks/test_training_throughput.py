@@ -29,6 +29,7 @@ import numpy as np
 from repro.config import SimulationConfig
 from repro.core.model import build_vvd_cnn
 from repro.nn import Conv2D, MeanSquaredError, Nadam
+from tools.bench_trajectory import append_entry
 
 _EPOCH_FLOOR = float(os.environ.get("REPRO_TRAIN_FLOOR", 1.5))
 _CONV_FLOOR = float(os.environ.get("REPRO_TRAIN_CONV_FLOOR", 3.0))
@@ -109,6 +110,18 @@ def test_training_throughput():
         f"epoch speedup: {epoch_speedup:.2f}x (floor {_EPOCH_FLOOR}), "
         f"first-conv step speedup: {conv_speedup:.2f}x "
         f"(floor {_CONV_FLOOR})"
+    )
+    append_entry(
+        "training_throughput",
+        {
+            "epoch_reference_s": reference,
+            "epoch_im2col_s": im2col,
+            "epoch_speedup": epoch_speedup,
+            "conv_step_speedup": conv_speedup,
+            "epoch_floor": _EPOCH_FLOOR,
+            "conv_floor": _CONV_FLOOR,
+            "timestamp": time.time(),
+        },
     )
 
     assert epoch_speedup >= _EPOCH_FLOOR, (

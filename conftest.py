@@ -1,0 +1,15 @@
+"""Repo-root pytest bootstrap.
+
+Makes the repository root importable so every test tree (tests/,
+benchmarks/) can reach the ``tools`` package (bench trajectories)
+without installing anything or duplicating path surgery per conftest.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_REPO_ROOT = str(Path(__file__).resolve().parent)
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)

@@ -14,9 +14,17 @@ restartable system (see docs/ARCHITECTURE.md):
   of trained VVD model checkpoints, keyed by the dataset cache key, the
   Table 2 split, the prediction horizon and the seed.
 - :mod:`repro.campaign.manifest` — the per-step JSON journal that makes
-  killed campaigns resumable.
-- :mod:`repro.campaign.runner` — campaign DAG execution and the sweep /
-  figure step builders.
+  killed campaigns resumable (lock-guarded against concurrent writers).
+- :mod:`repro.campaign.grid` — parametric scenario grids
+  (:class:`GridSpec`): declarative axes expanded into derived,
+  registry-integrated scenarios.
+- :mod:`repro.campaign.results` — the aggregated per-grid-point
+  :class:`ResultsStore` (records keyed by grid coordinates).
+- :mod:`repro.campaign.locking` — the cross-process :class:`FileLock`
+  guarding index mutation under the parallel executor.
+- :mod:`repro.campaign.runner` — campaign DAG execution (serial or
+  topological-wavefront parallel) and the sweep / figure / train /
+  stream step builders.
 - :mod:`repro.campaign.cli` — the ``repro`` / ``python -m repro``
   command line.
 """
@@ -28,7 +36,19 @@ from .cache import (
     config_fingerprint,
     default_cache_dir,
 )
+from .grid import (
+    GridPoint,
+    GridPointTask,
+    GridSpec,
+    get_grid,
+    grid_steps,
+    list_grids,
+    register_grid,
+    run_grid_point_task,
+)
+from .locking import FileLock
 from .manifest import CampaignManifest
+from .results import ResultsStore, coords_key
 from .models import (
     ModelCheckpointRegistry,
     ModelEntry,
@@ -63,6 +83,17 @@ __all__ = [
     "config_fingerprint",
     "default_cache_dir",
     "CampaignManifest",
+    "FileLock",
+    "GridPoint",
+    "GridPointTask",
+    "GridSpec",
+    "ResultsStore",
+    "coords_key",
+    "get_grid",
+    "grid_steps",
+    "list_grids",
+    "register_grid",
+    "run_grid_point_task",
     "ModelCheckpointRegistry",
     "ModelEntry",
     "ModelRegistryStats",

@@ -38,6 +38,7 @@ from ..dataset.generator import (
 from ..dataset.io import load_measurement_set, save_measurement_set
 from ..dataset.trace import MeasurementSet
 from ..errors import ConfigurationError
+from .locking import FileLock, atomic_write_text
 
 #: Code-version salt mixed into every cache key.  Bump the trailing
 #: component whenever generator/trace semantics change so stale datasets
@@ -269,15 +270,24 @@ class DatasetCache:
         set_index: int,
         measurement_set: MeasurementSet,
     ) -> None:
-        """Write one set via a temp file so kills never leave torn npz."""
+        """Write one set via a unique temp file so kills never leave
+        torn npz and concurrent writers of the same entry never clobber
+        each other's in-flight temp file."""
         final = self._set_path(directory, set_index)
-        tmp = directory / f".tmp_set_{set_index:02d}.npz"
+        tmp = directory / f".tmp_set_{set_index:02d}.{os.getpid()}.npz"
         save_measurement_set(measurement_set, tmp)
         os.replace(tmp, final)
 
     def _write_meta(
         self, directory: Path, config: SimulationConfig, engine: str
     ) -> None:
+        """Write the entry's ``meta.json`` index record.
+
+        Guarded by the entry's sidecar lock: two workers finishing the
+        same cache entry concurrently (e.g. grid members sharing one
+        underlying configuration) serialize their index mutation instead
+        of interleaving temp-file writes.
+        """
         meta = {
             "key": self.key_for(config, engine=engine),
             "salt": DATASET_CACHE_SALT,
@@ -287,9 +297,11 @@ class DatasetCache:
             "created": time.time(),
             "config": _canonical(config),
         }
-        tmp = directory / ".tmp_meta.json"
-        tmp.write_text(json.dumps(meta, indent=2, sort_keys=True))
-        os.replace(tmp, directory / "meta.json")
+        with FileLock(directory / ".meta.lock"):
+            atomic_write_text(
+                directory / "meta.json",
+                json.dumps(meta, indent=2, sort_keys=True),
+            )
 
     # -- inspection / invalidation ----------------------------------------
     def entries(self) -> list[CacheEntry]:

@@ -20,6 +20,11 @@ Installed as the ``repro`` console script (``setup.py``) and runnable as
     adaptation (proactive VVD vs reactive vs genie) as a resumable
     campaign: cached link traces, checkpoint-resolved serving model,
     per-policy goodput/outage/deadline metrics and a timeline figure.
+``grid``
+    Expand a parametric scenario grid, evaluate every derived scenario
+    as an independent campaign step (scheduled as a topological
+    wavefront over ``--jobs`` worker processes) and render the
+    cross-scenario summary table from the aggregated results store.
 ``cache``
     Inspect (``stats``/``list``) or invalidate (``clear``) the cache.
 
@@ -27,7 +32,8 @@ Every subcommand accepts ``--cache-dir`` (default: ``$REPRO_CACHE_DIR``
 or ``~/.cache/repro-vvd/datasets``); model-training commands accept
 ``--model-dir`` (default: ``$REPRO_MODEL_DIR`` or
 ``~/.cache/repro-vvd/models``); dataset generation fans out over
-``--workers`` processes (default: ``$REPRO_BENCH_WORKERS``).
+``--workers`` processes (default: ``$REPRO_BENCH_WORKERS``); DAG-level
+parallelism is ``--jobs`` (``repro grid``, ``repro stream``).
 """
 
 from __future__ import annotations
@@ -43,6 +49,7 @@ from ..errors import ReproError
 from ..experiments.suite import SUITE_BUILDERS
 from ..stream.policy import POLICY_BUILDERS, build_policy
 from .cache import DATASET_CACHE_SALT, DatasetCache
+from .grid import get_grid, grid_steps, list_grids
 from .manifest import STATUS_DONE, STATUS_PENDING
 from .models import MODEL_CACHE_SALT, ModelCheckpointRegistry
 from .runner import (
@@ -54,7 +61,7 @@ from .runner import (
     sweep_steps,
     train_steps,
 )
-from .scenario import Scenario, get_scenario, list_scenarios
+from .scenario import get_scenario, list_scenarios
 
 
 def _default_workers() -> int | None:
@@ -97,20 +104,22 @@ def _add_model_dir_option(parser: argparse.ArgumentParser) -> None:
 
 
 def _campaign_dir(
-    cache: DatasetCache, kind: str, scenario: Scenario, options: dict
+    cache: DatasetCache, kind: str, name: str, options: dict
 ) -> Path:
     """Stable per-campaign directory under ``<cache root>/campaigns``.
 
-    The id hashes the scenario plus the campaign options and the
-    dataset code-version salt, so changing the SNR grid, the suite, the
-    set count — or bumping the generator version — starts a fresh
+    The id hashes the scenario/grid name plus the campaign options and
+    the dataset code-version salt, so changing the SNR grid, the suite,
+    the set count — or bumping the generator version — starts a fresh
     manifest, while re-running the identical command resumes the
     previous one.  (Pass ``--fresh`` to force re-execution after code
-    changes the salt does not capture, e.g. estimator fixes.)
+    changes the salt does not capture, e.g. estimator fixes.  ``--jobs``
+    is deliberately *not* hashed: a serial and a parallel invocation of
+    the same campaign share one manifest and resume each other.)
     """
     canonical = json.dumps(
         {
-            "scenario": scenario.name,
+            "scenario": name,
             "kind": kind,
             "options": options,
             "salt": DATASET_CACHE_SALT,
@@ -119,11 +128,10 @@ def _campaign_dir(
         separators=(",", ":"),
     )
     digest = hashlib.sha256(canonical.encode()).hexdigest()[:12]
-    return (
-        cache.root
-        / "campaigns"
-        / f"{kind}-{scenario.name}-{digest}"
-    )
+    # Grid-member scenario names contain "/" (grid/axis=value,...);
+    # flatten so every campaign stays one directory under campaigns/.
+    safe = name.replace("/", "_")
+    return cache.root / "campaigns" / f"{kind}-{safe}-{digest}"
 
 
 # -- subcommands --------------------------------------------------------
@@ -142,6 +150,24 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
         f"\n{len(scenarios)} scenario(s); run one with e.g. "
         "`python -m repro generate --scenario <name>`"
     )
+    grids = list_grids()
+    if grids:
+        print()
+        grid_width = max(len(g.name) for g in grids)
+        print(f"{'grid':<{grid_width}}  {'members':>7}  axes")
+        print("-" * (grid_width + 60))
+        for spec in grids:
+            axes = " x ".join(
+                f"{axis}[{len(values)}]" for axis, values in spec.axes
+            )
+            print(
+                f"{spec.name:<{grid_width}}  {spec.num_points:>7}  "
+                f"{axes} — {spec.description}"
+            )
+        print(
+            f"\n{len(grids)} grid(s); run one with e.g. "
+            "`python -m repro grid --grid <name> --jobs 4`"
+        )
     return 0
 
 
@@ -174,7 +200,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "num_sets": args.num_sets,
         "suite": args.suite,
     }
-    directory = _campaign_dir(cache, "sweep", scenario, options)
+    directory = _campaign_dir(cache, "sweep", scenario.name, options)
     campaign = Campaign(
         f"sweep[{scenario.name}]",
         sweep_steps(
@@ -259,7 +285,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         "seed": args.seed,
         "model_salt": MODEL_CACHE_SALT,
     }
-    directory = _campaign_dir(cache, "train", scenario, options)
+    directory = _campaign_dir(cache, "train", scenario.name, options)
     campaign = Campaign(
         f"train[{scenario.name}]",
         train_steps(
@@ -318,7 +344,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "combinations": args.combinations,
         "vvd_seed": args.seed,
     }
-    directory = _campaign_dir(cache, "figure", scenario, options)
+    directory = _campaign_dir(cache, "figure", scenario.name, options)
     campaign = Campaign(
         f"figure[{scenario.name}]",
         figure_steps(config, names),
@@ -379,7 +405,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         "defer_threshold": args.defer_threshold,
         "model_salt": MODEL_CACHE_SALT if needs_service else None,
     }
-    directory = _campaign_dir(cache, "stream", scenario, options)
+    directory = _campaign_dir(cache, "stream", scenario.name, options)
     campaign = Campaign(
         f"stream[{scenario.name}]",
         stream_steps(
@@ -412,12 +438,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 f"{reopened} completed step(s) lost their checkpoint; "
                 "re-resolving"
             )
-    result = campaign.run(context, resume=not args.fresh)
+    result = campaign.run(
+        context, resume=not args.fresh, jobs=args.jobs
+    )
     print(context.read_output("report"))
     service = context.shared.get(
         f"stream-service:{args.horizon}:{args.seed}"
     )
-    if service is not None:
+    # Under --jobs > 1 the policy simulations serve their predictions
+    # in pool workers, so the parent service's counters stay zero —
+    # print the wall-clock stats only when this process served.
+    if service is not None and service.stats.predictions > 0:
         print(f"\nservice: {service.stats.summary()}")
     print(
         f"\nsteps: {len(result.executed)} executed, "
@@ -427,9 +458,149 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     print(f"cache: {cache.stats.summary()}")
     if needs_service:
         print(f"models: {registry.stats.summary()}")
-    if cache.stats.sets_generated == 0:
+    # Under --jobs > 1 the stream@<policy> steps run in pool workers
+    # whose private cache/registry instances are invisible to the
+    # parent's counters, so a worker that (pathologically — e.g. after
+    # a mid-campaign `repro cache clear`) regenerated data would not
+    # show up here.  Claim the replay-purity sentinels only when no
+    # simulation step executed out of process; repeat runs execute
+    # nothing and keep printing them.
+    workers_simulated = args.jobs > 1 and any(
+        step_id.startswith("stream@") for step_id in result.executed
+    )
+    if cache.stats.sets_generated == 0 and not workers_simulated:
         print("no measurement sets regenerated (100% cache hits)")
-    if needs_service and registry.stats.models_trained == 0:
+    if (
+        needs_service
+        and registry.stats.models_trained == 0
+        and not workers_simulated
+    ):
+        print("no models retrained (100% checkpoint hits)")
+    return 0
+
+
+def _invalidate_stale_grid_steps(
+    campaign: Campaign,
+    context: CampaignContext,
+    registry: ModelCheckpointRegistry,
+) -> int:
+    """Re-open ``done`` grid points whose VVD checkpoint has vanished.
+
+    The grid analogue of :func:`_invalidate_stale_train_steps`: any
+    completed ``point@`` step whose recorded model key is absent from
+    the registry — or whose payload is unreadable — is marked
+    ``pending`` again (along with the ``report`` step) so the run
+    re-resolves it instead of replaying a stale "100% checkpoint hits"
+    claim.  Returns the number of re-opened point steps.
+    """
+    stale = []
+    for step in campaign.steps:
+        if not step.step_id.startswith("point@"):
+            continue
+        if campaign.manifest.status(step.step_id) != STATUS_DONE:
+            continue
+        path = context.output_path(step.step_id)
+        if not path.exists():
+            stale.append(step.step_id)
+            continue
+        try:
+            record = json.loads(path.read_text())["record"]
+            key = record.get("vvd", {}).get("key")
+        except (json.JSONDecodeError, KeyError, TypeError):
+            stale.append(step.step_id)
+            continue
+        if key is not None and not registry.has_key(key):
+            stale.append(step.step_id)
+    if stale:
+        for step_id in stale:
+            campaign.manifest.mark(step_id, STATUS_PENDING)
+        campaign.manifest.mark("report", STATUS_PENDING)
+    return len(stale)
+
+
+def _cmd_grid(args: argparse.Namespace) -> int:
+    from .grid import format_axis_value
+
+    spec = get_grid(args.grid)
+    points = spec.expand()
+    needs_models = args.vvd or "horizon" in spec.axis_names
+    cache = DatasetCache(args.cache_dir)
+    registry = (
+        ModelCheckpointRegistry(args.model_dir) if needs_models else None
+    )
+    options = {
+        "axes": [
+            [axis, [format_axis_value(v) for v in values]]
+            for axis, values in spec.axes
+        ],
+        "base": spec.base,
+        "suite": args.suite,
+        "vvd": bool(args.vvd),
+        "horizon": args.horizon if args.vvd else None,
+        "vvd_seed": args.seed,
+        "model_salt": MODEL_CACHE_SALT if needs_models else None,
+    }
+    directory = _campaign_dir(cache, "grid", spec.name, options)
+    campaign = Campaign(
+        f"grid[{spec.name}]",
+        grid_steps(
+            spec,
+            points,
+            suite=args.suite,
+            vvd=args.vvd,
+            horizon=args.horizon,
+            vvd_seed=args.seed,
+        ),
+        directory,
+    )
+    context = CampaignContext(
+        get_scenario(spec.base).resolve(),
+        cache,
+        directory,
+        workers=args.workers,
+        verbose=args.verbose,
+        options=options,
+        checkpoints=registry,
+    )
+    if needs_models and not args.fresh:
+        reopened = _invalidate_stale_grid_steps(
+            campaign, context, registry
+        )
+        if reopened and args.verbose:
+            print(
+                f"{reopened} completed point(s) lost their checkpoint; "
+                "re-resolving"
+            )
+    result = campaign.run(
+        context, resume=not args.fresh, jobs=args.jobs
+    )
+    print(context.read_output("report"))
+    sets_generated = 0
+    models_trained = 0
+    for step_id in result.executed:
+        if not step_id.startswith("point@"):
+            continue
+        provenance = json.loads(context.read_output(step_id)).get(
+            "provenance", {}
+        )
+        sets_generated += provenance.get("sets_generated", 0)
+        models_trained += provenance.get("models_trained", 0)
+    print(
+        f"\nsteps: {len(result.executed)} executed, "
+        f"{len(result.skipped)} resumed from manifest "
+        f"({directory / 'manifest.json'})"
+    )
+    print(
+        f"grid: {len(points)} derived scenario(s) over {args.jobs} "
+        f"job(s); aggregate at {directory / 'results' / 'results.json'}"
+    )
+    print(
+        f"cache: {sets_generated} set(s) generated, "
+        f"{models_trained} model(s) trained (summed over executed steps)"
+    )
+    if sets_generated == 0:
+        print("no measurement sets regenerated (100% cache hits)")
+    if needs_models and models_trained == 0:
         print("no models retrained (100% checkpoint hits)")
     return 0
 
@@ -675,9 +846,68 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore the campaign manifest and re-run every step",
     )
+    p_stream.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes running independent per-policy "
+        "simulations concurrently (1 = serial)",
+    )
     _add_model_dir_option(p_stream)
     _add_common_options(p_stream)
     p_stream.set_defaults(func=_cmd_stream)
+
+    p_grid = sub.add_parser(
+        "grid",
+        help="expand a parametric scenario grid and evaluate every "
+        "derived scenario on a parallel wavefront",
+    )
+    p_grid.add_argument(
+        "--grid",
+        default="smoke-grid",
+        help="grid spec name (see list-scenarios)",
+    )
+    p_grid.add_argument(
+        "--suite",
+        default="quick",
+        choices=sorted(SUITE_BUILDERS),
+        help="estimator line-up evaluated per derived scenario",
+    )
+    p_grid.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes scheduling independent grid points "
+        "concurrently (1 = serial; results are byte-identical either "
+        "way)",
+    )
+    p_grid.add_argument(
+        "--vvd",
+        action="store_true",
+        help="resolve a VVD model per grid point through the model "
+        "checkpoint registry (implied by a 'horizon' grid axis)",
+    )
+    p_grid.add_argument(
+        "--horizon",
+        type=int,
+        default=0,
+        help="VVD prediction horizon used with --vvd (a 'horizon' "
+        "grid axis overrides it per member)",
+    )
+    p_grid.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="VVD training seed of --vvd / horizon-axis members",
+    )
+    p_grid.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore the campaign manifest and re-run every step",
+    )
+    _add_model_dir_option(p_grid)
+    _add_common_options(p_grid)
+    p_grid.set_defaults(func=_cmd_grid)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or invalidate the dataset cache"

@@ -1,0 +1,167 @@
+"""Cross-process file locking for campaign index mutation.
+
+The parallel campaign executor runs independent steps in worker
+processes, and several of them may touch the same on-disk indexes: the
+campaign manifest, a dataset-cache entry's ``meta.json``, a model
+checkpoint directory.  Payload writes were already safe (unique temp
+file + atomic ``os.replace``), but read-modify-write index updates need
+mutual exclusion or concurrent writers silently drop each other's
+records (last-writer-wins).
+
+:class:`FileLock` provides that mutual exclusion with nothing but the
+standard library: an advisory ``fcntl.flock`` on a sidecar ``*.lock``
+file where available (POSIX — the lock dies with the process, so a
+killed campaign never wedges the next run), falling back to
+``O_CREAT | O_EXCL`` lock files with stale-lock reclamation elsewhere.
+Acquisition polls with a bounded timeout and raises
+:class:`~repro.errors.ConfigurationError` on expiry rather than
+deadlocking a campaign.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from ..errors import ConfigurationError
+
+try:  # pragma: no cover - availability depends on the platform
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+#: Seconds after which an ``O_EXCL`` fallback lock file left behind by a
+#: dead process is considered stale and reclaimed.
+STALE_LOCK_SECONDS = 60.0
+
+
+def _reclaim_stale(path: Path) -> None:
+    """Remove an abandoned ``O_EXCL`` lock file without racing waiters.
+
+    Plain stat-then-unlink would let a slow waiter delete the *fresh*
+    lock another process just created in the window between the two
+    calls.  Instead the stale file is first claimed via an atomic
+    rename (exactly one waiter wins; the rest see ``FileNotFoundError``
+    and simply retry) and only the renamed file is unlinked — a live
+    lock at ``path`` can never be deleted.
+    """
+    try:
+        if time.time() - path.stat().st_mtime <= STALE_LOCK_SECONDS:
+            return
+        claimed = path.with_name(f"{path.name}.stale.{os.getpid()}")
+        os.rename(path, claimed)
+        os.unlink(claimed)
+    except OSError:
+        pass
+
+
+class FileLock:
+    """Advisory cross-process lock around one on-disk resource.
+
+    Use as a context manager::
+
+        with FileLock(manifest_path.with_suffix(".lock")):
+            ...  # read-modify-write the manifest
+
+    The lock file itself is never deleted on release (deleting would
+    race a concurrent acquirer on POSIX); it is a zero-cost sidecar
+    next to the resource it guards.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        timeout_s: float = 60.0,
+        poll_s: float = 0.01,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout_s = float(timeout_s)
+        self.poll_s = float(poll_s)
+        self._fd: int | None = None
+        self._exclusive_file = False
+
+    def acquire(self) -> "FileLock":
+        """Block (polling) until the lock is held; raises on timeout."""
+        if self._fd is not None:
+            raise ConfigurationError(
+                f"lock {self.path} is already held by this instance"
+            )
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.timeout_s
+        while True:
+            if self._try_acquire():
+                return self
+            if time.monotonic() >= deadline:
+                raise ConfigurationError(
+                    f"could not acquire lock {self.path} within "
+                    f"{self.timeout_s:.0f}s; is another campaign wedged?"
+                )
+            time.sleep(self.poll_s)
+
+    def _try_acquire(self) -> bool:
+        """One non-blocking acquisition attempt."""
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                return False
+            self._fd = fd
+            return True
+        # O_EXCL fallback: creation is the lock; reclaim stale files.
+        try:
+            fd = os.open(
+                self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            _reclaim_stale(self.path)
+            return False
+        os.write(fd, str(os.getpid()).encode())
+        self._fd = fd
+        self._exclusive_file = True
+        return True
+
+    def release(self) -> None:
+        """Drop the lock (no-op when not held)."""
+        if self._fd is None:
+            return
+        try:
+            if self._exclusive_file:
+                self.path.unlink(missing_ok=True)
+        finally:
+            os.close(self._fd)
+            self._fd = None
+            self._exclusive_file = False
+
+    def __enter__(self) -> "FileLock":
+        """Context-manager entry: acquire."""
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: release."""
+        self.release()
+
+
+def lock_path_for(path: str | Path) -> Path:
+    """The sidecar lock-file path guarding ``path``."""
+    path = Path(path)
+    return path.with_name(path.name + ".lock")
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Publish ``text`` at ``path`` atomically (worker-safe).
+
+    The write goes through a sibling temp file whose name embeds the
+    writer's pid — concurrent writers never truncate each other's
+    in-flight temp file — and lands via ``os.replace``, so readers see
+    either the old document or the new one, never a torn write.  The
+    shared idiom behind manifest saves, results-store records and
+    cache index files.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".tmp_{os.getpid()}_{path.name}")
+    tmp.write_text(text)
+    os.replace(tmp, path)

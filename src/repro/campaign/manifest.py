@@ -5,16 +5,24 @@ updated}.  The campaign runner marks each step ``running`` before
 executing it and ``done``/``failed`` after, saving atomically on every
 transition, so a killed campaign records exactly which steps completed;
 the next run skips ``done`` steps and re-executes the rest.
+
+Status transitions are safe under concurrent writers: :meth:`
+CampaignManifest.mark` takes a sidecar file lock, re-reads the journal
+from disk and merges its transition on top before the atomic save, so
+two processes sharing one manifest (the parallel executor, or two
+campaign invocations racing on the same directory) never drop each
+other's records the way a plain load-modify-write would
+(last-writer-wins).
 """
 
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
 from ..errors import ConfigurationError
+from .locking import FileLock, atomic_write_text, lock_path_for
 
 #: Step states persisted in the manifest.
 STATUS_PENDING = "pending"
@@ -54,34 +62,53 @@ class CampaignManifest:
         return manifest
 
     def save(self) -> None:
-        """Persist atomically (temp file + rename)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(
-            {"version": _MANIFEST_VERSION, "steps": self.steps},
-            indent=2,
-            sort_keys=True,
+        """Persist atomically (unique temp file + rename)."""
+        atomic_write_text(
+            self.path,
+            json.dumps(
+                {"version": _MANIFEST_VERSION, "steps": self.steps},
+                indent=2,
+                sort_keys=True,
+            ),
         )
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(payload)
-        os.replace(tmp, self.path)
 
     def status(self, step_id: str) -> str:
         """Current status of a step (``pending`` when never recorded)."""
         return self.steps.get(step_id, {}).get("status", STATUS_PENDING)
 
     def mark(self, step_id: str, status: str, detail: str = "") -> None:
-        """Record a status transition and save immediately."""
+        """Record a status transition and save immediately.
+
+        The update is a locked read-merge-write: under the sidecar file
+        lock the on-disk journal is re-read and this transition applied
+        on top, so transitions recorded by other processes between our
+        loads are preserved instead of being overwritten.
+        """
         if status not in _VALID_STATUSES:
             raise ConfigurationError(
                 f"unknown step status {status!r}; expected one of "
                 f"{_VALID_STATUSES}"
             )
-        self.steps[step_id] = {
+        record = {
             "status": status,
             "detail": detail,
             "updated": time.time(),
         }
-        self.save()
+        with FileLock(lock_path_for(self.path)):
+            if self.path.exists():
+                try:
+                    data = json.loads(self.path.read_text())
+                except json.JSONDecodeError:
+                    data = {}
+                if data.get("version") == _MANIFEST_VERSION:
+                    disk = dict(data.get("steps", {}))
+                    disk.update({step_id: record})
+                    self.steps = disk
+                else:
+                    self.steps[step_id] = record
+            else:
+                self.steps[step_id] = record
+            self.save()
 
     def counts(self) -> dict[str, int]:
         """Histogram of step statuses (only statuses that occur)."""
@@ -93,5 +120,6 @@ class CampaignManifest:
 
     def reset(self) -> None:
         """Forget every recorded step (used by ``--fresh`` runs)."""
-        self.steps = {}
-        self.save()
+        with FileLock(lock_path_for(self.path)):
+            self.steps = {}
+            self.save()

@@ -44,6 +44,7 @@ from ..core.training import TrainedVVD, train_vvd
 from ..dataset.trace import MeasurementSet
 from ..errors import ConfigurationError
 from .cache import _canonical, config_fingerprint
+from .locking import FileLock
 
 #: Code-version salt mixed into every model key.  Bump the trailing
 #: component whenever training/serialization semantics change so stale
@@ -237,19 +238,27 @@ class ModelCheckpointRegistry:
     def save(
         self, key: str, trained: TrainedVVD, config: SimulationConfig
     ) -> Path:
-        """Persist ``trained`` under ``key``; returns the entry directory."""
+        """Persist ``trained`` under ``key``; returns the entry directory.
+
+        The write happens under the entry's sidecar lock so two parallel
+        campaign workers resolving the same key serialize their index
+        mutation (each individual file write is already atomic via a
+        unique temp file + rename).
+        """
         directory = self.entry_dir(key)
-        save_trained_vvd(
-            trained,
-            directory,
-            num_taps=config.channel.num_taps,
-            extra_meta={
-                "key": key,
-                "salt": MODEL_CACHE_SALT,
-                "created": time.time(),
-                "vvd_config": _canonical(config.vvd),
-            },
-        )
+        directory.mkdir(parents=True, exist_ok=True)
+        with FileLock(directory / ".entry.lock"):
+            save_trained_vvd(
+                trained,
+                directory,
+                num_taps=config.channel.num_taps,
+                extra_meta={
+                    "key": key,
+                    "salt": MODEL_CACHE_SALT,
+                    "created": time.time(),
+                    "vvd_config": _canonical(config.vvd),
+                },
+            )
         return directory
 
     def load(self, key: str, config: SimulationConfig) -> TrainedVVD:

@@ -1,0 +1,134 @@
+"""Aggregated results store for grid campaigns.
+
+Each grid point persists one JSON record keyed by its grid coordinates
+(the ``axis=value`` pairs that derived its scenario); the store lays the
+records out as one file per coordinate key so parallel workers never
+contend on a shared index, and the final ``report`` step assembles the
+deterministic aggregate (``results.json``) plus the cross-scenario
+summary table from them.
+
+Records must be pure functions of the grid point (metrics, model keys —
+never wall-clock timestamps or cache hit/miss provenance), which is
+what makes a grid campaign's aggregate byte-identical between
+``--jobs 1`` and ``--jobs N`` runs: the same records land in the same
+files, and the aggregate serializes them in sorted coordinate order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from .locking import atomic_write_text
+
+#: Characters allowed verbatim in a record file stem; anything else is
+#: replaced so coordinate keys can never escape the store directory.
+_SAFE_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789=.,+-"
+)
+
+
+def coords_key(coords) -> str:
+    """Canonical ``axis=value,axis=value`` key of one grid coordinate.
+
+    ``coords`` is a sequence of ``(axis, value)`` pairs (or a mapping);
+    the key preserves the grid's declared axis order, so it is stable
+    across processes and runs.
+    """
+    if isinstance(coords, dict):
+        pairs = list(coords.items())
+    else:
+        pairs = list(coords)
+    if not pairs:
+        raise ConfigurationError("grid coordinates must not be empty")
+    return ",".join(f"{axis}={value}" for axis, value in pairs)
+
+
+def _record_stem(key: str) -> str:
+    """File-system-safe stem of one coordinate key."""
+    return "".join(c if c in _SAFE_CHARS else "_" for c in key)
+
+
+class ResultsStore:
+    """One-directory store of per-grid-point JSON result records."""
+
+    #: File name of the assembled aggregate.
+    AGGREGATE_NAME = "results.json"
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def record_path(self, coords) -> Path:
+        """File persisting the record of one coordinate."""
+        return self.directory / f"{_record_stem(coords_key(coords))}.json"
+
+    def put(self, coords, record: dict) -> Path:
+        """Persist one grid point's record (atomic, worker-safe).
+
+        The payload is canonical JSON (sorted keys, fixed separators)
+        written through a unique temp file, so concurrent workers can
+        publish records without a shared lock and a killed run never
+        leaves a torn record behind.
+        """
+        path = self.record_path(coords)
+        atomic_write_text(
+            path,
+            json.dumps(
+                {"coords": coords_key(coords), "record": record},
+                indent=2,
+                sort_keys=True,
+            ),
+        )
+        return path
+
+    def get(self, coords) -> dict:
+        """The stored record of one coordinate (raises when absent)."""
+        path = self.record_path(coords)
+        if not path.exists():
+            raise ConfigurationError(
+                f"no grid record for {coords_key(coords)!r} at {path}"
+            )
+        return json.loads(path.read_text())["record"]
+
+    def records(self) -> list[tuple[str, dict]]:
+        """Every stored ``(coords_key, record)``, sorted by key.
+
+        Sorting is by the canonical coordinate key string, so the order
+        — and everything derived from it — is independent of write
+        order and hence of the executor's scheduling.
+        """
+        if not self.directory.exists():
+            return []
+        found = []
+        for path in sorted(self.directory.glob("*.json")):
+            # Skip the aggregate and any in-flight/stale temp files
+            # (".tmp_<pid>_..." — pathlib's glob matches dotfiles).
+            if path.name == self.AGGREGATE_NAME or path.name.startswith(
+                "."
+            ):
+                continue
+            data = json.loads(path.read_text())
+            found.append((data["coords"], data["record"]))
+        found.sort(key=lambda item: item[0])
+        return found
+
+    def aggregate(self) -> dict:
+        """``{coords_key: record}`` over every stored record."""
+        return {key: record for key, record in self.records()}
+
+    def write_aggregate(self) -> Path:
+        """Assemble and persist ``results.json``; returns its path.
+
+        The aggregate serializes the records in sorted coordinate order
+        with canonical JSON, so its bytes depend only on the records'
+        contents — a ``--jobs 1`` and a ``--jobs N`` run of the same
+        grid produce identical files.
+        """
+        path = self.directory / self.AGGREGATE_NAME
+        atomic_write_text(
+            path, json.dumps(self.aggregate(), indent=2, sort_keys=True)
+        )
+        return path

@@ -41,6 +41,11 @@ Two campaign shapes are provided:
 from __future__ import annotations
 
 import json
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
@@ -140,6 +145,13 @@ class CampaignStep:
     run: Callable[[CampaignContext], str | None]
     #: Ids of steps that must be ``done`` before this one runs.
     depends_on: tuple[str, ...] = ()
+    #: Optional process-pool job factory: given the context, returns a
+    #: picklable ``(fn, kwargs)`` pair (``fn`` a module-level function
+    #: returning the step's payload string).  Steps with a worker run
+    #: concurrently under :meth:`Campaign.run` with ``jobs > 1``; steps
+    #: without one (reports, in-process-memoized bodies) run inline in
+    #: the scheduler once their dependencies complete.
+    worker: Callable[[CampaignContext], tuple] | None = None
 
 
 @dataclass
@@ -217,7 +229,10 @@ class Campaign:
         return order
 
     def run(
-        self, context: CampaignContext, resume: bool = True
+        self,
+        context: CampaignContext,
+        resume: bool = True,
+        jobs: int = 1,
     ) -> CampaignResult:
         """Execute every step not already completed.
 
@@ -226,32 +241,179 @@ class Campaign:
         the manifest is reset and everything re-runs.  A step exception
         is journaled as ``failed`` (with the exception text) before
         propagating, so the next run retries from that step.
+
+        ``jobs > 1`` schedules the DAG as a topological wavefront over
+        a process pool: every pending step whose dependencies are done
+        is eligible at once, steps carrying a
+        :attr:`CampaignStep.worker` job factory execute in pool
+        workers, and the rest run inline in the scheduler.  Per-step
+        journal entries and kill-resume semantics are identical to the
+        serial path — the scheduler marks ``running`` on dispatch and
+        ``done`` after persisting the payload, so a killed parallel
+        campaign resumes exactly like a killed serial one.  Step
+        payloads must be deterministic; given that, a campaign's
+        outputs are byte-identical for every ``jobs`` value.
         """
         if not resume:
             self.manifest.reset()
-        result = CampaignResult()
+        if jobs <= 1:
+            return self._run_serial(context)
+        return self._run_parallel(context, jobs)
+
+    def _skip_or_pend(
+        self, context: CampaignContext, result: CampaignResult
+    ) -> list[CampaignStep]:
+        """Partition steps into resumed (recorded) and still-pending."""
+        pending: list[CampaignStep] = []
         for step in self._order:
             done = self.manifest.status(step.step_id) == STATUS_DONE
             if done and context.output_path(step.step_id).exists():
                 result.skipped.append(step.step_id)
                 if context.verbose:
                     print(f"[{self.name}] {step.step_id}: resumed (done)")
-                continue
+            else:
+                pending.append(step)
+        return pending
+
+    def _execute_inline(
+        self,
+        step: CampaignStep,
+        context: CampaignContext,
+        result: CampaignResult,
+        complete: Callable | None = None,
+    ) -> None:
+        """Run one step in this process, journaling like the serial path.
+
+        ``complete`` overrides the completion bookkeeping (the parallel
+        executor passes its own, which additionally unlocks dependents);
+        failure journaling is shared so both executors record identical
+        ``failed`` entries.
+        """
+        if context.verbose:
+            print(f"[{self.name}] {step.step_id}: {step.description}")
+        try:
+            payload = step.run(context)
+        except BaseException as exc:
+            self.manifest.mark(
+                step.step_id,
+                STATUS_FAILED,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+            raise
+        if complete is not None:
+            complete(step, payload)
+            return
+        context.write_output(step.step_id, payload or "")
+        self.manifest.mark(step.step_id, STATUS_DONE)
+        result.executed.append(step.step_id)
+
+    def _run_serial(self, context: CampaignContext) -> CampaignResult:
+        """The sequential executor (``jobs=1``): one step at a time."""
+        result = CampaignResult()
+        for step in self._skip_or_pend(context, result):
             self.manifest.mark(step.step_id, STATUS_RUNNING)
-            if context.verbose:
-                print(f"[{self.name}] {step.step_id}: {step.description}")
-            try:
-                payload = step.run(context)
-            except BaseException as exc:
-                self.manifest.mark(
-                    step.step_id,
-                    STATUS_FAILED,
-                    detail=f"{type(exc).__name__}: {exc}",
-                )
-                raise
+            self._execute_inline(step, context, result)
+        return result
+
+    def _run_parallel(
+        self, context: CampaignContext, jobs: int
+    ) -> CampaignResult:
+        """Topological-wavefront executor over a process pool.
+
+        Ready steps (all dependencies ``done``) dispatch in declaration
+        order; worker-backed steps go to the pool, the rest run inline
+        between completions.  A worker failure journals that step as
+        ``failed`` and propagates after in-flight futures are drained
+        (their steps stay ``running`` in the manifest, exactly like a
+        killed serial run, so the next invocation re-executes them).
+        """
+        result = CampaignResult()
+        pending = self._skip_or_pend(context, result)
+        if not pending:
+            return result
+        pending_ids = {step.step_id for step in pending}
+        remaining_deps = {
+            step.step_id: {
+                dep for dep in step.depends_on if dep in pending_ids
+            }
+            for step in pending
+        }
+        dependents: dict[str, list[CampaignStep]] = {}
+        for step in pending:
+            for dep in remaining_deps[step.step_id]:
+                dependents.setdefault(dep, []).append(step)
+        ready = [
+            step for step in pending if not remaining_deps[step.step_id]
+        ]
+        inline: list[CampaignStep] = []
+        futures: dict = {}
+
+        def _complete(step: CampaignStep, payload: str | None) -> None:
             context.write_output(step.step_id, payload or "")
             self.manifest.mark(step.step_id, STATUS_DONE)
             result.executed.append(step.step_id)
+            for dependent in dependents.get(step.step_id, ()):
+                deps = remaining_deps[dependent.step_id]
+                deps.discard(step.step_id)
+                if not deps:
+                    ready.append(dependent)
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+
+            def _dispatch() -> None:
+                while ready:
+                    step = ready.pop(0)
+                    self.manifest.mark(step.step_id, STATUS_RUNNING)
+                    if step.worker is None:
+                        inline.append(step)
+                        continue
+                    if context.verbose:
+                        print(
+                            f"[{self.name}] {step.step_id}: "
+                            f"{step.description}"
+                        )
+                    try:
+                        fn, kwargs = step.worker(context)
+                    except BaseException as exc:
+                        # The job factory runs in the scheduler; a
+                        # failure here must journal like any other
+                        # step failure (the step is already 'running').
+                        self.manifest.mark(
+                            step.step_id,
+                            STATUS_FAILED,
+                            detail=f"{type(exc).__name__}: {exc}",
+                        )
+                        raise
+                    futures[pool.submit(fn, **kwargs)] = step
+
+            _dispatch()
+            while futures or inline or ready:
+                while inline:
+                    step = inline.pop(0)
+                    self._execute_inline(
+                        step, context, result, complete=_complete
+                    )
+                    _dispatch()
+                if not futures:
+                    _dispatch()
+                    continue
+                completed, _ = wait(
+                    futures, return_when=FIRST_COMPLETED
+                )
+                for future in completed:
+                    step = futures.pop(future)
+                    exc = future.exception()
+                    if exc is not None:
+                        self.manifest.mark(
+                            step.step_id,
+                            STATUS_FAILED,
+                            detail=f"{type(exc).__name__}: {exc}",
+                        )
+                        for pending_future in futures:
+                            pending_future.cancel()
+                        raise exc
+                    _complete(step, future.result())
+                _dispatch()
         return result
 
 
@@ -891,6 +1053,36 @@ def stream_steps(
             ).run(policy, service=service, verbose=ctx.verbose)
             return json.dumps(result.payload(), sort_keys=True)
 
+        def _stream_worker(ctx: CampaignContext, name=name):
+            from ..stream.tasks import (
+                StreamPolicyTask,
+                run_stream_policy_task,
+            )
+
+            uses_predictions = build_policy(name).uses_predictions
+            if uses_predictions and ctx.checkpoints is None:
+                raise ConfigurationError(
+                    "prediction-driven stream steps need a "
+                    "CampaignContext with a checkpoints= model registry"
+                )
+            task = StreamPolicyTask(
+                config=ctx.config,
+                links=links,
+                slots=slots,
+                deadline_slots=deadline_slots,
+                policy=name,
+                defer_threshold=defer_threshold,
+                cache_root=str(ctx.cache.root),
+                model_root=(
+                    str(ctx.checkpoints.root)
+                    if uses_predictions
+                    else None
+                ),
+                horizon=horizon,
+                seed=seed,
+            )
+            return run_stream_policy_task, {"task": task}
+
         step_id = f"stream@{name}"
         steps.append(
             CampaignStep(
@@ -898,6 +1090,7 @@ def stream_steps(
                 description=f"closed-loop simulation, policy {name!r}",
                 run=_run_stream,
                 depends_on=tuple(stream_deps),
+                worker=_stream_worker,
             )
         )
         stream_ids.append(step_id)

@@ -12,6 +12,10 @@ used by the CI cached-campaign job.
 Presets live in a module-level registry; :func:`register_scenario` adds
 project-specific scenarios (see the README's "Running campaigns"
 section) and the ``repro list-scenarios`` CLI prints every entry.
+Parametric grids (:class:`~repro.campaign.grid.GridSpec`) register
+their derived member scenarios here too — a grid member like
+``smoke-grid/snr_db=6,seed=0,speed=0.4-0.8`` is a first-class scenario
+every step builder accepts by name.
 """
 
 from __future__ import annotations

@@ -44,8 +44,13 @@ _META_FILE = "meta.json"
 
 
 def _atomic_write_bytes(path: Path, write) -> None:
-    """Write through a sibling temp file and rename into place."""
-    tmp = path.with_name(f".tmp_{path.name}")
+    """Write through a unique sibling temp file and rename into place.
+
+    The temp name embeds the writer's pid so two processes saving the
+    same checkpoint concurrently (parallel campaign workers resolving
+    one key) never truncate each other's in-flight temp file.
+    """
+    tmp = path.with_name(f".tmp_{os.getpid()}_{path.name}")
     write(tmp)
     os.replace(tmp, path)
 

@@ -57,6 +57,51 @@ def format_series_table(
     return "\n".join(lines)
 
 
+def format_grid_table(
+    title: str,
+    axis_names: Sequence[str],
+    rows: Sequence[tuple[Mapping[str, str], Mapping[str, float]]],
+) -> str:
+    """Cross-scenario summary of a grid campaign.
+
+    ``rows`` pairs each grid cell's coordinates (axis -> formatted
+    value) with its metrics (name -> float); one table row per cell,
+    one left-aligned column per axis and one right-aligned column per
+    metric.  Metric columns follow the first row's ordering, so the
+    rendering is a pure function of the rows — the grid report step
+    relies on that for byte-identical ``--jobs 1`` / ``--jobs N``
+    output.
+    """
+    axis_names = list(axis_names)
+    metric_names = list(rows[0][1]) if rows else []
+    axis_widths = [
+        max([len(name)] + [len(str(coords.get(name, ""))) for coords, _ in rows])
+        for name in axis_names
+    ]
+    metric_widths = [max(len(name), 10) for name in metric_names]
+    header = "  ".join(
+        [
+            f"{name:<{w}}"
+            for name, w in zip(axis_names, axis_widths)
+        ]
+        + [
+            f"{name:>{w}}"
+            for name, w in zip(metric_names, metric_widths)
+        ]
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for coords, metrics in rows:
+        cells = [
+            f"{str(coords.get(name, '')):<{w}}"
+            for name, w in zip(axis_names, axis_widths)
+        ] + [
+            f"{metrics[name]:>{w}.3e}"
+            for name, w in zip(metric_names, metric_widths)
+        ]
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
 def format_timeline(
     successes: Sequence[bool],
     blocked: Sequence[bool],

@@ -1,0 +1,112 @@
+"""Process-pool entry points for parallel streaming campaigns.
+
+The per-policy ``stream@<policy>`` steps of a streaming campaign are
+independent of each other — each replays the same cached link traces
+under a different link-adaptation policy — so the parallel wavefront
+executor can fan them out over worker processes.  A worker cannot share
+the parent's in-process memos (``CampaignContext.shared``), so
+:class:`StreamPolicyTask` carries plain data only and the task rebuilds
+everything from the on-disk stores: link traces from the dataset cache
+(a pure hit — the ``links`` step materialized them) and the serving
+model from the checkpoint registry (a pure hit — the ``train@stream``
+step resolved it).
+
+Simulation payloads are deterministic pure functions of the traces,
+the model and the policy, so running policies in parallel workers
+yields byte-identical step outputs to the serial path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..config import SimulationConfig
+
+
+@dataclass(frozen=True)
+class StreamPolicyTask:
+    """Picklable work order of one ``stream@<policy>`` step."""
+
+    #: The campaign's base (training) configuration.
+    config: SimulationConfig
+    #: Concurrent links replayed.
+    links: int
+    #: Packet slots per link (``None`` = the scenario default).
+    slots: int | None
+    #: Slots a packet may wait before counting as a deadline miss.
+    deadline_slots: int
+    #: Link-adaptation policy name (see ``repro.stream.policy``).
+    policy: str
+    #: Proactive-policy defer threshold override (``None`` = default).
+    defer_threshold: float | None
+    #: Dataset cache root (the worker builds its own cache instance).
+    cache_root: str
+    #: Model checkpoint registry root (prediction-driven policies).
+    model_root: str | None
+    #: Serving-model prediction horizon in camera frames.
+    horizon: int
+    #: Serving-model training seed.
+    seed: int
+
+
+def run_stream_policy_task(task: StreamPolicyTask) -> str:
+    """Simulate one policy's closed loop; returns the JSON payload.
+
+    Mirrors the in-process step body exactly: cached link traces, a
+    registry-resolved serving service for prediction-driven policies,
+    one :class:`~repro.stream.simulator.StreamSimulator` pass.  Raises
+    when a prediction-driven policy finds no model registry root — the
+    campaign DAG guarantees ``train@stream`` ran first, so a miss here
+    is a configuration error, not a training trigger.
+    """
+    from ..campaign.cache import DatasetCache
+    from ..campaign.models import ModelCheckpointRegistry
+    from ..dataset.generator import build_components
+    from ..dataset.sets import rotating_set_combinations
+    from ..errors import ConfigurationError
+    from .events import build_link_traces, stream_link_config
+    from .policy import build_policy
+    from .service import PredictionService
+    from .simulator import StreamSimulator
+
+    cache = DatasetCache(task.cache_root)
+    kwargs = {}
+    if task.defer_threshold is not None and task.policy == "proactive":
+        kwargs["defer_threshold"] = task.defer_threshold
+    policy = build_policy(task.policy, **kwargs)
+
+    service = None
+    if policy.uses_predictions:
+        if task.model_root is None:
+            raise ConfigurationError(
+                "prediction-driven stream tasks need a model registry "
+                "root"
+            )
+        registry = ModelCheckpointRegistry(task.model_root)
+        sets = cache.load_or_generate(task.config)
+        combination = rotating_set_combinations(
+            task.config.dataset.num_sets
+        )[0]
+        service = PredictionService.from_registry(
+            registry,
+            task.config,
+            [sets[i] for i in combination.training_indices()],
+            [sets[combination.validation_index]],
+            horizon_frames=task.horizon,
+            seed=task.seed,
+        )
+
+    derived = stream_link_config(
+        task.config, task.links, slots=task.slots
+    )
+    traces = build_link_traces(
+        task.config, task.links, slots=task.slots, cache=cache
+    )
+    simulator = StreamSimulator(
+        build_components(derived),
+        traces,
+        deadline_slots=task.deadline_slots,
+    )
+    result = simulator.run(policy, service=service)
+    return json.dumps(result.payload(), sort_keys=True)

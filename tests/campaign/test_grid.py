@@ -1,0 +1,198 @@
+"""Grid expansion: axes, derived scenarios, registry and key stability."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    GridSpec,
+    config_fingerprint,
+    get_grid,
+    list_grids,
+    register_grid,
+)
+from repro.campaign.grid import format_axis_value
+from repro.campaign.scenario import get_scenario
+from repro.errors import ConfigurationError
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def _demo_spec(name: str = "demo-grid") -> GridSpec:
+    return GridSpec(
+        name=name,
+        description="test grid",
+        base="smoke",
+        axes=(
+            ("snr_db", (6.0, 12.0)),
+            ("seed", (0, 1)),
+            ("speed", ((0.4, 0.8), (1.0, 1.6))),
+        ),
+    )
+
+
+class TestExpansion:
+    def test_cartesian_product_in_declared_order(self):
+        points = _demo_spec().expand()
+        assert len(points) == 8
+        # First axis varies slowest (itertools.product semantics).
+        assert points[0].coords == (
+            ("snr_db", "6"),
+            ("seed", "0"),
+            ("speed", "0.4-0.8"),
+        )
+        assert points[-1].coords == (
+            ("snr_db", "12"),
+            ("seed", "1"),
+            ("speed", "1-1.6"),
+        )
+
+    def test_member_scenarios_carry_axis_overrides(self):
+        spec = _demo_spec()
+        point = spec.expand()[-1]
+        config = point.scenario.resolve()
+        assert config.channel.snr_db == 12.0
+        assert config.seed == 1
+        assert config.mobility.speed_min_mps == 1.0
+        assert config.mobility.speed_max_mps == 1.6
+        # Base scenario dimensions survive (smoke: 3 sets x 8 packets).
+        base = get_scenario("smoke").resolve()
+        assert config.dataset.num_sets == base.dataset.num_sets
+        assert (
+            config.dataset.packets_per_set
+            == base.dataset.packets_per_set
+        )
+
+    def test_member_names_are_pure_functions_of_coords(self):
+        spec = _demo_spec()
+        points = spec.expand()
+        assert points[0].scenario.name == (
+            "demo-grid/snr_db=6,seed=0,speed=0.4-0.8"
+        )
+        assert [p.scenario.name for p in points] == [
+            p.scenario.name for p in spec.expand()
+        ]
+
+    def test_horizon_axis_is_eval_level_not_scenario_level(self):
+        spec = GridSpec(
+            name="hzn-grid",
+            description="horizon grid",
+            base="smoke",
+            axes=(("horizon", (0, 1)), ("seed", (0,))),
+        )
+        points = spec.expand()
+        assert [p.horizon for p in points] == [0, 1]
+        # Horizon does not perturb the scenario config: both members
+        # share one dataset cache entry.
+        keys = {
+            config_fingerprint(p.scenario.resolve()) for p in points
+        }
+        assert len(keys) == 1
+
+    def test_num_points_matches_expansion(self):
+        spec = _demo_spec()
+        assert spec.num_points == len(spec.expand()) == 8
+
+
+class TestValidation:
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown grid axis"):
+            GridSpec(
+                name="bad",
+                description="x",
+                axes=(("warp_factor", (1, 2)),),
+            )
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError, match="declares no axes"):
+            GridSpec(name="bad", description="x", axes=())
+
+    def test_empty_axis_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="has no values"):
+            GridSpec(
+                name="bad", description="x", axes=(("seed", ()),)
+            )
+
+    def test_repeated_axis_rejected(self):
+        with pytest.raises(ConfigurationError, match="repeats axis"):
+            GridSpec(
+                name="bad",
+                description="x",
+                axes=(("seed", (0,)), ("seed", (1,))),
+            )
+
+    def test_axes_dict_accepted(self):
+        spec = GridSpec(
+            name="dict-axes",
+            description="x",
+            base="smoke",
+            axes={"seed": (0, 1), "snr_db": (6.0,)},
+        )
+        assert spec.axis_names == ("seed", "snr_db")
+
+    def test_reserved_characters_in_string_values_rejected(self):
+        with pytest.raises(ConfigurationError, match="reserved"):
+            format_axis_value("a,b")
+
+
+class TestFormatAxisValue:
+    def test_floats_canonicalize(self):
+        assert format_axis_value(9.5) == "9.5"
+        assert format_axis_value(6.0) == "6"
+        assert format_axis_value(12) == "12"
+
+    def test_tuples_join_with_dash(self):
+        assert format_axis_value((0.4, 0.8)) == "0.4-0.8"
+
+
+class TestRegistry:
+    def test_builtin_grids_listed(self):
+        names = [spec.name for spec in list_grids()]
+        assert "smoke-grid" in names
+        assert "mobility-snr" in names
+
+    def test_builtin_members_resolve_through_scenario_registry(self):
+        spec = get_grid("smoke-grid")
+        member = spec.expand()[0].scenario
+        # Any existing step builder accepts grid members by name.
+        assert get_scenario(member.name).resolve() == member.resolve()
+        assert "grid" in get_scenario(member.name).tags
+
+    def test_register_grid_rejects_duplicates_without_replace(self):
+        register_grid(_demo_spec("dup-grid"), replace=True)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_grid(_demo_spec("dup-grid"))
+
+    def test_unknown_grid_lookup_lists_known_names(self):
+        with pytest.raises(ConfigurationError, match="smoke-grid"):
+            get_grid("no-such-grid")
+
+
+class TestKeyStability:
+    def test_member_cache_keys_stable_across_processes(self):
+        """Derived scenario fingerprints agree between interpreters."""
+        spec = get_grid("smoke-grid")
+        local = {
+            point.label: config_fingerprint(point.scenario.resolve())
+            for point in spec.expand()
+        }
+        script = (
+            "import json\n"
+            "from repro.campaign import config_fingerprint, get_grid\n"
+            "spec = get_grid('smoke-grid')\n"
+            "print(json.dumps({p.label: config_fingerprint("
+            "p.scenario.resolve()) for p in spec.expand()}))\n"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": str(_SRC), "PATH": "/usr/bin:/bin"},
+        ).stdout
+        assert json.loads(output) == local

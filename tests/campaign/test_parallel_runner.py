@@ -1,0 +1,210 @@
+"""Parallel wavefront executor: scheduling, journaling, kill-resume."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignContext,
+    CampaignStep,
+    DatasetCache,
+)
+from repro.campaign.manifest import (
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_RUNNING,
+)
+from repro.config import SimulationConfig
+
+
+# Worker bodies must be module-level so the process pool can pickle
+# them by reference.
+def _double_task(value: int) -> str:
+    """Trivial picklable worker payload."""
+    return json.dumps({"value": value * 2})
+
+
+def _flaky_task(flag_path: str) -> str:
+    """Fails until the flag file exists (simulates a mid-run crash)."""
+    if not os.path.exists(flag_path):
+        raise RuntimeError("simulated worker crash")
+    return "recovered"
+
+
+def _context(tmp_path) -> CampaignContext:
+    return CampaignContext(
+        SimulationConfig.tiny(),
+        DatasetCache(tmp_path / "cache"),
+        tmp_path / "campaign",
+    )
+
+
+def _fan_campaign(tmp_path, values=(1, 2, 3, 4)) -> Campaign:
+    """N independent worker steps + an inline aggregation step."""
+    steps = [
+        CampaignStep(
+            step_id=f"double@{v}",
+            description=f"double {v}",
+            run=lambda ctx, v=v: _double_task(v),
+            worker=lambda ctx, v=v: (_double_task, {"value": v}),
+        )
+        for v in values
+    ]
+
+    def _run_total(ctx: CampaignContext) -> str:
+        total = sum(
+            json.loads(ctx.read_output(f"double@{v}"))["value"]
+            for v in values
+        )
+        return json.dumps({"total": total})
+
+    steps.append(
+        CampaignStep(
+            step_id="total",
+            description="sum the doubles",
+            run=_run_total,
+            depends_on=tuple(f"double@{v}" for v in values),
+        )
+    )
+    return Campaign("fan", steps, tmp_path / "campaign")
+
+
+class TestWavefront:
+    def test_worker_steps_fan_out_and_inline_report_follows(
+        self, tmp_path
+    ):
+        campaign = _fan_campaign(tmp_path)
+        context = _context(tmp_path)
+        result = campaign.run(context, jobs=4)
+        assert len(result.executed) == 5
+        assert json.loads(context.read_output("total")) == {"total": 20}
+        for step in campaign.steps:
+            assert campaign.manifest.status(step.step_id) == STATUS_DONE
+
+    def test_parallel_outputs_match_serial(self, tmp_path):
+        serial_ctx = _context(tmp_path / "serial")
+        _fan_campaign(tmp_path / "serial").run(serial_ctx, jobs=1)
+        parallel_ctx = _context(tmp_path / "parallel")
+        _fan_campaign(tmp_path / "parallel").run(parallel_ctx, jobs=3)
+        for v in (1, 2, 3, 4):
+            assert serial_ctx.read_output(
+                f"double@{v}"
+            ) == parallel_ctx.read_output(f"double@{v}")
+        assert serial_ctx.read_output("total") == parallel_ctx.read_output(
+            "total"
+        )
+
+    def test_inline_only_dag_runs_under_jobs(self, tmp_path):
+        """Steps without workers fall back to inline wavefront order."""
+        trace: list[str] = []
+        steps = [
+            CampaignStep(
+                step_id="a",
+                description="a",
+                run=lambda ctx: trace.append("a") or "a",
+            ),
+            CampaignStep(
+                step_id="b",
+                description="b",
+                run=lambda ctx: trace.append("b") or "b",
+                depends_on=("a",),
+            ),
+        ]
+        campaign = Campaign("inline", steps, tmp_path / "campaign")
+        result = campaign.run(_context(tmp_path), jobs=4)
+        assert trace == ["a", "b"]
+        assert result.executed == ["a", "b"]
+
+    def test_resume_skips_completed_steps(self, tmp_path):
+        context = _context(tmp_path)
+        _fan_campaign(tmp_path).run(context, jobs=4)
+        rerun = _fan_campaign(tmp_path).run(context, jobs=4)
+        assert rerun.executed == []
+        assert len(rerun.skipped) == 5
+
+
+class TestFailure:
+    def _flaky_campaign(self, tmp_path, flag) -> Campaign:
+        steps = [
+            CampaignStep(
+                step_id="ok",
+                description="healthy worker",
+                run=lambda ctx: _double_task(5),
+                worker=lambda ctx: (_double_task, {"value": 5}),
+            ),
+            CampaignStep(
+                step_id="flaky",
+                description="crashing worker",
+                run=lambda ctx: _flaky_task(str(flag)),
+                worker=lambda ctx: (_flaky_task, {"flag_path": str(flag)}),
+            ),
+            CampaignStep(
+                step_id="after",
+                description="depends on the crash",
+                run=lambda ctx: "after",
+                depends_on=("flaky",),
+            ),
+        ]
+        return Campaign("flaky", steps, tmp_path / "campaign")
+
+    def test_worker_failure_journals_failed_and_resumes(self, tmp_path):
+        flag = tmp_path / "fixed.flag"
+        context = _context(tmp_path)
+        campaign = self._flaky_campaign(tmp_path, flag)
+        with pytest.raises(RuntimeError, match="simulated worker crash"):
+            campaign.run(context, jobs=2)
+        assert campaign.manifest.status("flaky") == STATUS_FAILED
+        assert "simulated worker crash" in campaign.manifest.steps[
+            "flaky"
+        ]["detail"]
+        # The dependent step never started.
+        assert not context.output_path("after").exists()
+
+        # "Fix the bug" and resume: only unfinished steps re-execute.
+        flag.write_text("fixed")
+        resumed = self._flaky_campaign(tmp_path, flag)
+        result = resumed.run(context, jobs=2)
+        assert "flaky" in result.executed
+        assert "after" in result.executed
+        assert "ok" in result.skipped or "ok" in result.executed
+        assert context.read_output("flaky") == "recovered"
+
+    def test_worker_factory_failure_is_journaled(self, tmp_path):
+        """A crash in the scheduler-side job factory marks 'failed'."""
+
+        def _bad_factory(ctx):
+            raise RuntimeError("factory blew up")
+
+        steps = [
+            CampaignStep(
+                step_id="bad",
+                description="factory crash",
+                run=lambda ctx: "never",
+                worker=_bad_factory,
+            )
+        ]
+        campaign = Campaign("factory", steps, tmp_path / "campaign")
+        with pytest.raises(RuntimeError, match="factory blew up"):
+            campaign.run(_context(tmp_path), jobs=2)
+        assert campaign.manifest.status("bad") == STATUS_FAILED
+        assert "factory blew up" in campaign.manifest.steps["bad"][
+            "detail"
+        ]
+
+    def test_kill_leaves_running_steps_reexecutable(self, tmp_path):
+        """A step marked running (killed mid-flight) re-runs on resume."""
+        context = _context(tmp_path)
+        campaign = _fan_campaign(tmp_path)
+        campaign.run(context, jobs=2)
+        # Simulate a kill that left one step 'running' with its output
+        # missing: the resume path must re-execute exactly that step.
+        campaign.manifest.mark("double@3", STATUS_RUNNING)
+        context.output_path("double@3").unlink()
+        resumed = _fan_campaign(tmp_path)
+        result = resumed.run(context, jobs=2)
+        assert result.executed == ["double@3"]
+        assert json.loads(context.read_output("double@3")) == {"value": 6}

@@ -1,0 +1,81 @@
+"""ResultsStore: coordinate-keyed records and deterministic aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import ResultsStore, coords_key
+from repro.errors import ConfigurationError
+
+
+def test_coords_key_preserves_declared_order():
+    assert (
+        coords_key((("snr_db", "6"), ("seed", "0"))) == "snr_db=6,seed=0"
+    )
+    assert coords_key({"a": 1, "b": 2}) == "a=1,b=2"
+
+
+def test_coords_key_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        coords_key(())
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = ResultsStore(tmp_path / "results")
+    coords = (("snr_db", "6"), ("seed", "0"))
+    record = {"per": {"Ground Truth": 0.0}, "scenario": "x"}
+    store.put(coords, record)
+    assert store.get(coords) == record
+
+
+def test_get_missing_record_raises(tmp_path):
+    store = ResultsStore(tmp_path)
+    with pytest.raises(ConfigurationError, match="no grid record"):
+        store.get((("seed", "0"),))
+
+
+def test_records_sorted_by_coordinate_key(tmp_path):
+    store = ResultsStore(tmp_path)
+    # Write out of order; read back sorted.
+    store.put((("seed", "1"),), {"v": 1})
+    store.put((("seed", "0"),), {"v": 0})
+    assert [key for key, _ in store.records()] == ["seed=0", "seed=1"]
+
+
+def test_aggregate_bytes_independent_of_write_order(tmp_path):
+    a = ResultsStore(tmp_path / "a")
+    b = ResultsStore(tmp_path / "b")
+    records = [
+        ((("seed", str(i)),), {"per": {"GT": i / 7}}) for i in range(5)
+    ]
+    for coords, record in records:
+        a.put(coords, record)
+    for coords, record in reversed(records):
+        b.put(coords, record)
+    assert (
+        a.write_aggregate().read_bytes()
+        == b.write_aggregate().read_bytes()
+    )
+
+
+def test_aggregate_file_not_listed_as_record(tmp_path):
+    store = ResultsStore(tmp_path)
+    store.put((("seed", "0"),), {"v": 0})
+    store.write_aggregate()
+    assert len(store.records()) == 1
+
+
+def test_stale_temp_files_ignored(tmp_path):
+    """A crashed worker's in-flight temp file never pollutes records."""
+    store = ResultsStore(tmp_path)
+    store.put((("seed", "0"),), {"v": 0})
+    (tmp_path / ".tmp_999_seed=1.json").write_text("{torn")
+    assert [key for key, _ in store.records()] == ["seed=0"]
+
+
+def test_unsafe_coordinate_characters_sanitized(tmp_path):
+    store = ResultsStore(tmp_path)
+    path = store.record_path((("trajectory", "random-waypoint"),))
+    assert path.parent == store.directory
+    store.put((("trajectory", "random-waypoint"),), {"v": 1})
+    assert store.get((("trajectory", "random-waypoint"),)) == {"v": 1}

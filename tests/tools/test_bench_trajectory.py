@@ -1,0 +1,125 @@
+"""Merged benchmark trajectories: merge semantics, migration, locking."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from tools.bench_trajectory import (
+    FORMAT_VERSION,
+    append_entry,
+    load_history,
+    merge_entry,
+)
+
+
+class TestMergeEntry:
+    def test_appends_under_bench_key(self):
+        history = merge_entry(
+            {"version": FORMAT_VERSION, "benches": {}},
+            "stream",
+            {"speedup": 2.0, "timestamp": 10.0},
+        )
+        assert [e["speedup"] for e in history["benches"]["stream"]] == [
+            2.0
+        ]
+        assert history["benches"]["stream"][0]["bench"] == "stream"
+
+    def test_orders_by_timestamp(self):
+        history = {"version": FORMAT_VERSION, "benches": {}}
+        for stamp in (30.0, 10.0, 20.0):
+            history = merge_entry(
+                history, "b", {"timestamp": stamp, "v": stamp}
+            )
+        assert [e["timestamp"] for e in history["benches"]["b"]] == [
+            10.0,
+            20.0,
+            30.0,
+        ]
+
+    def test_same_timestamp_replaces_instead_of_duplicating(self):
+        history = merge_entry(
+            {"version": FORMAT_VERSION, "benches": {}},
+            "b",
+            {"timestamp": 5.0, "v": "old"},
+        )
+        history = merge_entry(history, "b", {"timestamp": 5.0, "v": "new"})
+        assert len(history["benches"]["b"]) == 1
+        assert history["benches"]["b"][0]["v"] == "new"
+
+    def test_does_not_mutate_input(self):
+        original = {"version": FORMAT_VERSION, "benches": {"b": []}}
+        merge_entry(original, "b", {"timestamp": 1.0})
+        assert original["benches"]["b"] == []
+
+    def test_missing_timestamp_is_stamped(self):
+        history = merge_entry(
+            {"version": FORMAT_VERSION, "benches": {}}, "b", {"v": 1}
+        )
+        assert history["benches"]["b"][0]["timestamp"] > 0
+
+    def test_benches_are_independent(self):
+        history = merge_entry(
+            {"version": FORMAT_VERSION, "benches": {}},
+            "a",
+            {"timestamp": 1.0},
+        )
+        history = merge_entry(history, "b", {"timestamp": 1.0})
+        assert set(history["benches"]) == {"a", "b"}
+
+
+class TestLoadHistory:
+    def test_missing_file_is_empty(self, tmp_path):
+        history = load_history(tmp_path / "nope.json")
+        assert history == {"version": FORMAT_VERSION, "benches": {}}
+
+    def test_corrupt_file_is_empty(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert load_history(path)["benches"] == {}
+
+    def test_legacy_list_migrates_under_bench_keys(self, tmp_path):
+        """The pre-merge BENCH_stream.json layout imports cleanly."""
+        path = tmp_path / "BENCH_stream.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"bench": "stream_throughput", "timestamp": 2.0},
+                    {"bench": "stream_throughput", "timestamp": 1.0},
+                    {"timestamp": 3.0},
+                ]
+            )
+        )
+        history = load_history(path)
+        assert [
+            e["timestamp"]
+            for e in history["benches"]["stream_throughput"]
+        ] == [1.0, 2.0]
+        assert history["benches"]["unknown"][0]["timestamp"] == 3.0
+
+
+class TestAppendEntry:
+    def test_roundtrip_accumulates(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        append_entry("b", {"timestamp": 1.0, "v": 1}, path)
+        append_entry("b", {"timestamp": 2.0, "v": 2}, path)
+        history = load_history(path)
+        assert [e["v"] for e in history["benches"]["b"]] == [1, 2]
+
+    def test_concurrent_appends_all_survive(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        threads = [
+            threading.Thread(
+                target=append_entry,
+                args=("b", {"timestamp": float(i)}, path),
+            )
+            for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stamps = [
+            e["timestamp"] for e in load_history(path)["benches"]["b"]
+        ]
+        assert stamps == [float(i) for i in range(8)]

@@ -1,0 +1,6 @@
+"""Repo tooling package (docstring gate, benchmark trajectories).
+
+Making ``tools`` importable lets the benchmark harness and its unit
+tests share :mod:`tools.bench_trajectory` with the CI scripts that run
+the modules directly.
+"""

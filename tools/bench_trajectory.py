@@ -1,0 +1,202 @@
+"""Merged per-bench benchmark trajectories.
+
+Every benchmark used to manage its own output file ad hoc (and most
+simply overwrote it), so performance history was lost between runs.
+This module gives all benches one append-only store:
+``BENCH_trajectory.json`` maps each bench name to its list of
+measurement entries, merged on every append and ordered by the entry's
+``timestamp`` field — so a nightly CI run accumulates a comparable
+performance trajectory instead of a single latest sample.
+
+The store is deliberately dependency-free (stdlib only — it must run
+inside CI steps that install nothing) and robust against the formats it
+replaces: a legacy top-level list (the old ``BENCH_stream.json``) is
+migrated under its entries' ``bench`` keys, a corrupt file is treated
+as empty, and concurrent appenders serialize through an ``O_EXCL``
+lock file.
+
+Usage from a benchmark::
+
+    from tools.bench_trajectory import append_entry
+    append_entry("stream_throughput", {..., "timestamp": time.time()})
+
+``python tools/bench_trajectory.py [path]`` prints a short summary of
+the stored trajectories.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+#: Environment variable overriding the default trajectory path.
+BENCH_JSON_ENV = "REPRO_BENCH_JSON"
+
+#: Current on-disk schema version.
+FORMAT_VERSION = 1
+
+#: Seconds after which a dead appender's lock file is reclaimed.
+_STALE_LOCK_SECONDS = 30.0
+
+
+def default_path() -> Path:
+    """Trajectory path: ``$REPRO_BENCH_JSON`` or ``BENCH_trajectory.json``."""
+    return Path(os.environ.get(BENCH_JSON_ENV, "BENCH_trajectory.json"))
+
+
+def _empty_history() -> dict:
+    """A fresh, entry-less history document."""
+    return {"version": FORMAT_VERSION, "benches": {}}
+
+
+def load_history(path: str | Path) -> dict:
+    """Read a trajectory file, tolerating every format it replaces.
+
+    Returns the current ``{"version": 1, "benches": {...}}`` document.
+    A missing or corrupt file yields an empty history; a legacy
+    top-level list (the pre-merge ``BENCH_stream.json`` layout) is
+    migrated by filing each entry under its ``bench`` key
+    (``"unknown"`` when absent).
+    """
+    path = Path(path)
+    if not path.exists():
+        return _empty_history()
+    try:
+        data = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return _empty_history()
+    if isinstance(data, list):
+        history = _empty_history()
+        for entry in data:
+            if not isinstance(entry, dict):
+                continue
+            bench = str(entry.get("bench", "unknown"))
+            history["benches"].setdefault(bench, []).append(entry)
+        _sort_entries(history)
+        return history
+    if not isinstance(data, dict):
+        return _empty_history()
+    if "benches" not in data or not isinstance(data["benches"], dict):
+        return _empty_history()
+    history = {
+        "version": FORMAT_VERSION,
+        "benches": {
+            str(name): [e for e in entries if isinstance(e, dict)]
+            for name, entries in data["benches"].items()
+            if isinstance(entries, list)
+        },
+    }
+    _sort_entries(history)
+    return history
+
+
+def _sort_entries(history: dict) -> None:
+    """Order every bench's entries by timestamp (stable for ties)."""
+    for entries in history["benches"].values():
+        entries.sort(key=lambda entry: float(entry.get("timestamp", 0.0)))
+
+
+def merge_entry(history: dict, bench: str, entry: dict) -> dict:
+    """Merge one measurement into a history document (pure function).
+
+    The entry lands in ``history["benches"][bench]`` keyed by its
+    ``timestamp`` (one is stamped if missing): an entry whose timestamp
+    already exists for that bench *replaces* the stored one (re-running
+    a bench in the same instant is a correction, not a new sample),
+    anything else appends, and the bench's list comes back
+    timestamp-sorted.  The input document is not mutated.
+    """
+    merged = {
+        "version": FORMAT_VERSION,
+        "benches": {
+            name: list(entries)
+            for name, entries in history.get("benches", {}).items()
+        },
+    }
+    entry = dict(entry)
+    entry.setdefault("timestamp", time.time())
+    entry["bench"] = bench
+    entries = merged["benches"].setdefault(bench, [])
+    stamp = float(entry["timestamp"])
+    for index, existing in enumerate(entries):
+        if float(existing.get("timestamp", 0.0)) == stamp:
+            entries[index] = entry
+            break
+    else:
+        entries.append(entry)
+    _sort_entries(merged)
+    return merged
+
+
+def append_entry(
+    bench: str, entry: dict, path: str | Path | None = None
+) -> Path:
+    """Load-merge-write one measurement (locked, atomic); returns the path.
+
+    Concurrent appenders (sharded CI jobs finishing together) serialize
+    through a sidecar ``O_EXCL`` lock file; the write itself goes
+    through a unique temp file + ``os.replace`` so readers never see a
+    torn document.
+    """
+    path = Path(path) if path is not None else default_path()
+    lock = path.with_name(path.name + ".lock")
+    deadline = time.monotonic() + 30.0
+    fd = None
+    while fd is None:
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            # Reclaim an abandoned lock by atomically *renaming* it
+            # first (one winner; losers retry) so a waiter can never
+            # unlink a fresh lock another process just created.
+            try:
+                if time.time() - lock.stat().st_mtime > _STALE_LOCK_SECONDS:
+                    claimed = lock.with_name(
+                        f"{lock.name}.stale.{os.getpid()}"
+                    )
+                    os.rename(lock, claimed)
+                    os.unlink(claimed)
+            except OSError:
+                pass
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"could not acquire bench-trajectory lock {lock}"
+                )
+            time.sleep(0.01)
+    try:
+        history = merge_entry(load_history(path), bench, entry)
+        tmp = path.with_name(f".tmp_{os.getpid()}_{path.name}")
+        tmp.write_text(json.dumps(history, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+    finally:
+        os.close(fd)
+        lock.unlink(missing_ok=True)
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Print a per-bench summary of a trajectory file."""
+    argv = sys.argv[1:] if argv is None else argv
+    path = Path(argv[0]) if argv else default_path()
+    history = load_history(path)
+    benches = history["benches"]
+    if not benches:
+        print(f"{path}: no benchmark trajectories")
+        return 0
+    print(f"{path}: {len(benches)} bench trajectory(ies)")
+    for name in sorted(benches):
+        entries = benches[name]
+        latest = entries[-1]
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M:%S",
+            time.localtime(float(latest.get("timestamp", 0.0))),
+        )
+        print(f"  {name}: {len(entries)} entry(ies), latest {stamp}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

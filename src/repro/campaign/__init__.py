@@ -46,8 +46,8 @@ from .grid import (
     register_grid,
     run_grid_point_task,
 )
-from .locking import FileLock
-from .manifest import CampaignManifest
+from .locking import FileLock, sweep_stale_tmp
+from .manifest import STATUS_QUARANTINED, CampaignManifest
 from .results import ResultsStore, coords_key
 from .models import (
     ModelCheckpointRegistry,
@@ -62,6 +62,7 @@ from .runner import (
     CampaignContext,
     CampaignResult,
     CampaignStep,
+    RetryPolicy,
     figure_steps,
     render_figure,
     stream_steps,
@@ -83,7 +84,9 @@ __all__ = [
     "config_fingerprint",
     "default_cache_dir",
     "CampaignManifest",
+    "STATUS_QUARANTINED",
     "FileLock",
+    "sweep_stale_tmp",
     "GridPoint",
     "GridPointTask",
     "GridSpec",
@@ -104,6 +107,7 @@ __all__ = [
     "CampaignContext",
     "CampaignResult",
     "CampaignStep",
+    "RetryPolicy",
     "figure_steps",
     "render_figure",
     "stream_steps",

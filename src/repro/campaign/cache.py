@@ -29,6 +29,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .. import faults
 from ..config import SimulationConfig
 from ..dataset.generator import (
     _generate_set_task,
@@ -37,8 +38,8 @@ from ..dataset.generator import (
 )
 from ..dataset.io import load_measurement_set, save_measurement_set
 from ..dataset.trace import MeasurementSet
-from ..errors import ConfigurationError
-from .locking import FileLock, atomic_write_text
+from ..errors import CacheCorruptionError, ConfigurationError
+from .locking import FileLock, atomic_write_text, sweep_stale_tmp
 
 #: Code-version salt mixed into every cache key.  Bump the trailing
 #: component whenever generator/trace semantics change so stale datasets
@@ -107,6 +108,9 @@ class CacheStats:
     misses: int = 0
     sets_loaded: int = 0
     sets_generated: int = 0
+    #: Sets whose content failed sha256 verification (or could not be
+    #: parsed) and were quarantined + regenerated.
+    sets_corrupt: int = 0
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -114,6 +118,7 @@ class CacheStats:
         self.misses = 0
         self.sets_loaded = 0
         self.sets_generated = 0
+        self.sets_corrupt = 0
 
     def summary(self) -> str:
         """One-line human-readable form used by the CLI."""
@@ -168,6 +173,78 @@ class DatasetCache:
     def _set_path(self, directory: Path, set_index: int) -> Path:
         return directory / f"set_{set_index:02d}.npz"
 
+    def _digest_path(self, directory: Path, set_index: int) -> Path:
+        return directory / f"set_{set_index:02d}.npz.sha256"
+
+    def _verify_set(self, directory: Path, set_index: int) -> str:
+        """Content-verify one cached set: ``ok``/``missing``/``corrupt``.
+
+        Compares the payload's sha256 against the digest sidecar
+        written at save time.  Legacy entries without a sidecar are
+        backfilled (hashed and recorded) so later corruption becomes
+        detectable; an unreadable payload counts as corrupt.
+        """
+        path = self._set_path(directory, set_index)
+        if not path.exists():
+            return "missing"
+        try:
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        except OSError:
+            return "corrupt"
+        sidecar = self._digest_path(directory, set_index)
+        if not sidecar.exists():
+            atomic_write_text(sidecar, digest + "\n")
+            return "ok"
+        try:
+            expected = sidecar.read_text().strip()
+        except OSError:
+            expected = ""
+        return "ok" if digest == expected else "corrupt"
+
+    def _quarantine_set(
+        self, directory: Path, set_index: int, reason: str
+    ) -> None:
+        """Move a corrupt set aside (``*.corrupt.<pid>``) and warn.
+
+        Corruption is never fatal: the caller treats the set as a miss
+        and regenerates it.  The quarantined bytes are kept next to
+        the entry for post-mortems instead of being deleted.
+        """
+        path = self._set_path(directory, set_index)
+        quarantined = path.with_name(
+            f"{path.name}.corrupt.{os.getpid()}"
+        )
+        try:
+            os.replace(path, quarantined)
+        except OSError:  # pragma: no cover - racing quarantine
+            pass
+        self._digest_path(directory, set_index).unlink(missing_ok=True)
+        self.stats.sets_corrupt += 1
+        print(
+            f"warning: cache corruption detected in "
+            f"{directory.name}/{path.name} — quarantined to "
+            f"{quarantined.name}, regenerating ({reason})"
+        )
+
+    def _load_set_checked(
+        self, directory: Path, set_index: int
+    ) -> MeasurementSet:
+        """Load one verified set; quarantine + raise if unparsable."""
+        try:
+            return load_measurement_set(
+                self._set_path(directory, set_index)
+            )
+        except Exception as exc:
+            self._quarantine_set(
+                directory,
+                set_index,
+                f"unreadable npz: {type(exc).__name__}: {exc}",
+            )
+            raise CacheCorruptionError(
+                f"cached set {set_index} of {directory.name} could "
+                "not be parsed"
+            ) from exc
+
     def has(
         self, config: SimulationConfig, engine: str = "batch"
     ) -> bool:
@@ -203,24 +280,46 @@ class DatasetCache:
         if force and directory.exists():
             shutil.rmtree(directory)
         num_sets = config.dataset.num_sets
-        missing = [
-            i
-            for i in range(num_sets)
-            if not self._set_path(directory, i).exists()
-        ]
-        if not missing:
-            self.stats.hits += 1
-            sets = [
-                load_measurement_set(self._set_path(directory, i))
-                for i in range(num_sets)
-            ]
-            self.stats.sets_loaded += num_sets
-            if verbose:
-                print(
-                    f"cache hit {self.key_for(config, engine=engine)}: "
-                    f"loaded {num_sets} set(s) from {directory}"
+        key = self.key_for(config, engine=engine)
+        if faults.active_plan() is not None:
+            faults.inject("cache.load", key)
+            for i in range(num_sets):
+                path = self._set_path(directory, i)
+                if path.exists() and faults.corrupt_file(
+                    "cache.load", key, path
+                ):
+                    break
+        sweep_stale_tmp(directory)
+        missing = []
+        for i in range(num_sets):
+            state = self._verify_set(directory, i)
+            if state == "corrupt":
+                self._quarantine_set(
+                    directory, i, "sha256 digest mismatch"
                 )
-            return sets
+            if state != "ok":
+                missing.append(i)
+        if not missing:
+            try:
+                sets = [
+                    self._load_set_checked(directory, i)
+                    for i in range(num_sets)
+                ]
+            except CacheCorruptionError:
+                missing = [
+                    i
+                    for i in range(num_sets)
+                    if not self._set_path(directory, i).exists()
+                ]
+            else:
+                self.stats.hits += 1
+                self.stats.sets_loaded += num_sets
+                if verbose:
+                    print(
+                        f"cache hit {key}: "
+                        f"loaded {num_sets} set(s) from {directory}"
+                    )
+                return sets
 
         self.stats.misses += 1
         if verbose:
@@ -256,11 +355,24 @@ class DatasetCache:
             if set_index in generated:
                 sets.append(generated[set_index])
             else:
-                sets.append(
-                    load_measurement_set(
-                        self._set_path(directory, set_index)
+                try:
+                    sets.append(
+                        self._load_set_checked(directory, set_index)
                     )
-                )
+                except CacheCorruptionError:
+                    # Torn under our feet between verification and
+                    # load (racing writer): regenerate just this set.
+                    regenerated = generate_measurement_set(
+                        build_components(config),
+                        set_index,
+                        engine=engine,
+                    )
+                    self._atomic_save(
+                        directory, set_index, regenerated
+                    )
+                    self.stats.sets_generated += 1
+                    sets.append(regenerated)
+                    continue
                 self.stats.sets_loaded += 1
         return sets
 
@@ -272,11 +384,16 @@ class DatasetCache:
     ) -> None:
         """Write one set via a unique temp file so kills never leave
         torn npz and concurrent writers of the same entry never clobber
-        each other's in-flight temp file."""
+        each other's in-flight temp file.  A sha256 digest sidecar is
+        published alongside so later loads can verify content."""
         final = self._set_path(directory, set_index)
         tmp = directory / f".tmp_set_{set_index:02d}.{os.getpid()}.npz"
         save_measurement_set(measurement_set, tmp)
+        digest = hashlib.sha256(tmp.read_bytes()).hexdigest()
         os.replace(tmp, final)
+        atomic_write_text(
+            self._digest_path(directory, set_index), digest + "\n"
+        )
 
     def _write_meta(
         self, directory: Path, config: SimulationConfig, engine: str

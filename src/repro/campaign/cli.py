@@ -34,6 +34,15 @@ or ``~/.cache/repro-vvd/datasets``); model-training commands accept
 ``~/.cache/repro-vvd/models``); dataset generation fans out over
 ``--workers`` processes (default: ``$REPRO_BENCH_WORKERS``); DAG-level
 parallelism is ``--jobs`` (``repro grid``, ``repro stream``).
+
+The campaign commands (``sweep``/``train``/``stream``/``grid``)
+self-heal by default: transient step failures retry with deterministic
+backoff (``--retries``), a worker attempt exceeding ``--step-timeout``
+is killed and requeued, and a step that still fails is *quarantined* —
+independent DAG branches finish and the report names the missing
+points (``--no-quarantine`` restores abort-on-first-failure).
+``--faults <plan>`` arms a seeded fault-injection plan (chaos testing);
+runs that quarantined anything exit 3.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ import os
 import sys
 from pathlib import Path
 
+from .. import faults
 from ..errors import ReproError
 from ..experiments.suite import SUITE_BUILDERS
 from ..stream.policy import POLICY_BUILDERS, build_policy
@@ -56,6 +66,7 @@ from .runner import (
     FIGURE_NAMES,
     Campaign,
     CampaignContext,
+    RetryPolicy,
     figure_steps,
     stream_steps,
     sweep_steps,
@@ -101,6 +112,83 @@ def _add_model_dir_option(parser: argparse.ArgumentParser) -> None:
         help="model checkpoint registry root (default: $REPRO_MODEL_DIR "
         "or ~/.cache/repro-vvd/models)",
     )
+
+
+def _add_robustness_options(parser: argparse.ArgumentParser) -> None:
+    """Self-healing / chaos options shared by the campaign commands."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="max attempts per step for transient failures "
+        "(1 = no retry; backoff is deterministic per step)",
+    )
+    parser.add_argument(
+        "--step-timeout",
+        type=float,
+        default=None,
+        help="per-attempt wall-time budget of worker steps in seconds; "
+        "a hung worker is killed and the step requeued",
+    )
+    parser.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        help="abort on the first permanently failed step instead of "
+        "quarantining it and finishing independent DAG branches",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help="arm a fault-injection plan for chaos testing: a built-in "
+        f"name ({', '.join(sorted(faults.BUILTIN_PLANS))}) or the path "
+        "of a plan JSON file (also: $REPRO_FAULT_PLAN)",
+    )
+
+
+def _retry_policy(args: argparse.Namespace) -> RetryPolicy:
+    """Build the run's :class:`RetryPolicy` from the CLI options."""
+    return RetryPolicy(
+        max_attempts=args.retries, timeout_s=args.step_timeout
+    )
+
+
+def _arm_faults(
+    args: argparse.Namespace, directory: Path
+) -> "faults.FaultPlan | None":
+    """Resolve and activate ``--faults`` under the campaign directory.
+
+    The plan file and the cross-process firing ledger live under
+    ``<campaign dir>/faults/``, so one armed plan injects each fault a
+    bounded number of times across every worker and retry of the run —
+    and a replay over the same directory sees the spent slots.
+    """
+    if args.faults is None:
+        return None
+    plan = faults.resolve_plan(
+        args.faults, state_dir=directory / "faults" / "state"
+    )
+    faults.activate(plan, directory / "faults" / "plan.json")
+    print(f"fault plan {plan.name!r} armed: {plan.summary()}")
+    return plan
+
+
+def _self_healing_summary(result, plan) -> None:
+    """Print the retry/quarantine sentinels of one campaign run.
+
+    Printed whenever something actually self-healed — or whenever a
+    fault plan is armed, so chaos CI can grep the sentinels
+    unconditionally (a clean chaos run prints ``... 0 step(s)
+    quarantined``).
+    """
+    if plan is None and not result.retried and not result.quarantined:
+        return
+    line = (
+        f"self-healing: {result.retried} step attempt(s) retried, "
+        f"{len(result.quarantined)} step(s) quarantined"
+    )
+    if result.quarantined:
+        line += ": " + ", ".join(result.quarantined)
+    print(line)
 
 
 def _campaign_dir(
@@ -218,17 +306,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         verbose=args.verbose,
     )
-    result = campaign.run(context, resume=not args.fresh)
+    plan = _arm_faults(args, directory)
+    try:
+        result = campaign.run(
+            context,
+            resume=not args.fresh,
+            retry=_retry_policy(args),
+            quarantine=not args.no_quarantine,
+        )
+    finally:
+        if plan is not None:
+            faults.deactivate()
     print(context.read_output("report"))
     print(
         f"\nsteps: {len(result.executed)} executed, "
         f"{len(result.skipped)} resumed from manifest "
         f"({directory / 'manifest.json'})"
     )
+    _self_healing_summary(result, plan)
     print(f"cache: {cache.stats.summary()}")
     if cache.stats.sets_generated == 0:
         print("no measurement sets regenerated (100% cache hits)")
-    return 0
+    return 3 if result.quarantined else 0
 
 
 def _invalidate_stale_train_steps(
@@ -313,18 +412,29 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 f"{reopened} completed step(s) lost their checkpoint; "
                 "re-resolving"
             )
-    result = campaign.run(context, resume=not args.fresh)
+    plan = _arm_faults(args, directory)
+    try:
+        result = campaign.run(
+            context,
+            resume=not args.fresh,
+            retry=_retry_policy(args),
+            quarantine=not args.no_quarantine,
+        )
+    finally:
+        if plan is not None:
+            faults.deactivate()
     print(context.read_output("report"))
     print(
         f"\nsteps: {len(result.executed)} executed, "
         f"{len(result.skipped)} resumed from manifest "
         f"({directory / 'manifest.json'})"
     )
+    _self_healing_summary(result, plan)
     print(f"cache: {cache.stats.summary()}")
     print(f"models: {registry.stats.summary()}")
     if registry.stats.models_trained == 0:
         print("no models retrained (100% checkpoint hits)")
-    return 0
+    return 3 if result.quarantined else 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -403,6 +513,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         "horizon": args.horizon,
         "seed": args.seed,
         "defer_threshold": args.defer_threshold,
+        "round_deadline_s": args.round_deadline,
         "model_salt": MODEL_CACHE_SALT if needs_service else None,
     }
     directory = _campaign_dir(cache, "stream", scenario.name, options)
@@ -417,6 +528,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             horizon=args.horizon,
             seed=args.seed,
             defer_threshold=args.defer_threshold,
+            round_deadline_s=args.round_deadline,
         ),
         directory,
     )
@@ -438,9 +550,18 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                 f"{reopened} completed step(s) lost their checkpoint; "
                 "re-resolving"
             )
-    result = campaign.run(
-        context, resume=not args.fresh, jobs=args.jobs
-    )
+    plan = _arm_faults(args, directory)
+    try:
+        result = campaign.run(
+            context,
+            resume=not args.fresh,
+            jobs=args.jobs,
+            retry=_retry_policy(args),
+            quarantine=not args.no_quarantine,
+        )
+    finally:
+        if plan is not None:
+            faults.deactivate()
     print(context.read_output("report"))
     service = context.shared.get(
         f"stream-service:{args.horizon}:{args.seed}"
@@ -455,6 +576,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         f"{len(result.skipped)} resumed from manifest "
         f"({directory / 'manifest.json'})"
     )
+    _self_healing_summary(result, plan)
     print(f"cache: {cache.stats.summary()}")
     if needs_service:
         print(f"models: {registry.stats.summary()}")
@@ -476,7 +598,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         and not workers_simulated
     ):
         print("no models retrained (100% checkpoint hits)")
-    return 0
+    return 3 if result.quarantined else 0
 
 
 def _invalidate_stale_grid_steps(
@@ -571,9 +693,18 @@ def _cmd_grid(args: argparse.Namespace) -> int:
                 f"{reopened} completed point(s) lost their checkpoint; "
                 "re-resolving"
             )
-    result = campaign.run(
-        context, resume=not args.fresh, jobs=args.jobs
-    )
+    plan = _arm_faults(args, directory)
+    try:
+        result = campaign.run(
+            context,
+            resume=not args.fresh,
+            jobs=args.jobs,
+            retry=_retry_policy(args),
+            quarantine=not args.no_quarantine,
+        )
+    finally:
+        if plan is not None:
+            faults.deactivate()
     print(context.read_output("report"))
     sets_generated = 0
     models_trained = 0
@@ -590,6 +721,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         f"{len(result.skipped)} resumed from manifest "
         f"({directory / 'manifest.json'})"
     )
+    _self_healing_summary(result, plan)
     print(
         f"grid: {len(points)} derived scenario(s) over {args.jobs} "
         f"job(s); aggregate at {directory / 'results' / 'results.json'}"
@@ -602,7 +734,7 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         print("no measurement sets regenerated (100% cache hits)")
     if needs_models and models_trained == 0:
         print("no models retrained (100% checkpoint hits)")
-    return 0
+    return 3 if result.quarantined else 0
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -707,6 +839,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore the campaign manifest and re-run every step",
     )
+    _add_robustness_options(p_sweep)
     _add_common_options(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -743,6 +876,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore the campaign manifest and re-run every step",
     )
+    _add_robustness_options(p_train)
     _add_model_dir_option(p_train)
     _add_common_options(p_train)
     p_train.set_defaults(func=_cmd_train)
@@ -842,6 +976,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the policy's 0.9; 1.0 disables deferral)",
     )
     p_stream.add_argument(
+        "--round-deadline",
+        type=float,
+        default=None,
+        help="wall-time budget in seconds of one micro-batched "
+        "prediction round; an overrunning or failing round degrades "
+        "to the reactive fallback for that slot instead of aborting",
+    )
+    p_stream.add_argument(
         "--fresh",
         action="store_true",
         help="ignore the campaign manifest and re-run every step",
@@ -853,6 +995,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes running independent per-policy "
         "simulations concurrently (1 = serial)",
     )
+    _add_robustness_options(p_stream)
     _add_model_dir_option(p_stream)
     _add_common_options(p_stream)
     p_stream.set_defaults(func=_cmd_stream)
@@ -905,6 +1048,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore the campaign manifest and re-run every step",
     )
+    _add_robustness_options(p_grid)
     _add_model_dir_option(p_grid)
     _add_common_options(p_grid)
     p_grid.set_defaults(func=_cmd_grid)

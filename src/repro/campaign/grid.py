@@ -478,8 +478,16 @@ def grid_steps(
     def _run_report(ctx: CampaignContext) -> str:
         store = ResultsStore(ctx.directory / "results")
         rows = []
+        missing: list[str] = []
         for point in points:
-            record = store.get(point.coords)
+            if f"point@{point.label}" in ctx.quarantined:
+                missing.append(point.label)
+                continue
+            try:
+                record = store.get(point.coords)
+            except ConfigurationError:
+                missing.append(point.label)
+                continue
             metrics = dict(
                 sorted(
                     (f"per:{name}", value)
@@ -489,13 +497,24 @@ def grid_steps(
             if "vvd" in record:
                 metrics["vvd_val_mse"] = record["vvd"]["best_val_loss"]
             rows.append((dict(point.coords), metrics))
+        if not rows:
+            raise ConfigurationError(
+                "grid report has no surviving points: every grid member "
+                "was quarantined or left no record"
+            )
         store.write_aggregate()
-        return format_grid_table(
-            f"Grid campaign {spec.name!r} — {len(points)} scenario(s), "
+        table = format_grid_table(
+            f"Grid campaign {spec.name!r} — {len(rows)} scenario(s), "
             f"suite {suite!r}",
             spec.axis_names,
             rows,
         )
+        if missing:
+            table += (
+                f"\n{len(missing)} point(s) quarantined: "
+                + ", ".join(missing)
+            )
+        return table
 
     steps.append(
         CampaignStep(
@@ -503,6 +522,7 @@ def grid_steps(
             description="aggregate results + cross-scenario summary",
             run=_run_report,
             depends_on=tuple(point_ids),
+            run_on_partial=True,
         )
     )
     return steps

@@ -14,8 +14,16 @@ file where available (POSIX — the lock dies with the process, so a
 killed campaign never wedges the next run), falling back to
 ``O_CREAT | O_EXCL`` lock files with stale-lock reclamation elsewhere.
 Acquisition polls with a bounded timeout and raises
-:class:`~repro.errors.ConfigurationError` on expiry rather than
-deadlocking a campaign.
+:class:`~repro.errors.LockTimeoutError` on expiry rather than
+deadlocking a campaign; the retry policy classifies that as transient
+(the holder finishes or dies), so contended steps requeue instead of
+failing a run.
+
+:func:`sweep_stale_tmp` is the companion janitor: a worker killed mid
+:func:`atomic_write_text` (or mid cache-set save) leaves a
+``.tmp_<pid>_*`` sibling behind; the sweep removes temp files whose
+writer pid is provably dead so resumed campaigns do not accumulate
+litter next to their indexes.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import os
 import time
 from pathlib import Path
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, LockTimeoutError
 
 try:  # pragma: no cover - availability depends on the platform
     import fcntl
@@ -93,7 +101,7 @@ class FileLock:
             if self._try_acquire():
                 return self
             if time.monotonic() >= deadline:
-                raise ConfigurationError(
+                raise LockTimeoutError(
                     f"could not acquire lock {self.path} within "
                     f"{self.timeout_s:.0f}s; is another campaign wedged?"
                 )
@@ -165,3 +173,59 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     tmp = path.with_name(f".tmp_{os.getpid()}_{path.name}")
     tmp.write_text(text)
     os.replace(tmp, path)
+
+
+def _tmp_writer_pid(name: str) -> int | None:
+    """Extract the writer pid embedded in a temp-file name, if any.
+
+    Recognizes both in-repo temp naming schemes:
+    ``.tmp_<pid>_<name>`` (:func:`atomic_write_text`) and
+    ``.tmp_set_<idx>.<pid>.npz`` (cache set saves).
+    """
+    if not name.startswith(".tmp_"):
+        return None
+    head = name[len(".tmp_"):].split("_", 1)[0]
+    if head.isdigit():
+        return int(head)
+    for part in reversed(name.split(".")):
+        if part.isdigit():
+            return int(part)
+    return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    except OSError:  # pragma: no cover - conservative default
+        return True
+    return True
+
+
+def sweep_stale_tmp(directory: str | Path) -> list[Path]:
+    """Remove ``.tmp_*`` litter whose writer process is dead.
+
+    A worker killed between creating its temp file and the atomic
+    ``os.replace`` leaves the temp file behind.  Because every temp
+    name embeds the writer's pid, staleness is decidable: the file is
+    removed only when that pid no longer exists, so in-flight writes of
+    live workers are never touched.  Returns the removed paths.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    removed: list[Path] = []
+    for path in sorted(directory.glob(".tmp_*")):
+        pid = _tmp_writer_pid(path.name)
+        if pid is None or _pid_alive(pid):
+            continue
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing sweeper
+            continue
+        removed.append(path)
+    return removed

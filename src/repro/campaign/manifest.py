@@ -29,12 +29,18 @@ STATUS_PENDING = "pending"
 STATUS_RUNNING = "running"
 STATUS_DONE = "done"
 STATUS_FAILED = "failed"
+#: Exhausted its retry budget (or failed permanently) under a
+#: quarantining run: the step and its dependents were fenced off while
+#: independent DAG branches completed.  Re-executed on the next run,
+#: exactly like ``failed``.
+STATUS_QUARANTINED = "quarantined"
 
 _VALID_STATUSES = (
     STATUS_PENDING,
     STATUS_RUNNING,
     STATUS_DONE,
     STATUS_FAILED,
+    STATUS_QUARANTINED,
 )
 
 _MANIFEST_VERSION = 1
@@ -102,6 +108,10 @@ class CampaignManifest:
                     data = {}
                 if data.get("version") == _MANIFEST_VERSION:
                     disk = dict(data.get("steps", {}))
+                    previous = disk.get(step_id, {})
+                    if "attempts" in previous:
+                        record = dict(record)
+                        record["attempts"] = previous["attempts"]
                     disk.update({step_id: record})
                     self.steps = disk
                 else:
@@ -109,6 +119,37 @@ class CampaignManifest:
             else:
                 self.steps[step_id] = record
             self.save()
+
+    def record_attempt(self, step_id: str, entry: dict) -> None:
+        """Append one retry-journal entry to a step's attempt history.
+
+        Entries are produced by the runner's retry loop (attempt
+        number, error, transient classification, chosen backoff,
+        action taken) and survive subsequent :meth:`mark` transitions,
+        so a finished manifest shows the full self-healing history of
+        every step.  Locked read-merge-write like :meth:`mark`.
+        """
+        with FileLock(lock_path_for(self.path)):
+            if self.path.exists():
+                try:
+                    data = json.loads(self.path.read_text())
+                except json.JSONDecodeError:
+                    data = {}
+                if data.get("version") == _MANIFEST_VERSION:
+                    self.steps = dict(data.get("steps", {}))
+            record = dict(self.steps.get(step_id, {}))
+            record.setdefault("status", STATUS_RUNNING)
+            record.setdefault("detail", "")
+            record["updated"] = time.time()
+            record["attempts"] = list(record.get("attempts", [])) + [
+                dict(entry)
+            ]
+            self.steps[step_id] = record
+            self.save()
+
+    def attempts(self, step_id: str) -> list[dict]:
+        """The recorded attempt history of a step (empty when clean)."""
+        return list(self.steps.get(step_id, {}).get("attempts", []))
 
     def counts(self) -> dict[str, int]:
         """Histogram of step statuses (only statuses that occur)."""

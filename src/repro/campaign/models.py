@@ -28,12 +28,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import shutil
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
+from .. import faults
 from ..config import SimulationConfig
 from ..core.checkpoint import (
     checkpoint_complete,
@@ -214,11 +216,38 @@ class ModelCheckpointRegistry:
         if force and directory.exists():
             shutil.rmtree(directory)
         if self.has_key(key):
-            self.stats.hits += 1
-            self.stats.models_loaded += 1
-            if verbose:
-                print(f"model cache hit {key}: loaded from {directory}")
-            return load_trained_vvd(directory, config.vvd)
+            if faults.active_plan() is not None:
+                faults.inject("models.load", key)
+                faults.corrupt_file(
+                    "models.load", key, directory / "weights.npz"
+                )
+            try:
+                trained = load_trained_vvd(directory, config.vvd)
+            except Exception as exc:
+                # A checkpoint that passes the completeness probe but
+                # cannot be loaded (torn write, bit rot, version skew)
+                # is self-healed: quarantine the directory and fall
+                # through to a retrain, never crash the campaign.
+                quarantined = directory.with_name(
+                    f"{directory.name}.corrupt.{os.getpid()}"
+                )
+                try:
+                    os.replace(directory, quarantined)
+                except OSError:  # pragma: no cover - racing loader
+                    pass
+                print(
+                    f"warning: model checkpoint {key} is corrupt — "
+                    f"quarantined to {quarantined.name}, retraining "
+                    f"({type(exc).__name__}: {exc})"
+                )
+            else:
+                self.stats.hits += 1
+                self.stats.models_loaded += 1
+                if verbose:
+                    print(
+                        f"model cache hit {key}: loaded from {directory}"
+                    )
+                return trained
 
         self.stats.misses += 1
         if verbose:

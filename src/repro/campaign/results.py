@@ -17,10 +17,12 @@ files, and the aggregate serializes them in sorted coordinate order.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
+from .. import faults
 from ..errors import ConfigurationError
-from .locking import atomic_write_text
+from .locking import atomic_write_text, sweep_stale_tmp
 
 #: Characters allowed verbatim in a record file stem; anything else is
 #: replaced so coordinate keys can never escape the store directory.
@@ -84,24 +86,70 @@ class ResultsStore:
         )
         return path
 
-    def get(self, coords) -> dict:
-        """The stored record of one coordinate (raises when absent)."""
-        path = self.record_path(coords)
-        if not path.exists():
-            raise ConfigurationError(
-                f"no grid record for {coords_key(coords)!r} at {path}"
+    def _quarantine_record(self, path: Path, reason: str) -> None:
+        """Move a corrupt record aside (``*.corrupt``) and warn.
+
+        The renamed file no longer matches the ``*.json`` glob, so
+        aggregation continues over the surviving records; the bytes
+        are kept for post-mortems.
+        """
+        quarantined = path.with_name(f"{path.name}.corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:  # pragma: no cover - racing quarantine
+            pass
+        print(
+            f"warning: corrupt grid record {path.name} — quarantined "
+            f"to {quarantined.name} ({reason})"
+        )
+
+    def _parse_record(self, path: Path) -> tuple[str, dict] | None:
+        """Parse one record file; quarantine and return None if corrupt."""
+        try:
+            data = json.loads(path.read_text())
+            return (data["coords"], data["record"])
+        except (
+            json.JSONDecodeError,
+            KeyError,
+            TypeError,
+            UnicodeDecodeError,
+        ) as exc:
+            self._quarantine_record(
+                path, f"{type(exc).__name__}: {exc}"
             )
-        return json.loads(path.read_text())["record"]
+            return None
+
+    def get(self, coords) -> dict:
+        """The stored record of one coordinate (raises when absent).
+
+        A record that exists but cannot be parsed (truncated or
+        corrupted write) is quarantined to ``*.corrupt`` and then
+        reported as absent, so one bad file degrades to a missing
+        point instead of crashing the whole aggregate.
+        """
+        faults.inject("results.record", coords_key(coords))
+        path = self.record_path(coords)
+        if path.exists():
+            parsed = self._parse_record(path)
+            if parsed is not None:
+                return parsed[1]
+        raise ConfigurationError(
+            f"no grid record for {coords_key(coords)!r} at {path}"
+        )
 
     def records(self) -> list[tuple[str, dict]]:
         """Every stored ``(coords_key, record)``, sorted by key.
 
         Sorting is by the canonical coordinate key string, so the order
         — and everything derived from it — is independent of write
-        order and hence of the executor's scheduling.
+        order and hence of the executor's scheduling.  Stale temp files
+        left by killed writers are swept; corrupt records are
+        quarantined (renamed ``*.corrupt``) with a warning and the
+        aggregate continues over the survivors.
         """
         if not self.directory.exists():
             return []
+        sweep_stale_tmp(self.directory)
         found = []
         for path in sorted(self.directory.glob("*.json")):
             # Skip the aggregate and any in-flight/stale temp files
@@ -110,8 +158,9 @@ class ResultsStore:
                 "."
             ):
                 continue
-            data = json.loads(path.read_text())
-            found.append((data["coords"], data["record"]))
+            parsed = self._parse_record(path)
+            if parsed is not None:
+                found.append(parsed)
         found.sort(key=lambda item: item[0])
         return found
 

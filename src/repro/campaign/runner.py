@@ -40,19 +40,25 @@ Two campaign shapes are provided:
 
 from __future__ import annotations
 
+import hashlib
 import json
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    ProcessPoolExecutor,
-    wait,
-)
+import multiprocessing
+import os
+import pickle
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from .. import faults
 from ..config import SimulationConfig
 from ..dataset.sets import rotating_set_combinations
-from ..errors import ConfigurationError
+from ..errors import (
+    ConfigurationError,
+    StepTimeoutError,
+    WorkerCrashError,
+    is_transient,
+)
 from ..experiments.bundle import EvaluationBundle, build_evaluation_bundle
 from ..experiments.reporting import format_series_table
 from ..experiments.snr_sweep import evaluate_snr_point, snr_point_config
@@ -60,6 +66,7 @@ from .cache import DatasetCache
 from .manifest import (
     STATUS_DONE,
     STATUS_FAILED,
+    STATUS_QUARANTINED,
     STATUS_RUNNING,
     CampaignManifest,
 )
@@ -111,6 +118,11 @@ class CampaignContext:
         #: campaigns pass one so repeat runs never retrain).
         self.checkpoints = checkpoints
         self.shared: dict = {}
+        #: Step ids fenced off by the current run (failed after
+        #: exhausting their retry budget, or dependent on such a step).
+        #: Populated by the executor; ``run_on_partial`` report steps
+        #: consult it to render partial results.
+        self.quarantined: set[str] = set()
 
     def output_path(self, step_id: str) -> Path:
         """File persisting one step's text payload."""
@@ -152,6 +164,12 @@ class CampaignStep:
     #: without one (reports, in-process-memoized bodies) run inline in
     #: the scheduler once their dependencies complete.
     worker: Callable[[CampaignContext], tuple] | None = None
+    #: Under a quarantining run, execute this step even when some of
+    #: its dependencies were quarantined (report steps render partial
+    #: results naming the missing points).  Steps with this flag that
+    #: completed partially are journaled ``done`` with a ``partial:``
+    #: detail and re-execute on the next run.
+    run_on_partial: bool = False
 
 
 @dataclass
@@ -160,11 +178,205 @@ class CampaignResult:
 
     executed: list[str] = field(default_factory=list)
     skipped: list[str] = field(default_factory=list)
+    #: Steps fenced off after exhausting their retry budget (plus their
+    #: non-partial dependents), in quarantine order.
+    quarantined: list[str] = field(default_factory=list)
+    #: Number of step attempts that were retried this run.
+    retried: int = 0
 
     @property
     def total(self) -> int:
         """Steps visited this run (executed + resumed)."""
         return len(self.executed) + len(self.skipped)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-step retry/timeout semantics of one campaign run.
+
+    Transient failures (see :func:`repro.errors.is_transient`) are
+    re-attempted up to ``max_attempts`` times with exponential backoff;
+    permanent failures never retry.  The backoff jitter is
+    deterministic — a sha256 hash of ``step_id:attempt`` — so two runs
+    of the same campaign retry on the same schedule, keeping chaos
+    runs reproducible.  ``timeout_s`` bounds each *worker* attempt's
+    wall time: the supervising scheduler kills a worker process that
+    exceeds it and requeues the step (inline steps cannot be killed
+    from within their own process and are not timed out).
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1 (got {self.max_attempts})"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff durations must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be > 0 (got {self.timeout_s})"
+            )
+
+    def backoff_s(self, step_id: str, attempt: int) -> float:
+        """Deterministically jittered backoff before attempt+1.
+
+        Exponential in the attempt number, scaled by a factor in
+        ``[0.5, 1.5)`` derived from ``sha256(step_id:attempt)`` — the
+        same step retries on the same schedule in every run, while
+        different steps desynchronize instead of thundering together.
+        """
+        base = min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+        digest = hashlib.sha256(
+            f"{step_id}:{attempt}".encode()
+        ).digest()
+        jitter = int.from_bytes(digest[:8], "big") / 2**64
+        return base * (0.5 + jitter)
+
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether a failed attempt gets another try."""
+        return attempt < self.max_attempts and is_transient(exc)
+
+
+#: Legacy semantics: one attempt, no timeout — used when
+#: :meth:`Campaign.run` is called without a retry policy.
+_SINGLE_ATTEMPT = RetryPolicy(max_attempts=1)
+
+
+def _supervised_entry(
+    fn: Callable, kwargs: dict, result_path: str, step_id: str
+) -> None:
+    """Body of a supervised worker process.
+
+    Runs the step's worker function and transports its outcome —
+    ``("ok", payload)`` or ``("error", exception)`` — back to the
+    scheduler through a pickled file published with an atomic rename,
+    so the parent either sees a complete outcome or none at all.  The
+    ``worker.body`` fault site fires here, in the child, which is what
+    makes injected crash faults kill a worker and never the scheduler.
+    """
+    try:
+        faults.inject("worker.body", step_id)
+        outcome: tuple = ("ok", fn(**kwargs))
+    except BaseException as exc:  # transported to the scheduler
+        outcome = ("error", exc)
+    tmp = f"{result_path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            pickle.dump(outcome, handle)
+    except Exception as exc:  # unpicklable payload or exception
+        with open(tmp, "wb") as handle:
+            pickle.dump(
+                (
+                    "error",
+                    WorkerCrashError(
+                        f"worker outcome for step {step_id!r} could "
+                        f"not be transported: {type(exc).__name__}: "
+                        f"{exc}"
+                    ),
+                ),
+                handle,
+            )
+    os.replace(tmp, result_path)
+
+
+def _mp_context():
+    """The multiprocessing context for supervised workers.
+
+    Fork keeps worker dispatch cheap and inherits the scheduler's
+    armed fault plan; platforms without fork fall back to the default
+    start method (workers then re-resolve ``REPRO_FAULT_PLAN`` from
+    the environment).
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+@dataclass
+class _WorkerJob:
+    """One in-flight supervised worker attempt."""
+
+    step: CampaignStep
+    attempt: int
+    process: object
+    result_path: Path
+    deadline: float | None
+
+    def outcome(self) -> tuple | None:
+        """Poll once: ``(status, value)`` when finished, else None.
+
+        ``status`` is ``ok`` (value = payload) or ``error`` (value =
+        the exception to handle).  A worker past its deadline is
+        killed here and reported as a :class:`StepTimeoutError`; a
+        worker that died without publishing a result becomes a
+        :class:`WorkerCrashError`.  Both are transient, so the retry
+        policy requeues the step.
+        """
+        if self.result_path.exists():
+            return self._collect()
+        if self.process.is_alive():
+            if (
+                self.deadline is not None
+                and time.monotonic() >= self.deadline
+            ):
+                self._kill()
+                return (
+                    "error",
+                    StepTimeoutError(
+                        f"step {self.step.step_id!r} attempt "
+                        f"{self.attempt} exceeded its timeout; hung "
+                        "worker killed and step requeued"
+                    ),
+                )
+            return None
+        # Exited: give a just-published result file one more look
+        # (the child renames it immediately before exiting).
+        if self.result_path.exists():
+            return self._collect()
+        return (
+            "error",
+            WorkerCrashError(
+                f"worker process for step {self.step.step_id!r} died "
+                f"(exit code {self.process.exitcode}) without "
+                "reporting a result"
+            ),
+        )
+
+    def _collect(self) -> tuple:
+        """Load and consume the published outcome file."""
+        self.process.join(timeout=5.0)
+        try:
+            with open(self.result_path, "rb") as handle:
+                status, value = pickle.load(handle)
+        except Exception as exc:
+            status, value = (
+                "error",
+                WorkerCrashError(
+                    f"result of step {self.step.step_id!r} could not "
+                    f"be read back: {type(exc).__name__}: {exc}"
+                ),
+            )
+        self.result_path.unlink(missing_ok=True)
+        return (status, value)
+
+    def _kill(self) -> None:
+        """Terminate (then kill) the worker process and reap it."""
+        self.process.terminate()
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stuck in D
+            self.process.kill()
+            self.process.join(timeout=2.0)
+        self.result_path.unlink(missing_ok=True)
 
 
 class Campaign:
@@ -233,41 +445,71 @@ class Campaign:
         context: CampaignContext,
         resume: bool = True,
         jobs: int = 1,
+        retry: RetryPolicy | None = None,
+        quarantine: bool = False,
     ) -> CampaignResult:
         """Execute every step not already completed.
 
         With ``resume=True`` (default) steps whose manifest status is
         ``done`` and whose output file survives are skipped; otherwise
-        the manifest is reset and everything re-runs.  A step exception
-        is journaled as ``failed`` (with the exception text) before
-        propagating, so the next run retries from that step.
+        the manifest is reset and everything re-runs.
+
+        Failure semantics are governed by ``retry`` and ``quarantine``.
+        Without either (the default, backward compatible), a step
+        exception is journaled as ``failed`` before propagating.  With
+        a :class:`RetryPolicy`, transient failures re-attempt with
+        deterministic backoff (each attempt journaled into the
+        manifest's per-step attempt history) and worker attempts
+        exceeding ``timeout_s`` are killed and requeued.  With
+        ``quarantine=True``, a step that still fails after its budget
+        is journaled ``quarantined`` instead of aborting the run:
+        its dependents are fenced off transitively (except
+        ``run_on_partial`` report steps, which execute against the
+        surviving subset), independent DAG branches keep running, and
+        the ids land in :attr:`CampaignResult.quarantined` /
+        :attr:`CampaignContext.quarantined`.
 
         ``jobs > 1`` schedules the DAG as a topological wavefront over
-        a process pool: every pending step whose dependencies are done
-        is eligible at once, steps carrying a
-        :attr:`CampaignStep.worker` job factory execute in pool
-        workers, and the rest run inline in the scheduler.  Per-step
-        journal entries and kill-resume semantics are identical to the
-        serial path — the scheduler marks ``running`` on dispatch and
-        ``done`` after persisting the payload, so a killed parallel
-        campaign resumes exactly like a killed serial one.  Step
-        payloads must be deterministic; given that, a campaign's
-        outputs are byte-identical for every ``jobs`` value.
+        supervised worker processes: every pending step whose
+        dependencies are done is eligible at once, steps carrying a
+        :attr:`CampaignStep.worker` job factory execute in child
+        processes (survivable: a crashed or hung worker costs one
+        attempt, never the scheduler), and the rest run inline.
+        Per-step journal entries and kill-resume semantics are
+        identical to the serial path.  Step payloads must be
+        deterministic; given that, a campaign's outputs are
+        byte-identical for every ``jobs`` value — and, because faults
+        only ever cost attempts, for every fault plan it survives.
         """
         if not resume:
             self.manifest.reset()
+        policy = retry or _SINGLE_ATTEMPT
         if jobs <= 1:
-            return self._run_serial(context)
-        return self._run_parallel(context, jobs)
+            return self._run_serial(context, policy, quarantine)
+        return self._run_parallel(context, jobs, policy, quarantine)
 
     def _skip_or_pend(
         self, context: CampaignContext, result: CampaignResult
     ) -> list[CampaignStep]:
-        """Partition steps into resumed (recorded) and still-pending."""
+        """Partition steps into resumed (recorded) and still-pending.
+
+        A ``done`` step whose detail records a partial execution (a
+        report rendered while some dependency was quarantined) is
+        *not* resumed — the quarantined dependency re-runs this run,
+        so the partial artifact must be rebuilt from complete inputs.
+        """
         pending: list[CampaignStep] = []
         for step in self._order:
-            done = self.manifest.status(step.step_id) == STATUS_DONE
-            if done and context.output_path(step.step_id).exists():
+            record = self.manifest.steps.get(step.step_id, {})
+            done = record.get("status") == STATUS_DONE
+            partial = str(record.get("detail", "")).startswith(
+                "partial:"
+            )
+            if (
+                done
+                and not partial
+                and context.output_path(step.step_id).exists()
+            ):
                 result.skipped.append(step.step_id)
                 if context.verbose:
                     print(f"[{self.name}] {step.step_id}: resumed (done)")
@@ -275,57 +517,229 @@ class Campaign:
                 pending.append(step)
         return pending
 
-    def _execute_inline(
+    def _complete_step(
         self,
         step: CampaignStep,
         context: CampaignContext,
         result: CampaignResult,
-        complete: Callable | None = None,
+        payload: str | None,
     ) -> None:
-        """Run one step in this process, journaling like the serial path.
+        """Persist a finished step's payload and journal ``done``.
 
-        ``complete`` overrides the completion bookkeeping (the parallel
-        executor passes its own, which additionally unlocks dependents);
-        failure journaling is shared so both executors record identical
-        ``failed`` entries.
+        A ``run_on_partial`` step that executed while some of its
+        dependencies sat in quarantine is journaled with a
+        ``partial:`` detail so the next run rebuilds it.
+        """
+        context.write_output(step.step_id, payload or "")
+        missing = sorted(set(step.depends_on) & context.quarantined)
+        detail = (
+            "partial: missing " + ", ".join(missing) if missing else ""
+        )
+        self.manifest.mark(step.step_id, STATUS_DONE, detail=detail)
+        result.executed.append(step.step_id)
+
+    def _mark_quarantined(
+        self,
+        step: CampaignStep,
+        detail: str,
+        context: CampaignContext,
+        result: CampaignResult,
+    ) -> None:
+        """Fence a step off for the rest of this run."""
+        self.manifest.mark(
+            step.step_id, STATUS_QUARANTINED, detail=detail
+        )
+        context.quarantined.add(step.step_id)
+        result.quarantined.append(step.step_id)
+        if context.verbose:
+            print(
+                f"[{self.name}] {step.step_id}: quarantined ({detail})"
+            )
+
+    def _journal_attempt(
+        self,
+        step_id: str,
+        attempt: int,
+        exc: BaseException,
+        action: str,
+        backoff_s: float = 0.0,
+    ) -> None:
+        """Append one entry to the step's manifest attempt history."""
+        self.manifest.record_attempt(
+            step_id,
+            {
+                "attempt": attempt,
+                "error": f"{type(exc).__name__}: {exc}",
+                "transient": is_transient(exc),
+                "action": action,
+                "backoff_s": round(backoff_s, 6),
+            },
+        )
+
+    def _classify_failure(
+        self,
+        step: CampaignStep,
+        exc: BaseException,
+        attempt: int,
+        result: CampaignResult,
+        policy: RetryPolicy,
+        quarantine: bool,
+    ) -> str:
+        """Journal a failed attempt and decide what happens next.
+
+        Returns ``"retry"`` (transient, budget left) or
+        ``"quarantine"``; when neither applies — permanent failure
+        without quarantining, exhausted budget without quarantining,
+        or a ``KeyboardInterrupt``/``SystemExit`` which always aborts —
+        the step is journaled ``failed`` and ``exc`` is re-raised.
+        """
+        fatal = isinstance(exc, (KeyboardInterrupt, SystemExit))
+        if not fatal and policy.should_retry(exc, attempt):
+            backoff = policy.backoff_s(step.step_id, attempt)
+            self._journal_attempt(
+                step.step_id, attempt, exc, "retry", backoff
+            )
+            result.retried += 1
+            return "retry"
+        if not fatal and quarantine:
+            self._journal_attempt(
+                step.step_id, attempt, exc, "quarantine"
+            )
+            return "quarantine"
+        self._journal_attempt(step.step_id, attempt, exc, "fail")
+        self.manifest.mark(
+            step.step_id,
+            STATUS_FAILED,
+            detail=f"{type(exc).__name__}: {exc}",
+        )
+        raise exc
+
+    def _spawn(
+        self,
+        step: CampaignStep,
+        fn: Callable,
+        kwargs: dict,
+        attempt: int,
+        timeout_s: float | None,
+    ) -> _WorkerJob:
+        """Start one supervised worker process for a step attempt."""
+        scratch = self.directory / "scratch"
+        scratch.mkdir(parents=True, exist_ok=True)
+        safe = step.step_id.replace("/", "_")
+        result_path = scratch / f"{safe}.attempt{attempt:02d}.pkl"
+        result_path.unlink(missing_ok=True)
+        process = _mp_context().Process(
+            target=_supervised_entry,
+            args=(fn, dict(kwargs), str(result_path), step.step_id),
+        )
+        process.start()
+        deadline = (
+            time.monotonic() + timeout_s
+            if timeout_s is not None
+            else None
+        )
+        return _WorkerJob(step, attempt, process, result_path, deadline)
+
+    def _attempt(
+        self,
+        step: CampaignStep,
+        context: CampaignContext,
+        policy: RetryPolicy,
+        attempt: int,
+    ) -> str | None:
+        """Execute one attempt of a step in-scheduler (blocking).
+
+        Worker-backed steps run supervised (killable) when the policy
+        carries a timeout; everything else runs inline, where the
+        ``step.body`` fault site fires.
         """
         if context.verbose:
             print(f"[{self.name}] {step.step_id}: {step.description}")
-        try:
-            payload = step.run(context)
-        except BaseException as exc:
-            self.manifest.mark(
-                step.step_id,
-                STATUS_FAILED,
-                detail=f"{type(exc).__name__}: {exc}",
-            )
-            raise
-        if complete is not None:
-            complete(step, payload)
-            return
-        context.write_output(step.step_id, payload or "")
-        self.manifest.mark(step.step_id, STATUS_DONE)
-        result.executed.append(step.step_id)
+        if step.worker is not None and policy.timeout_s is not None:
+            fn, kwargs = step.worker(context)
+            job = self._spawn(step, fn, kwargs, attempt, policy.timeout_s)
+            while True:
+                outcome = job.outcome()
+                if outcome is not None:
+                    break
+                time.sleep(0.005)
+            status, value = outcome
+            if status == "error":
+                raise value
+            return value
+        faults.inject("step.body", step.step_id)
+        return step.run(context)
 
-    def _run_serial(self, context: CampaignContext) -> CampaignResult:
+    def _run_serial(
+        self,
+        context: CampaignContext,
+        policy: RetryPolicy,
+        quarantine: bool,
+    ) -> CampaignResult:
         """The sequential executor (``jobs=1``): one step at a time."""
         result = CampaignResult()
         for step in self._skip_or_pend(context, result):
+            bad_deps = sorted(
+                dep
+                for dep in step.depends_on
+                if dep in context.quarantined
+            )
+            if bad_deps and not step.run_on_partial:
+                self._mark_quarantined(
+                    step,
+                    "dependency quarantined: " + ", ".join(bad_deps),
+                    context,
+                    result,
+                )
+                continue
             self.manifest.mark(step.step_id, STATUS_RUNNING)
-            self._execute_inline(step, context, result)
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    payload = self._attempt(
+                        step, context, policy, attempt
+                    )
+                except BaseException as exc:
+                    action = self._classify_failure(
+                        step, exc, attempt, result, policy, quarantine
+                    )
+                    if action == "retry":
+                        time.sleep(
+                            policy.backoff_s(step.step_id, attempt)
+                        )
+                        continue
+                    self._mark_quarantined(
+                        step,
+                        f"{type(exc).__name__}: {exc}",
+                        context,
+                        result,
+                    )
+                    break
+                self._complete_step(step, context, result, payload)
+                break
         return result
 
     def _run_parallel(
-        self, context: CampaignContext, jobs: int
+        self,
+        context: CampaignContext,
+        jobs: int,
+        policy: RetryPolicy,
+        quarantine: bool,
     ) -> CampaignResult:
-        """Topological-wavefront executor over a process pool.
+        """Topological-wavefront executor over supervised workers.
 
-        Ready steps (all dependencies ``done``) dispatch in declaration
-        order; worker-backed steps go to the pool, the rest run inline
-        between completions.  A worker failure journals that step as
-        ``failed`` and propagates after in-flight futures are drained
-        (their steps stay ``running`` in the manifest, exactly like a
-        killed serial run, so the next invocation re-executes them).
+        Ready steps (all dependencies ``done``) dispatch in
+        declaration order; worker-backed steps run in supervised child
+        processes — at most ``jobs`` concurrently — and the rest run
+        inline between polls.  Supervision makes worker failure a
+        per-attempt event: a crash, transported exception or timeout
+        costs that attempt only, feeding the shared retry/quarantine
+        classification.  Without retry or quarantine a failure
+        journals ``failed``, the remaining in-flight workers are
+        terminated (their steps stay ``running``, exactly like a
+        killed run, so the next invocation re-executes them) and the
+        original exception propagates.
         """
         result = CampaignResult()
         pending = self._skip_or_pend(context, result)
@@ -346,74 +760,138 @@ class Campaign:
             step for step in pending if not remaining_deps[step.step_id]
         ]
         inline: list[CampaignStep] = []
-        futures: dict = {}
+        running: list[_WorkerJob] = []
+        #: step_id -> (step, monotonic time its next attempt is due).
+        waiting: dict[str, tuple[CampaignStep, float]] = {}
+        attempts: dict[str, int] = {}
+
+        def _promote(step: CampaignStep) -> None:
+            bad = sorted(
+                dep
+                for dep in step.depends_on
+                if dep in context.quarantined
+            )
+            if bad and not step.run_on_partial:
+                _quarantine(
+                    step, "dependency quarantined: " + ", ".join(bad)
+                )
+            else:
+                ready.append(step)
+
+        def _unlock(step_id: str) -> None:
+            for dependent in dependents.get(step_id, ()):
+                deps = remaining_deps[dependent.step_id]
+                deps.discard(step_id)
+                if not deps:
+                    _promote(dependent)
+
+        def _quarantine(step: CampaignStep, detail: str) -> None:
+            self._mark_quarantined(step, detail, context, result)
+            _unlock(step.step_id)
 
         def _complete(step: CampaignStep, payload: str | None) -> None:
-            context.write_output(step.step_id, payload or "")
-            self.manifest.mark(step.step_id, STATUS_DONE)
-            result.executed.append(step.step_id)
-            for dependent in dependents.get(step.step_id, ()):
-                deps = remaining_deps[dependent.step_id]
-                deps.discard(step.step_id)
-                if not deps:
-                    ready.append(dependent)
+            self._complete_step(step, context, result, payload)
+            _unlock(step.step_id)
 
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        def _fail(step: CampaignStep, exc: BaseException) -> None:
+            attempt = attempts[step.step_id]
+            action = self._classify_failure(
+                step, exc, attempt, result, policy, quarantine
+            )
+            if action == "retry":
+                waiting[step.step_id] = (
+                    step,
+                    time.monotonic()
+                    + policy.backoff_s(step.step_id, attempt),
+                )
+            else:
+                _quarantine(step, f"{type(exc).__name__}: {exc}")
 
-            def _dispatch() -> None:
+        try:
+            while ready or inline or running or waiting:
+                progressed = False
+                now = time.monotonic()
+                for step_id in list(waiting):
+                    step, due = waiting[step_id]
+                    if now >= due:
+                        del waiting[step_id]
+                        ready.append(step)
+                        progressed = True
+                deferred: list[CampaignStep] = []
                 while ready:
                     step = ready.pop(0)
-                    self.manifest.mark(step.step_id, STATUS_RUNNING)
                     if step.worker is None:
+                        self.manifest.mark(
+                            step.step_id, STATUS_RUNNING
+                        )
                         inline.append(step)
                         continue
+                    if len(running) >= jobs:
+                        deferred.append(step)
+                        continue
+                    self.manifest.mark(step.step_id, STATUS_RUNNING)
+                    attempts[step.step_id] = (
+                        attempts.get(step.step_id, 0) + 1
+                    )
                     if context.verbose:
                         print(
                             f"[{self.name}] {step.step_id}: "
                             f"{step.description}"
                         )
                     try:
+                        # The job factory runs in the scheduler; its
+                        # failures classify like any other attempt.
                         fn, kwargs = step.worker(context)
                     except BaseException as exc:
-                        # The job factory runs in the scheduler; a
-                        # failure here must journal like any other
-                        # step failure (the step is already 'running').
-                        self.manifest.mark(
-                            step.step_id,
-                            STATUS_FAILED,
-                            detail=f"{type(exc).__name__}: {exc}",
+                        _fail(step, exc)
+                        continue
+                    running.append(
+                        self._spawn(
+                            step,
+                            fn,
+                            kwargs,
+                            attempts[step.step_id],
+                            policy.timeout_s,
                         )
-                        raise
-                    futures[pool.submit(fn, **kwargs)] = step
-
-            _dispatch()
-            while futures or inline or ready:
-                while inline:
-                    step = inline.pop(0)
-                    self._execute_inline(
-                        step, context, result, complete=_complete
                     )
-                    _dispatch()
-                if not futures:
-                    _dispatch()
-                    continue
-                completed, _ = wait(
-                    futures, return_when=FIRST_COMPLETED
-                )
-                for future in completed:
-                    step = futures.pop(future)
-                    exc = future.exception()
-                    if exc is not None:
-                        self.manifest.mark(
-                            step.step_id,
-                            STATUS_FAILED,
-                            detail=f"{type(exc).__name__}: {exc}",
+                    progressed = True
+                ready.extend(deferred)
+                if inline:
+                    step = inline.pop(0)
+                    attempts[step.step_id] = (
+                        attempts.get(step.step_id, 0) + 1
+                    )
+                    try:
+                        payload = self._attempt(
+                            step,
+                            context,
+                            policy,
+                            attempts[step.step_id],
                         )
-                        for pending_future in futures:
-                            pending_future.cancel()
-                        raise exc
-                    _complete(step, future.result())
-                _dispatch()
+                    except BaseException as exc:
+                        _fail(step, exc)
+                    else:
+                        _complete(step, payload)
+                    continue
+                for job in list(running):
+                    outcome = job.outcome()
+                    if outcome is None:
+                        continue
+                    running.remove(job)
+                    progressed = True
+                    status, value = outcome
+                    if status == "ok":
+                        _complete(job.step, value)
+                    else:
+                        _fail(job.step, value)
+                if not progressed:
+                    time.sleep(0.01)
+        except BaseException:
+            # Abort: reap in-flight workers; their steps stay
+            # 'running' and re-execute on the next invocation.
+            for job in running:
+                job._kill()
+            raise
         return result
 
 
@@ -521,20 +999,42 @@ def sweep_steps(
         eval_ids.append(f"eval@{tag}")
 
     def _run_report(ctx: CampaignContext) -> str:
+        # Under a quarantining run the report still renders, from the
+        # operating points that survived; quarantined points are named
+        # below the table instead of aborting the campaign.
+        available = [
+            step_id
+            for step_id in eval_ids
+            if step_id not in ctx.quarantined
+            and ctx.output_path(step_id).exists()
+        ]
+        if not available:
+            raise ConfigurationError(
+                "sweep report has no completed operating point; all "
+                f"{len(eval_ids)} eval step(s) are quarantined"
+            )
         points = [
-            json.loads(ctx.read_output(step_id)) for step_id in eval_ids
+            json.loads(ctx.read_output(step_id))
+            for step_id in available
         ]
         names = list(points[0]["per"])
         series = {
             name: [point["per"][name] for point in points]
             for name in names
         }
-        return format_series_table(
+        table = format_series_table(
             f"SNR sweep — PER per technique (suite: {suite})",
             "snr_db",
             [point["snr_db"] for point in points],
             series,
         )
+        missing = [s for s in eval_ids if s not in available]
+        if missing:
+            table += (
+                f"\n{len(missing)} operating point(s) quarantined: "
+                + ", ".join(missing)
+            )
+        return table
 
     steps.append(
         CampaignStep(
@@ -542,6 +1042,7 @@ def sweep_steps(
             description="assemble PER-vs-SNR table",
             run=_run_report,
             depends_on=tuple(eval_ids),
+            run_on_partial=True,
         )
     )
     return steps
@@ -797,8 +1298,20 @@ def train_steps(
             train_ids.append(step_id)
 
     def _run_report(ctx: CampaignContext) -> str:
+        available = [
+            step_id
+            for step_id in train_ids
+            if step_id not in ctx.quarantined
+            and ctx.output_path(step_id).exists()
+        ]
+        if not available:
+            raise ConfigurationError(
+                "training report has no completed variant; all "
+                f"{len(train_ids)} train step(s) are quarantined"
+            )
         rows = [
-            json.loads(ctx.read_output(step_id)) for step_id in train_ids
+            json.loads(ctx.read_output(step_id))
+            for step_id in available
         ]
         lines = [
             f"Training campaign — {len(rows)} Table 2 variant(s), "
@@ -819,6 +1332,12 @@ def train_steps(
             f"{newly_trained} model(s) trained, "
             f"{len(rows) - newly_trained} resolved from checkpoints"
         )
+        missing = [s for s in train_ids if s not in available]
+        if missing:
+            lines.append(
+                f"{len(missing)} variant(s) quarantined: "
+                + ", ".join(missing)
+            )
         return "\n".join(lines)
 
     steps.append(
@@ -827,6 +1346,7 @@ def train_steps(
             description="assemble per-variant training summary",
             run=_run_report,
             depends_on=tuple(train_ids),
+            run_on_partial=True,
         )
     )
     return steps
@@ -906,11 +1426,15 @@ def _stream_simulator(
     links: int,
     slots: int | None,
     deadline_slots: int,
+    round_deadline_s: float | None = None,
 ):
     """The run's simulator (components + traces), built once."""
     from ..stream.simulator import StreamSimulator
 
-    key = f"stream-simulator:{links}:{slots}:{deadline_slots}"
+    key = (
+        f"stream-simulator:{links}:{slots}:{deadline_slots}:"
+        f"{round_deadline_s}"
+    )
     simulator = ctx.shared.get(key)
     if simulator is None:
         from ..dataset.generator import build_components
@@ -921,6 +1445,7 @@ def _stream_simulator(
             build_components(derived),
             _stream_traces(ctx, links, slots),
             deadline_slots=deadline_slots,
+            round_deadline_s=round_deadline_s,
         )
         ctx.shared[key] = simulator
     return simulator
@@ -935,6 +1460,7 @@ def stream_steps(
     horizon: int = 0,
     seed: int = 7,
     defer_threshold: float | None = None,
+    round_deadline_s: float | None = None,
 ) -> list[CampaignStep]:
     """Steps of a closed-loop streaming campaign over ``config``.
 
@@ -1049,7 +1575,7 @@ def stream_steps(
                 else None
             )
             result = _stream_simulator(
-                ctx, links, slots, deadline_slots
+                ctx, links, slots, deadline_slots, round_deadline_s
             ).run(policy, service=service, verbose=ctx.verbose)
             return json.dumps(result.payload(), sort_keys=True)
 
@@ -1080,6 +1606,7 @@ def stream_steps(
                 ),
                 horizon=horizon,
                 seed=seed,
+                round_deadline_s=round_deadline_s,
             )
             return run_stream_policy_task, {"task": task}
 
@@ -1099,9 +1626,20 @@ def stream_steps(
         from ..experiments.figures import stream_timeline
         from ..experiments.metrics import StreamMetrics
 
+        available = [
+            step_id
+            for step_id in stream_ids
+            if step_id not in ctx.quarantined
+            and ctx.output_path(step_id).exists()
+        ]
+        if not available:
+            raise ConfigurationError(
+                "stream report has no completed policy; all "
+                f"{len(stream_ids)} simulation step(s) are quarantined"
+            )
         payloads = [
             json.loads(ctx.read_output(step_id))
-            for step_id in stream_ids
+            for step_id in available
         ]
         name_width = max(
             [len(p["policy"]) for p in payloads] + [len("policy")]
@@ -1123,6 +1661,27 @@ def stream_steps(
                 f"{metrics.defer_rate:>6.3f}  "
                 f"{metrics.delivered:>5}/{metrics.offered:<6}"
             )
+        missing = [s for s in stream_ids if s not in available]
+        if missing:
+            lines.append(
+                f"{len(missing)} policy step(s) quarantined: "
+                + ", ".join(missing)
+            )
+        degraded = {
+            payload["policy"]: StreamMetrics.from_dict(
+                payload["metrics"]
+            ).degraded_rounds
+            for payload in payloads
+        }
+        if any(degraded.values()):
+            lines.append(
+                "degraded prediction rounds (reactive fallback): "
+                + ", ".join(
+                    f"{name}={count}"
+                    for name, count in degraded.items()
+                    if count
+                )
+            )
         lines.append("")
         lines.append(
             stream_timeline.render(stream_timeline.generate(payloads))
@@ -1135,6 +1694,7 @@ def stream_steps(
             description="assemble policy comparison + timeline figure",
             run=_run_report,
             depends_on=tuple(stream_ids),
+            run_on_partial=True,
         )
     )
     return steps

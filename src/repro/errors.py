@@ -39,3 +39,79 @@ class DecodingError(ReproError):
 
 class DatasetError(ReproError):
     """A measurement set or set combination is malformed or incomplete."""
+
+
+class TransientError(ReproError):
+    """A failure that is expected to succeed on retry.
+
+    The campaign retry policy re-attempts steps that raise (a subclass
+    of) this marker with exponential backoff; every other
+    :class:`ReproError` is treated as permanent and quarantines the
+    step immediately.
+    """
+
+
+class InjectedIOError(TransientError, IOError):
+    """A transient I/O failure injected by an active fault plan.
+
+    Subclasses :class:`IOError` so code that already guards real I/O
+    (``except OSError``) handles the injected fault through the exact
+    same path it would a genuine one.
+    """
+
+
+class LockTimeoutError(TransientError, ConfigurationError):
+    """A :class:`~repro.campaign.locking.FileLock` acquisition timed out.
+
+    Lock contention is transient by nature — the holder finishes or
+    dies — so the retry policy re-attempts the step.  Subclasses
+    :class:`ConfigurationError` for backward compatibility with callers
+    that caught the previous generic timeout.
+    """
+
+
+class StepTimeoutError(TransientError):
+    """A campaign step exceeded its per-attempt timeout and was killed.
+
+    The supervising scheduler terminates the hung worker process and
+    raises this; the retry policy requeues the step until the attempt
+    budget is exhausted.
+    """
+
+
+class WorkerCrashError(TransientError):
+    """A worker process died without reporting a result.
+
+    Covers hard crashes (``os._exit``, segfault, OOM-kill) where no
+    exception could be transported back to the scheduler.
+    """
+
+
+class ServiceDeadlineError(TransientError):
+    """A streaming prediction round missed its service deadline."""
+
+
+class CacheCorruptionError(ReproError):
+    """A cached artifact failed content verification (digest mismatch).
+
+    Cache layers never let this escape to callers: corruption is
+    handled as miss-plus-regenerate.  The type exists so fault-plan
+    hooks and tests can assert on the detection path.
+    """
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether an exception should be retried by the campaign runner.
+
+    Typed :class:`TransientError` subclasses are transient by
+    definition.  Environmental failures that the library does not wrap
+    (``OSError``, ``TimeoutError``, ``ConnectionError``) are treated as
+    transient too — disk hiccups and racing filesystems recover.  Every
+    other exception (including non-transient :class:`ReproError`
+    subclasses and programming errors) is permanent.
+    """
+    if isinstance(exc, TransientError):
+        return True
+    if isinstance(exc, ReproError):
+        return False
+    return isinstance(exc, (OSError, TimeoutError, ConnectionError))

@@ -114,6 +114,14 @@ class StreamMetrics:
     deferrals: int = 0
     #: Offered packets dropped because their deadline passed undelivered.
     deadline_misses: int = 0
+    #: Packet slots this link served inside a *degraded* prediction
+    #: round — the service raised or blew the round deadline, so the
+    #: proactive policy could not be consulted (merged totals sum
+    #: link-slots, so N links in one degraded round count N).
+    degraded_rounds: int = 0
+    #: Decisions delegated to the reactive fallback policy during
+    #: degraded rounds.
+    fallback_decisions: int = 0
     #: Simulated wall time covered by the counters.
     duration_s: float = 0.0
 
@@ -161,6 +169,8 @@ class StreamMetrics:
         self.failures += other.failures
         self.deferrals += other.deferrals
         self.deadline_misses += other.deadline_misses
+        self.degraded_rounds += other.degraded_rounds
+        self.fallback_decisions += other.fallback_decisions
         self.duration_s = max(self.duration_s, other.duration_s)
         return self
 
@@ -173,6 +183,8 @@ class StreamMetrics:
             "failures": self.failures,
             "deferrals": self.deferrals,
             "deadline_misses": self.deadline_misses,
+            "degraded_rounds": self.degraded_rounds,
+            "fallback_decisions": self.fallback_decisions,
             "duration_s": self.duration_s,
             "goodput_pps": self.goodput_pps,
             "outage": self.outage,
@@ -183,7 +195,11 @@ class StreamMetrics:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "StreamMetrics":
-        """Rebuild the counters from :meth:`as_dict` output."""
+        """Rebuild the counters from :meth:`as_dict` output.
+
+        The degraded-mode counters default to 0 so payloads persisted
+        before they existed keep loading.
+        """
         return cls(
             offered=int(payload["offered"]),
             delivered=int(payload["delivered"]),
@@ -191,6 +207,10 @@ class StreamMetrics:
             failures=int(payload["failures"]),
             deferrals=int(payload["deferrals"]),
             deadline_misses=int(payload["deadline_misses"]),
+            degraded_rounds=int(payload.get("degraded_rounds", 0)),
+            fallback_decisions=int(
+                payload.get("fallback_decisions", 0)
+            ),
             duration_s=float(payload["duration_s"]),
         )
 

@@ -1,0 +1,377 @@
+"""Deterministic, seeded fault injection for chaos-testing the stack.
+
+The execution layers (campaign runner, cache, checkpoint registry,
+results store, streaming prediction service) call :func:`inject` /
+:func:`corrupt_file` at named *sites*.  When no plan is active those
+hooks are a single ``is None`` check — zero overhead.  When a plan is
+activated (programmatically via :func:`activate`, or by the CLI through
+the ``REPRO_FAULT_PLAN`` environment variable, which worker processes
+inherit), each matching :class:`FaultSpec` fires a bounded number of
+times, coordinated across processes through an ``O_EXCL`` claim-file
+ledger in the plan's state directory.
+
+That ledger is what makes chaos runs deterministic *and* convergent: a
+spec with ``times=1`` fires exactly once campaign-wide no matter how
+many workers race past the site, and — crucially — a step that crashed
+because of an injected fault does not re-trigger the same fault on
+retry, so a self-healing executor always makes progress.
+
+Sites currently instrumented:
+
+========================  ====================================================
+site                      label / where
+========================  ====================================================
+``worker.body``           step id; start of a supervised worker process body
+``step.body``             step id; start of an inline step
+``cache.load``            cache key; :meth:`DatasetCache.load_or_generate`
+``models.load``           checkpoint key; :meth:`ModelCheckpointRegistry.load_or_train`
+``results.record``        coords key; :meth:`ResultsStore.get`
+``service.flush``         batch index; :meth:`PredictionService.flush`
+========================  ====================================================
+
+Fault kinds: ``crash`` (hard ``os._exit``; only legal at
+``worker.body`` so the scheduler itself is never killed), ``io_error``
+(raises :class:`~repro.errors.InjectedIOError`, classified transient),
+``stall`` (sleeps ``delay_s`` — pair with a per-step timeout), and
+``corrupt`` (flips and truncates bytes of an on-disk artifact; only
+fires through :func:`corrupt_file`).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from .errors import ConfigurationError, InjectedIOError
+
+#: Environment variable holding the path of the active plan file.
+#: Worker processes (fork or spawn) inherit it, so one ``--faults``
+#: flag arms the whole process tree.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+KIND_CRASH = "crash"
+KIND_IO_ERROR = "io_error"
+KIND_STALL = "stall"
+KIND_CORRUPT = "corrupt"
+
+_VALID_KINDS = (KIND_CRASH, KIND_IO_ERROR, KIND_STALL, KIND_CORRUPT)
+
+#: The only sites where a ``crash`` spec may fire: crash faults hard-kill
+#: the calling process, which must be a supervised worker, never the
+#: campaign scheduler.
+CRASH_SITES = ("worker.body",)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: *kind* at *site*, for labels matching *match*.
+
+    ``times`` bounds how often the spec fires campaign-wide (enforced
+    through the cross-process ledger); ``delay_s`` is the sleep length
+    of ``stall`` faults.
+    """
+
+    site: str
+    kind: str
+    match: str = "*"
+    times: int = 1
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{_VALID_KINDS}"
+            )
+        if self.kind == KIND_CRASH and self.site not in CRASH_SITES:
+            raise ConfigurationError(
+                f"crash faults are only legal at {CRASH_SITES} "
+                f"(got site {self.site!r}); a crash anywhere else "
+                "would kill the scheduler, not a worker"
+            )
+        if self.times < 1:
+            raise ConfigurationError(
+                f"fault spec times must be >= 1 (got {self.times})"
+            )
+
+    def matches(self, site: str, label: str) -> bool:
+        """Whether this spec is armed for the given site and label."""
+        return self.site == site and fnmatch.fnmatchcase(
+            label, self.match
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "match": self.match,
+            "times": self.times,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        """Rebuild a spec from its :meth:`as_dict` form."""
+        return cls(
+            site=data["site"],
+            kind=data["kind"],
+            match=data.get("match", "*"),
+            times=int(data.get("times", 1)),
+            delay_s=float(data.get("delay_s", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded set of armed faults plus their firing ledger.
+
+    The ``state_dir`` holds the ``fired/`` claim files that bound each
+    spec's firings across every process of a campaign; reusing a state
+    directory therefore *replays* a chaos run with all faults already
+    spent — which is exactly what the byte-identical-replay check in CI
+    relies on.
+    """
+
+    name: str
+    specs: tuple[FaultSpec, ...]
+    state_dir: Path
+    seed: int = 0
+
+    def summary(self) -> str:
+        """One-line human description, e.g. for CLI banners."""
+        parts = [
+            f"{spec.kind}@{spec.site}[{spec.match}]x{spec.times}"
+            for spec in self.specs
+        ]
+        return f"{len(self.specs)} spec(s): " + ", ".join(parts)
+
+    def fired_count(self) -> int:
+        """How many fault firings the ledger has recorded so far."""
+        fired = self.state_dir / "fired"
+        if not fired.is_dir():
+            return 0
+        return sum(1 for _ in fired.iterdir())
+
+    def save(self, path: str | Path) -> None:
+        """Write the plan file that ``REPRO_FAULT_PLAN`` points at."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "name": self.name,
+                    "seed": self.seed,
+                    "state_dir": str(self.state_dir),
+                    "specs": [spec.as_dict() for spec in self.specs],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        """Read a plan file previously written by :meth:`save`."""
+        data = json.loads(Path(path).read_text())
+        return cls(
+            name=data["name"],
+            seed=int(data.get("seed", 0)),
+            state_dir=Path(data["state_dir"]),
+            specs=tuple(
+                FaultSpec.from_dict(spec) for spec in data["specs"]
+            ),
+        )
+
+
+#: Built-in named plans: name -> (description, spec factory args).
+#: The ``nightly-chaos`` plan is the CI workhorse: one worker crash,
+#: one transient I/O error, one stalled worker (killed by the step
+#: timeout) and one corrupted cache entry, all self-healed by the
+#: runner.  ``smoke-chaos`` is the same storm with a short stall for
+#: interactive use.
+BUILTIN_PLANS: dict[str, tuple[str, tuple[FaultSpec, ...]]] = {
+    "nightly-chaos": (
+        "crash + transient IO + 20s stall + cache corruption",
+        (
+            FaultSpec("worker.body", KIND_CRASH, match="point@*"),
+            FaultSpec("worker.body", KIND_IO_ERROR, match="point@*"),
+            FaultSpec(
+                "worker.body", KIND_STALL, match="point@*", delay_s=20.0
+            ),
+            FaultSpec("cache.load", KIND_CORRUPT),
+        ),
+    ),
+    "smoke-chaos": (
+        "crash + transient IO + 2s stall + cache corruption",
+        (
+            FaultSpec("worker.body", KIND_CRASH),
+            FaultSpec("worker.body", KIND_IO_ERROR),
+            FaultSpec("worker.body", KIND_STALL, delay_s=2.0),
+            FaultSpec("cache.load", KIND_CORRUPT),
+        ),
+    ),
+}
+
+# Module-level activation state: _UNSET until the environment has been
+# consulted once, then either None (off — the inject() fast path) or
+# the resolved FaultPlan.
+_UNSET = object()
+_ACTIVE: object = _UNSET
+
+
+def resolve_plan(
+    name_or_path: str, state_dir: str | Path, seed: int = 0
+) -> FaultPlan:
+    """Turn a ``--faults`` argument into a plan bound to *state_dir*.
+
+    Accepts a built-in plan name (see :data:`BUILTIN_PLANS`) or the
+    path of a plan JSON file with a ``specs`` list.
+    """
+    state_dir = Path(state_dir)
+    if name_or_path in BUILTIN_PLANS:
+        _, specs = BUILTIN_PLANS[name_or_path]
+        return FaultPlan(
+            name=name_or_path,
+            specs=specs,
+            state_dir=state_dir,
+            seed=seed,
+        )
+    path = Path(name_or_path)
+    if path.exists():
+        data = json.loads(path.read_text())
+        return FaultPlan(
+            name=data.get("name", path.stem),
+            seed=int(data.get("seed", seed)),
+            state_dir=Path(data.get("state_dir", state_dir)),
+            specs=tuple(
+                FaultSpec.from_dict(spec) for spec in data["specs"]
+            ),
+        )
+    raise ConfigurationError(
+        f"unknown fault plan {name_or_path!r}; expected one of "
+        f"{sorted(BUILTIN_PLANS)} or the path of a plan JSON file"
+    )
+
+
+def activate(plan: FaultPlan, plan_path: str | Path) -> None:
+    """Arm *plan* for this process and every future child process.
+
+    Writes the plan file, points :data:`ENV_VAR` at it (inherited by
+    forked and spawned workers) and installs the plan as this process's
+    active plan.
+    """
+    global _ACTIVE
+    plan.save(plan_path)
+    os.environ[ENV_VAR] = str(plan_path)
+    _ACTIVE = plan
+
+
+def deactivate() -> None:
+    """Disarm fault injection in this process (and clear the env var)."""
+    global _ACTIVE
+    os.environ.pop(ENV_VAR, None)
+    _ACTIVE = None
+
+
+def active_plan() -> "FaultPlan | None":
+    """The currently armed plan, resolving ``REPRO_FAULT_PLAN`` lazily."""
+    global _ACTIVE
+    if _ACTIVE is _UNSET:
+        path = os.environ.get(ENV_VAR)
+        _ACTIVE = FaultPlan.load(path) if path else None
+    return _ACTIVE  # type: ignore[return-value]
+
+
+def _claim(plan: FaultPlan, index: int, spec: FaultSpec) -> bool:
+    """Atomically claim one of the spec's remaining firing slots.
+
+    ``O_CREAT | O_EXCL`` on ``state_dir/fired/<index>.<n>`` guarantees
+    each of the ``times`` slots is won by exactly one process, however
+    many race on the site concurrently — and that retries of a step
+    that already absorbed the fault see the slot spent.
+    """
+    fired = plan.state_dir / "fired"
+    fired.mkdir(parents=True, exist_ok=True)
+    for n in range(spec.times):
+        try:
+            fd = os.open(
+                fired / f"{index:02d}.{n}",
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                0o644,
+            )
+        except FileExistsError:
+            continue
+        os.write(
+            fd,
+            f"{spec.kind}@{spec.site} pid={os.getpid()} "
+            f"t={time.time():.3f}\n".encode(),
+        )
+        os.close(fd)
+        return True
+    return False
+
+
+def inject(site: str, label: str) -> None:
+    """Fault hook: fire any armed spec matching ``(site, label)``.
+
+    The no-plan fast path is a single identity check, so leaving the
+    hooks compiled into hot paths costs nothing in normal operation.
+    ``corrupt`` specs are ignored here — they only act through
+    :func:`corrupt_file`, which needs a target path.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return
+    if plan is _UNSET:
+        plan = active_plan()
+        if plan is None:
+            return
+    for index, spec in enumerate(plan.specs):  # type: ignore[union-attr]
+        if spec.kind == KIND_CORRUPT:
+            continue
+        if not spec.matches(site, label):
+            continue
+        if not _claim(plan, index, spec):  # type: ignore[arg-type]
+            continue
+        if spec.kind == KIND_CRASH:
+            os._exit(137)
+        if spec.kind == KIND_STALL:
+            time.sleep(spec.delay_s)
+            continue
+        raise InjectedIOError(
+            f"injected transient I/O fault at {site} ({label})"
+        )
+
+
+def corrupt_file(site: str, label: str, path: str | Path) -> bool:
+    """Fault hook: corrupt *path* if an armed ``corrupt`` spec matches.
+
+    Flips every byte of the file's first half and truncates the rest —
+    a superset of a torn write — guaranteeing any content digest
+    mismatches.  Returns whether corruption was applied.  A missing
+    file never consumes a firing slot, so the spec stays armed until a
+    real artifact exists to corrupt.
+    """
+    plan = active_plan()
+    if plan is None:
+        return False
+    path = Path(path)
+    if not path.is_file():
+        return False
+    for index, spec in enumerate(plan.specs):
+        if spec.kind != KIND_CORRUPT:
+            continue
+        if not spec.matches(site, label):
+            continue
+        if not _claim(plan, index, spec):
+            continue
+        data = path.read_bytes()
+        keep = max(1, len(data) // 2)
+        path.write_bytes(bytes(byte ^ 0xFF for byte in data[:keep]))
+        return True
+    return False

@@ -31,6 +31,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from .. import faults
 from ..core.blockage import BlockageDetector
 from ..core.training import TrainedVVD
 from ..errors import ConfigurationError
@@ -224,6 +225,11 @@ class PredictionService:
         """
         if not self._pending:
             return {}
+        if faults.active_plan() is not None:
+            # Chaos hook: an io_error spec here simulates a serving
+            # outage, a stall spec a slow forward pass — the simulator's
+            # degraded mode must absorb both.
+            faults.inject("service.flush", f"batch@{self.stats.batches}")
         requests = [
             self._pending[link] for link in sorted(self._pending)
         ]

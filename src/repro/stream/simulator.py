@@ -22,6 +22,7 @@ across runs and worker settings — pinned by
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
@@ -30,7 +31,7 @@ from ..dataset.generator import (
     SimulationComponents,
     synthesize_received_batch,
 )
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, ServiceDeadlineError
 from ..experiments.metrics import (
     PacketOutcome,
     StreamMetrics,
@@ -43,7 +44,11 @@ from .events import (
     StreamEvent,
     merge_event_streams,
 )
-from .policy import LinkAdaptationPolicy, SlotContext
+from .policy import (
+    LinkAdaptationPolicy,
+    ReactivePreviousPolicy,
+    SlotContext,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .service import PredictionService
@@ -124,6 +129,7 @@ class StreamSimulator:
         components: SimulationComponents,
         traces: Sequence[LinkTrace],
         deadline_slots: int = 3,
+        round_deadline_s: float | None = None,
     ) -> None:
         if not traces:
             raise ConfigurationError("StreamSimulator needs link traces")
@@ -131,9 +137,19 @@ class StreamSimulator:
             raise ConfigurationError(
                 f"deadline_slots must be >= 1, got {deadline_slots}"
             )
+        if round_deadline_s is not None and round_deadline_s <= 0.0:
+            raise ConfigurationError(
+                f"round_deadline_s must be > 0, got {round_deadline_s}"
+            )
         self.components = components
         self.traces = list(traces)
         self.deadline_slots = int(deadline_slots)
+        #: Wall-time budget of one micro-batched prediction round; a
+        #: round that raises or overruns it degrades to the reactive
+        #: fallback instead of crashing (``None`` disables the budget).
+        self.round_deadline_s = (
+            None if round_deadline_s is None else float(round_deadline_s)
+        )
         #: Offline decode reuse: identical receiver processing per attempt.
         self.runner = EvaluationRunner(
             components, [t.measurement_set for t in self.traces]
@@ -155,6 +171,16 @@ class StreamSimulator:
         channels.  Prediction-driven policies require ``service``; its
         micro-batching happens here — all links pending at one slot time
         are flushed in a single forward pass.
+
+        Prediction rounds degrade gracefully: when the service raises,
+        or when ``round_deadline_s`` is set and the round overruns it,
+        the affected slot's decisions fall back to a warm
+        :class:`~repro.stream.policy.ReactivePreviousPolicy` (fed every
+        slot outcome, so its last-delivered estimates are current) and
+        the degradation is counted in the per-link
+        :class:`~repro.experiments.metrics.StreamMetrics`
+        (``degraded_rounds`` / ``fallback_decisions``) instead of
+        aborting the pass.
         """
         if policy.uses_predictions and service is None:
             raise ConfigurationError(
@@ -174,6 +200,13 @@ class StreamSimulator:
             for _ in range(num_links)
         ]
         policy.reset(num_links)
+        fallback: ReactivePreviousPolicy | None = None
+        if policy.uses_predictions:
+            # Degraded-mode understudy: observes every slot so its
+            # last-delivered estimates stay warm, decides only for
+            # rounds whose prediction service failed or overran.
+            fallback = ReactivePreviousPolicy()
+            fallback.reset(num_links)
 
         index = 0
         while index < len(self.events):
@@ -199,7 +232,7 @@ class StreamSimulator:
             ]
             if slot_events:
                 self._run_slot(
-                    slot_events, states, policy, service
+                    slot_events, states, policy, service, fallback
                 )
 
         per_link = [state.metrics for state in states]
@@ -241,6 +274,7 @@ class StreamSimulator:
         states: list[_LinkState],
         policy: LinkAdaptationPolicy,
         service: "PredictionService | None",
+        fallback: ReactivePreviousPolicy | None = None,
     ) -> None:
         """One synchronized slot: arrivals, predictions, decisions, decodes."""
         contexts: dict[int, SlotContext] = {}
@@ -261,30 +295,67 @@ class StreamSimulator:
                 link=link, slot=slot, record=record
             )
 
+        degraded_reason: str | None = None
         if policy.uses_predictions and service is not None:
             # Horizon-trained models predict the CIR `horizon` frames
             # after their input frame (core/targets.py), so serving one
             # means submitting an *older* frame — the same clamped
             # offset VVDEstimator.estimate uses offline.
             horizon = service.trained.horizon_frames
-            for link, ctx in sorted(contexts.items()):
-                frame_index = max(ctx.record.frame_index - horizon, 0)
-                state = states[link]
-                # The LED-matched frame is captured at or before the
-                # blink; the event stream must have delivered it.
-                frame_index = min(
-                    frame_index, max(state.latest_frame, 0)
+            round_start = time.perf_counter()
+            try:
+                for link, ctx in sorted(contexts.items()):
+                    frame_index = max(
+                        ctx.record.frame_index - horizon, 0
+                    )
+                    state = states[link]
+                    # The LED-matched frame is captured at or before the
+                    # blink; the event stream must have delivered it.
+                    frame_index = min(
+                        frame_index, max(state.latest_frame, 0)
+                    )
+                    frames = self.traces[link].measurement_set.frames
+                    service.submit(link, frames[frame_index])
+                predictions = service.flush()  # one batched forward
+            except Exception as exc:
+                # Serving outage: degrade this round, never abort the
+                # pass (KeyboardInterrupt/SystemExit still propagate).
+                predictions = {}
+                degraded_reason = f"{type(exc).__name__}: {exc}"
+            else:
+                elapsed = time.perf_counter() - round_start
+                if (
+                    self.round_deadline_s is not None
+                    and elapsed > self.round_deadline_s
+                ):
+                    # Late answers are as useless as no answers: the
+                    # slot's transmit decision could not have waited.
+                    predictions = {}
+                    overrun = ServiceDeadlineError(
+                        f"prediction round took {elapsed:.3f}s "
+                        f"(deadline {self.round_deadline_s:g}s)"
+                    )
+                    degraded_reason = (
+                        f"{type(overrun).__name__}: {overrun}"
+                    )
+            if degraded_reason is None:
+                for link, prediction in predictions.items():
+                    contexts[link].prediction = prediction
+            else:
+                print(
+                    "warning: prediction round degraded at "
+                    f"t={slot_events[0].time_s:g}s — {degraded_reason}; "
+                    f"falling back to {fallback.name}"
                 )
-                frames = self.traces[link].measurement_set.frames
-                service.submit(link, frames[frame_index])
-            predictions = service.flush()  # one micro-batched forward
-            for link, prediction in predictions.items():
-                contexts[link].prediction = prediction
 
-        decisions = {
-            link: policy.decide(ctx)
-            for link, ctx in sorted(contexts.items())
-        }
+        decisions = {}
+        for link, ctx in sorted(contexts.items()):
+            if degraded_reason is not None and fallback is not None:
+                states[link].metrics.degraded_rounds += 1
+                states[link].metrics.fallback_decisions += 1
+                decisions[link] = fallback.decide(ctx)
+            else:
+                decisions[link] = policy.decide(ctx)
         transmitting = [
             link
             for link in sorted(decisions)
@@ -310,6 +381,8 @@ class StreamSimulator:
                 state.metrics.deferrals += 1
                 state.symbols.append(_SYMBOL_DEFER)
                 policy.observe(ctx, None)
+                if fallback is not None:
+                    fallback.observe(ctx, None)
                 continue
             packet = self.components.transmitter.transmit(
                 ctx.record.sequence_number
@@ -330,3 +403,5 @@ class StreamSimulator:
                 state.metrics.delivered += 1
                 state.symbols.append(_SYMBOL_SUCCESS)
             policy.observe(ctx, outcome)
+            if fallback is not None:
+                fallback.observe(ctx, outcome)

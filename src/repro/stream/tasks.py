@@ -48,6 +48,9 @@ class StreamPolicyTask:
     horizon: int
     #: Serving-model training seed.
     seed: int
+    #: Wall-time budget of one prediction round (``None`` = unbounded);
+    #: overruns degrade the round to the reactive fallback.
+    round_deadline_s: float | None = None
 
 
 def run_stream_policy_task(task: StreamPolicyTask) -> str:
@@ -107,6 +110,7 @@ def run_stream_policy_task(task: StreamPolicyTask) -> str:
         build_components(derived),
         traces,
         deadline_slots=task.deadline_slots,
+        round_deadline_s=task.round_deadline_s,
     )
     result = simulator.run(policy, service=service)
     return json.dumps(result.payload(), sort_keys=True)

@@ -117,6 +117,57 @@ class TestLoadOrGenerate:
         assert cache.stats.sets_generated == micro_config.dataset.num_sets
 
 
+class TestIntegrity:
+    def test_corrupt_set_quarantined_and_regenerated(
+        self, micro_config, tmp_path, capsys
+    ):
+        """Flipped bytes are a miss-plus-regenerate, never a crash."""
+        cache = DatasetCache(tmp_path / "cache")
+        original = cache.load_or_generate(micro_config)
+        victim = cache.entry_dir(micro_config) / "set_01.npz"
+        data = victim.read_bytes()
+        victim.write_bytes(bytes(b ^ 0xFF for b in data[: len(data) // 2]))
+        cache.stats.reset()
+
+        healed = cache.load_or_generate(micro_config)
+        assert cache.stats.sets_corrupt == 1
+        assert cache.stats.sets_generated == 1  # only the bad set
+        assert "cache corruption detected" in capsys.readouterr().out
+        # The quarantined bytes are kept for post-mortems...
+        assert list(
+            cache.entry_dir(micro_config).glob("set_01.npz.corrupt.*")
+        )
+        # ...and the regenerated set is numerically identical.
+        np.testing.assert_array_equal(
+            np.stack([p.h_ls for p in healed[1].packets]),
+            np.stack([p.h_ls for p in original[1].packets]),
+        )
+
+    def test_digest_sidecars_written_at_save(
+        self, micro_config, tmp_path
+    ):
+        cache = DatasetCache(tmp_path / "cache")
+        cache.load_or_generate(micro_config)
+        directory = cache.entry_dir(micro_config)
+        for i in range(micro_config.dataset.num_sets):
+            assert (directory / f"set_{i:02d}.npz.sha256").exists()
+
+    def test_legacy_entry_without_sidecar_backfilled(
+        self, micro_config, tmp_path
+    ):
+        cache = DatasetCache(tmp_path / "cache")
+        cache.load_or_generate(micro_config)
+        directory = cache.entry_dir(micro_config)
+        sidecar = directory / "set_00.npz.sha256"
+        sidecar.unlink()
+        cache.stats.reset()
+
+        cache.load_or_generate(micro_config)
+        assert cache.stats.sets_corrupt == 0  # no false positive
+        assert cache.stats.sets_generated == 0
+        assert sidecar.exists()  # hashed and recorded for next time
+
+
 class TestInvalidation:
     def test_invalidate_and_entries(self, micro_config, tmp_path):
         cache = DatasetCache(tmp_path / "cache")

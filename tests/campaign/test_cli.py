@@ -137,3 +137,71 @@ class TestSweep:
         assert "no measurement sets regenerated (100% cache hits)" in second
         # The replayed report is identical.
         assert first.splitlines()[:6] == second.splitlines()[:6]
+
+
+class TestSelfHealing:
+    def test_sweep_under_fault_plan_retries_and_reports(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-chaos",
+                    "specs": [
+                        {
+                            "site": "step.body",
+                            "kind": "io_error",
+                            "match": "eval@*",
+                            "times": 1,
+                        }
+                    ],
+                }
+            )
+        )
+        code = main(
+            [
+                "sweep",
+                "--scenario",
+                "smoke",
+                "--suite",
+                "quick",
+                "--snrs",
+                "6",
+                "12",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--faults",
+                str(plan_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fault plan 'cli-chaos' armed" in out
+        assert (
+            "self-healing: 1 step attempt(s) retried, "
+            "0 step(s) quarantined" in out
+        )
+        assert "SNR sweep" in out  # the campaign still delivered
+
+    def test_unknown_fault_plan_is_an_error(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "--scenario",
+                "smoke",
+                "--suite",
+                "quick",
+                "--snrs",
+                "6",
+                "12",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--faults",
+                "no-such-plan",
+            ]
+        )
+        assert code == 2
+        assert "unknown fault plan" in capsys.readouterr().err

@@ -1,0 +1,259 @@
+"""Fault-injection framework: specs, plans, the firing ledger, hooks.
+
+The framework's contract is what makes chaos runs trustworthy: specs
+validate up front, every firing is bounded by the cross-process
+``O_EXCL`` ledger (a fault never re-fires on retry), and the hooks are
+exact no-ops while no plan is armed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import faults
+from repro.errors import (
+    ConfigurationError,
+    InjectedIOError,
+    LockTimeoutError,
+    ReproError,
+    ServiceDeadlineError,
+    StepTimeoutError,
+    TransientError,
+    WorkerCrashError,
+    is_transient,
+)
+
+
+@pytest.fixture()
+def arm(tmp_path):
+    """Activate a throwaway plan from specs; always disarm on exit."""
+
+    def _arm(*specs, seed=0):
+        plan = faults.FaultPlan(
+            name="test-plan",
+            specs=tuple(specs),
+            state_dir=tmp_path / "state",
+            seed=seed,
+        )
+        faults.activate(plan, tmp_path / "plan.json")
+        return plan
+
+    yield _arm
+    faults.deactivate()
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            faults.FaultSpec("step.body", "explode")
+
+    def test_crash_only_legal_at_worker_body(self):
+        with pytest.raises(ConfigurationError, match="crash"):
+            faults.FaultSpec("step.body", faults.KIND_CRASH)
+        spec = faults.FaultSpec("worker.body", faults.KIND_CRASH)
+        assert spec.site == "worker.body"
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="times"):
+            faults.FaultSpec("step.body", faults.KIND_STALL, times=0)
+
+    def test_matching_is_site_plus_label_glob(self):
+        spec = faults.FaultSpec(
+            "worker.body", faults.KIND_IO_ERROR, match="point@*"
+        )
+        assert spec.matches("worker.body", "point@snr_db=6.0")
+        assert not spec.matches("worker.body", "report")
+        assert not spec.matches("step.body", "point@snr_db=6.0")
+
+    def test_dict_roundtrip(self):
+        spec = faults.FaultSpec(
+            "worker.body", faults.KIND_STALL, match="eval@*", times=3,
+            delay_s=1.5,
+        )
+        assert faults.FaultSpec.from_dict(spec.as_dict()) == spec
+
+
+class TestPlanResolution:
+    def test_builtin_names_resolve(self, tmp_path):
+        for name in faults.BUILTIN_PLANS:
+            plan = faults.resolve_plan(name, tmp_path / "state")
+            assert plan.name == name
+            assert plan.specs
+            assert plan.state_dir == tmp_path / "state"
+
+    def test_unknown_name_lists_builtins(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="nightly-chaos"):
+            faults.resolve_plan("no-such-plan", tmp_path)
+
+    def test_plan_file_resolves(self, tmp_path):
+        path = tmp_path / "custom.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "custom",
+                    "specs": [
+                        {"site": "cache.load", "kind": "corrupt"}
+                    ],
+                }
+            )
+        )
+        plan = faults.resolve_plan(str(path), tmp_path / "state")
+        assert plan.name == "custom"
+        assert plan.specs[0].kind == faults.KIND_CORRUPT
+
+    def test_save_load_roundtrip(self, tmp_path):
+        plan = faults.resolve_plan("smoke-chaos", tmp_path / "state")
+        plan.save(tmp_path / "plan.json")
+        loaded = faults.FaultPlan.load(tmp_path / "plan.json")
+        assert loaded.name == plan.name
+        assert loaded.specs == plan.specs
+        assert loaded.state_dir == plan.state_dir
+
+    def test_summary_names_every_spec(self, tmp_path):
+        plan = faults.resolve_plan("nightly-chaos", tmp_path)
+        assert "crash@worker.body" in plan.summary()
+        assert "corrupt@cache.load" in plan.summary()
+
+
+class TestInjection:
+    def test_inject_is_noop_when_disarmed(self):
+        faults.deactivate()
+        faults.inject("step.body", "anything")  # must not raise
+
+    def test_io_error_fires_bounded_times(self, arm):
+        plan = arm(
+            faults.FaultSpec("step.body", faults.KIND_IO_ERROR, times=2)
+        )
+        for _ in range(2):
+            with pytest.raises(InjectedIOError):
+                faults.inject("step.body", "eval@6.0")
+        faults.inject("step.body", "eval@6.0")  # slots spent: silent
+        assert plan.fired_count() == 2
+
+    def test_label_mismatch_never_fires(self, arm):
+        plan = arm(
+            faults.FaultSpec(
+                "step.body", faults.KIND_IO_ERROR, match="eval@*"
+            )
+        )
+        faults.inject("step.body", "report")
+        faults.inject("cache.load", "eval@6.0")
+        assert plan.fired_count() == 0
+
+    def test_ledger_is_shared_across_plan_instances(self, arm, tmp_path):
+        spec = faults.FaultSpec("step.body", faults.KIND_IO_ERROR)
+        plan = arm(spec)
+        with pytest.raises(InjectedIOError):
+            faults.inject("step.body", "x")
+        # A second process resolving the same state dir sees the spent
+        # slot (simulated here by re-activating a fresh plan instance).
+        faults.activate(
+            faults.FaultPlan(
+                name="test-plan",
+                specs=(spec,),
+                state_dir=plan.state_dir,
+            ),
+            tmp_path / "plan2.json",
+        )
+        faults.inject("step.body", "x")  # must not fire again
+
+    def test_stall_sleeps_then_continues(self, arm):
+        plan = arm(
+            faults.FaultSpec("step.body", faults.KIND_STALL, delay_s=0.0)
+        )
+        faults.inject("step.body", "x")  # no exception
+        assert plan.fired_count() == 1
+
+    def test_corrupt_specs_ignored_by_inject(self, arm):
+        plan = arm(faults.FaultSpec("cache.load", faults.KIND_CORRUPT))
+        faults.inject("cache.load", "any-key")
+        assert plan.fired_count() == 0
+
+
+class TestCorruptFile:
+    def test_corrupts_once_then_stays_spent(self, arm, tmp_path):
+        plan = arm(faults.FaultSpec("cache.load", faults.KIND_CORRUPT))
+        target = tmp_path / "set_00.npz"
+        original = bytes(range(64))
+        target.write_bytes(original)
+        assert faults.corrupt_file("cache.load", "key", target) is True
+        assert target.read_bytes() != original
+        assert len(target.read_bytes()) < len(original)
+        assert plan.fired_count() == 1
+        target.write_bytes(original)
+        assert faults.corrupt_file("cache.load", "key", target) is False
+        assert target.read_bytes() == original
+
+    def test_missing_file_keeps_the_spec_armed(self, arm, tmp_path):
+        plan = arm(faults.FaultSpec("cache.load", faults.KIND_CORRUPT))
+        missing = tmp_path / "absent.npz"
+        assert faults.corrupt_file("cache.load", "key", missing) is False
+        assert plan.fired_count() == 0
+        # The slot was not consumed: a later real artifact still gets hit.
+        real = tmp_path / "set_00.npz"
+        real.write_bytes(b"payload-bytes")
+        assert faults.corrupt_file("cache.load", "key", real) is True
+
+    def test_noop_when_disarmed(self, tmp_path):
+        faults.deactivate()
+        target = tmp_path / "file.bin"
+        target.write_bytes(b"intact")
+        assert faults.corrupt_file("cache.load", "k", target) is False
+        assert target.read_bytes() == b"intact"
+
+
+class TestActivation:
+    def test_activate_publishes_plan_for_child_processes(
+        self, arm, tmp_path
+    ):
+        plan = arm(faults.FaultSpec("step.body", faults.KIND_STALL))
+        assert os.environ[faults.ENV_VAR] == str(tmp_path / "plan.json")
+        assert faults.active_plan() is plan
+        loaded = faults.FaultPlan.load(os.environ[faults.ENV_VAR])
+        assert loaded.specs == plan.specs
+
+    def test_deactivate_disarms_and_clears_env(self, arm):
+        arm(faults.FaultSpec("step.body", faults.KIND_IO_ERROR))
+        faults.deactivate()
+        assert faults.ENV_VAR not in os.environ
+        assert faults.active_plan() is None
+        faults.inject("step.body", "x")  # disarmed: silent
+
+
+class TestTransientClassification:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InjectedIOError("injected"),
+            LockTimeoutError("lock wedged"),
+            StepTimeoutError("step overran"),
+            WorkerCrashError("worker died"),
+            ServiceDeadlineError("round overran"),
+            OSError("disk hiccup"),
+            TimeoutError("slow"),
+            ConnectionError("reset"),
+        ],
+    )
+    def test_transient_errors(self, exc):
+        assert is_transient(exc) is True
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError("bad flag"),
+            ValueError("bad value"),
+            RuntimeError("boom"),
+        ],
+    )
+    def test_permanent_errors(self, exc):
+        assert is_transient(exc) is False
+
+    def test_lock_timeout_still_catchable_as_configuration_error(self):
+        # Typed for retry classification without breaking legacy
+        # handlers that catch ConfigurationError around lock use.
+        assert issubclass(LockTimeoutError, TransientError)
+        assert issubclass(LockTimeoutError, ConfigurationError)
+        assert issubclass(TransientError, ReproError)

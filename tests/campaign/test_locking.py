@@ -1,0 +1,89 @@
+"""FileLock timeout semantics and the stale temp-file janitor."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.locking import (
+    FileLock,
+    _tmp_writer_pid,
+    atomic_write_text,
+    sweep_stale_tmp,
+)
+from repro.errors import (
+    ConfigurationError,
+    LockTimeoutError,
+    TransientError,
+    is_transient,
+)
+
+
+class TestLockTimeout:
+    def test_contended_lock_raises_typed_timeout(self, tmp_path):
+        path = tmp_path / "index.lock"
+        holder = FileLock(path)
+        holder.acquire()
+        try:
+            waiter = FileLock(path, timeout_s=0.2, poll_s=0.02)
+            with pytest.raises(LockTimeoutError, match="wedged"):
+                waiter.acquire()
+        finally:
+            holder.release()
+        # Released: the same waiter now succeeds.
+        with FileLock(path, timeout_s=1.0):
+            pass
+
+    def test_lock_timeout_classified_transient(self):
+        exc = LockTimeoutError("could not acquire")
+        assert is_transient(exc) is True
+        assert isinstance(exc, TransientError)
+        # Still catchable by legacy ConfigurationError handlers.
+        assert isinstance(exc, ConfigurationError)
+
+
+def _die_mid_write(directory: str) -> None:
+    """Simulate a worker killed between temp write and atomic rename."""
+    path = Path(directory) / f".tmp_{os.getpid()}_victim.json"
+    path.write_text("{torn")
+    os._exit(1)
+
+
+class TestStaleTmpSweep:
+    def test_kill_during_write_litter_is_swept(self, tmp_path):
+        proc = multiprocessing.get_context("fork").Process(
+            target=_die_mid_write, args=(str(tmp_path),)
+        )
+        proc.start()
+        proc.join()
+        litter = list(tmp_path.glob(".tmp_*"))
+        assert len(litter) == 1
+
+        live = tmp_path / f".tmp_{os.getpid()}_live.json"
+        live.write_text("{inflight")
+
+        removed = sweep_stale_tmp(tmp_path)
+        assert removed == litter
+        assert not litter[0].exists()
+        assert live.exists()  # live writer: never touched
+
+    def test_cache_style_tmp_names_recognized(self, tmp_path):
+        dead = tmp_path / ".tmp_set_03.99999999.npz"
+        dead.write_bytes(b"partial")
+        assert sweep_stale_tmp(tmp_path) == [dead]
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        assert sweep_stale_tmp(tmp_path / "absent") == []
+
+    def test_writer_pid_parsing(self):
+        assert _tmp_writer_pid(".tmp_1234_manifest.json") == 1234
+        assert _tmp_writer_pid(".tmp_set_03.4567.npz") == 4567
+        assert _tmp_writer_pid("results.json") is None
+
+    def test_atomic_write_leaves_no_litter(self, tmp_path):
+        atomic_write_text(tmp_path / "doc.json", "{}")
+        assert list(tmp_path.glob(".tmp_*")) == []
+        assert (tmp_path / "doc.json").read_text() == "{}"

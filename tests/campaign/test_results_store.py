@@ -73,6 +73,44 @@ def test_stale_temp_files_ignored(tmp_path):
     assert [key for key, _ in store.records()] == ["seed=0"]
 
 
+def test_corrupt_record_quarantined_not_fatal(tmp_path, capsys):
+    """Garbage bytes in one record degrade to a missing point."""
+    store = ResultsStore(tmp_path)
+    store.put((("seed", "0"),), {"v": 0})
+    store.put((("seed", "1"),), {"v": 1})
+    bad = store.record_path((("seed", "1"),))
+    bad.write_bytes(b"\x00\xffgarbage{{{not json")
+
+    records = store.records()
+    assert [key for key, _ in records] == ["seed=0"]
+    assert not bad.exists()
+    assert bad.with_name(f"{bad.name}.corrupt").exists()
+    assert "quarantined" in capsys.readouterr().out
+
+
+def test_get_of_corrupt_record_reports_absent(tmp_path):
+    store = ResultsStore(tmp_path)
+    store.put((("seed", "0"),), {"v": 0})
+    store.record_path((("seed", "0"),)).write_bytes(b"{torn")
+    with pytest.raises(ConfigurationError, match="no grid record"):
+        store.get((("seed", "0"),))
+
+
+def test_records_sweeps_dead_writers_tmp_litter(tmp_path):
+    import os
+
+    store = ResultsStore(tmp_path)
+    store.put((("seed", "0"),), {"v": 0})
+    dead = tmp_path / ".tmp_99999999_seed=1.json"
+    dead.write_text("{torn")
+    live = tmp_path / f".tmp_{os.getpid()}_seed=2.json"
+    live.write_text("{inflight")
+
+    assert [key for key, _ in store.records()] == ["seed=0"]
+    assert not dead.exists()  # writer pid dead: swept
+    assert live.exists()  # this process is alive: kept
+
+
 def test_unsafe_coordinate_characters_sanitized(tmp_path):
     store = ResultsStore(tmp_path)
     path = store.record_path((("trajectory", "random-waypoint"),))

@@ -1,0 +1,347 @@
+"""Retry/timeout/quarantine semantics of the self-healing executor.
+
+Pins the failure-handling contract of :meth:`Campaign.run`: transient
+failures re-attempt on a deterministic backoff schedule with every
+attempt journaled into the manifest, permanent failures never retry,
+hung workers are killed at the step timeout and requeued, and
+quarantined steps fence off their dependents while independent DAG
+branches (and ``run_on_partial`` reports) still complete.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignContext,
+    CampaignStep,
+    DatasetCache,
+    RetryPolicy,
+)
+from repro.campaign.manifest import (
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_QUARANTINED,
+)
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError, InjectedIOError
+
+
+def _campaign(tmp_path, steps, name="retry-test"):
+    directory = tmp_path / "campaign"
+    campaign = Campaign(name, steps, directory)
+    context = CampaignContext(
+        SimulationConfig.tiny(),
+        DatasetCache(tmp_path / "cache"),
+        directory,
+    )
+    return campaign, context
+
+
+#: Zero-backoff policy for fast tests of the retry *logic*.
+_FAST = RetryPolicy(max_attempts=3, backoff_base_s=0.0)
+
+
+# Module-level worker bodies (picklable; flag files make the first
+# attempt fail and later attempts succeed, like a real transient).
+def _fail_once_worker(flag_path: str, payload: str) -> str:
+    flag = Path(flag_path)
+    if not flag.exists():
+        flag.write_text("attempted")
+        raise InjectedIOError("first attempt fails")
+    return payload
+
+
+def _hang_once_worker(flag_path: str, payload: str) -> str:
+    flag = Path(flag_path)
+    if not flag.exists():
+        flag.write_text("hung")
+        time.sleep(120.0)
+    return payload
+
+
+def _crash_once_worker(flag_path: str, payload: str) -> str:
+    flag = Path(flag_path)
+    if not flag.exists():
+        flag.write_text("crashed")
+        os._exit(9)
+    return payload
+
+
+def _sleep_forever(seconds: float) -> str:
+    time.sleep(seconds)
+    return "never"
+
+
+def _echo(payload: str) -> str:
+    return payload
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError, match="timeout_s"):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ConfigurationError, match="backoff"):
+            RetryPolicy(backoff_base_s=-1.0)
+
+    def test_backoff_deterministic_jittered_bounded(self):
+        policy = RetryPolicy()
+        first = policy.backoff_s("eval@6.0", 1)
+        assert first == policy.backoff_s("eval@6.0", 1)
+        assert 0.5 * policy.backoff_base_s <= first
+        assert first < 1.5 * policy.backoff_base_s
+        # Exponential growth, capped by backoff_max_s (plus jitter).
+        assert policy.backoff_s("eval@6.0", 50) <= 1.5 * policy.backoff_max_s
+
+    def test_should_retry_only_transient_within_budget(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.should_retry(InjectedIOError("x"), 1) is True
+        assert policy.should_retry(InjectedIOError("x"), 2) is False
+        assert policy.should_retry(ConfigurationError("x"), 1) is False
+
+
+class TestTransientRetry:
+    def test_transient_failure_succeeds_on_second_attempt(self, tmp_path):
+        calls = {"n": 0}
+
+        def flaky(ctx):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise InjectedIOError("transient glitch")
+            return "ok"
+
+        campaign, context = _campaign(
+            tmp_path, [CampaignStep("flaky", "flaky step", flaky)]
+        )
+        result = campaign.run(context, retry=_FAST)
+
+        assert calls["n"] == 2
+        assert result.executed == ["flaky"]
+        assert result.retried == 1
+        assert context.read_output("flaky") == "ok"
+        assert campaign.manifest.status("flaky") == STATUS_DONE
+        attempts = campaign.manifest.attempts("flaky")
+        assert len(attempts) == 1
+        assert attempts[0]["attempt"] == 1
+        assert attempts[0]["action"] == "retry"
+        assert attempts[0]["transient"] is True
+        assert attempts[0]["backoff_s"] >= 0.0
+        assert "InjectedIOError" in attempts[0]["error"]
+
+    def test_exhausted_budget_quarantines(self, tmp_path):
+        calls = {"n": 0}
+
+        def doomed(ctx):
+            calls["n"] += 1
+            raise InjectedIOError("always transient")
+
+        campaign, context = _campaign(
+            tmp_path, [CampaignStep("doomed", "never succeeds", doomed)]
+        )
+        policy = RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+        result = campaign.run(context, retry=policy, quarantine=True)
+
+        assert calls["n"] == 2
+        assert result.retried == 1
+        assert result.quarantined == ["doomed"]
+        actions = [
+            entry["action"]
+            for entry in campaign.manifest.attempts("doomed")
+        ]
+        assert actions == ["retry", "quarantine"]
+        assert campaign.manifest.status("doomed") == STATUS_QUARANTINED
+
+
+class TestPermanentFailure:
+    def test_raises_without_quarantine(self, tmp_path):
+        calls = {"n": 0}
+
+        def broken(ctx):
+            calls["n"] += 1
+            raise ConfigurationError("permanently misconfigured")
+
+        campaign, context = _campaign(
+            tmp_path, [CampaignStep("broken", "always fails", broken)]
+        )
+        with pytest.raises(ConfigurationError, match="misconfigured"):
+            campaign.run(context, retry=_FAST)
+        assert calls["n"] == 1  # permanent: no retry burned
+        assert campaign.manifest.status("broken") == STATUS_FAILED
+        attempts = campaign.manifest.attempts("broken")
+        assert [entry["action"] for entry in attempts] == ["fail"]
+        assert attempts[0]["transient"] is False
+
+    def test_quarantines_without_retry(self, tmp_path):
+        calls = {"n": 0}
+
+        def broken(ctx):
+            calls["n"] += 1
+            raise ConfigurationError("permanently misconfigured")
+
+        campaign, context = _campaign(
+            tmp_path, [CampaignStep("broken", "always fails", broken)]
+        )
+        result = campaign.run(context, retry=_FAST, quarantine=True)
+        assert calls["n"] == 1
+        assert result.retried == 0
+        assert result.quarantined == ["broken"]
+        assert context.quarantined == {"broken"}
+
+
+class TestQuarantineCascade:
+    def _steps(self, flag: Path):
+        def bad(ctx):
+            if not flag.exists():
+                raise ConfigurationError("still broken")
+            return "healed"
+
+        return [
+            CampaignStep("bad", "fails until healed", bad),
+            CampaignStep(
+                "child", "needs bad", lambda ctx: "child", ("bad",)
+            ),
+            CampaignStep("other", "independent", lambda ctx: "other"),
+            CampaignStep(
+                "report",
+                "partial-tolerant summary",
+                lambda ctx: "survivors: "
+                + ", ".join(
+                    sorted(
+                        {"bad", "child", "other"} - ctx.quarantined
+                    )
+                ),
+                ("bad", "child", "other"),
+                run_on_partial=True,
+            ),
+        ]
+
+    def test_dependents_fenced_independent_branch_continues(
+        self, tmp_path
+    ):
+        flag = tmp_path / "healed"
+        campaign, context = _campaign(tmp_path, self._steps(flag))
+        result = campaign.run(context, retry=_FAST, quarantine=True)
+
+        assert result.quarantined == ["bad", "child"]
+        assert "other" in result.executed
+        assert "report" in result.executed
+        assert context.read_output("report") == "survivors: other"
+        assert campaign.manifest.status("child") == STATUS_QUARANTINED
+        assert (
+            "dependency quarantined: bad"
+            in campaign.manifest.steps["child"]["detail"]
+        )
+        # The partial report is journaled done, flagged for re-run.
+        record = campaign.manifest.steps["report"]
+        assert record["status"] == STATUS_DONE
+        assert record["detail"].startswith("partial:")
+
+    def test_partial_report_rebuilt_after_healing(self, tmp_path):
+        flag = tmp_path / "healed"
+        campaign, context = _campaign(tmp_path, self._steps(flag))
+        campaign.run(context, retry=_FAST, quarantine=True)
+
+        flag.write_text("fixed")  # heal the root cause
+        fresh = CampaignContext(
+            context.config, context.cache, context.directory
+        )
+        result = campaign.run(fresh, retry=_FAST, quarantine=True)
+
+        # Quarantined steps and the partial report re-run; the healthy
+        # branch resumes from the manifest.
+        assert set(result.executed) == {"bad", "child", "report"}
+        assert result.skipped == ["other"]
+        assert result.quarantined == []
+        assert fresh.read_output("report") == (
+            "survivors: bad, child, other"
+        )
+        assert campaign.manifest.steps["report"]["detail"] == ""
+
+
+class TestSupervisedWorkers:
+    def test_timeout_kills_hung_worker_and_requeues(self, tmp_path):
+        flag = tmp_path / "hung-once"
+        step = CampaignStep(
+            "slow",
+            "hangs on the first attempt",
+            lambda ctx: _hang_once_worker(str(flag), "done"),
+            worker=lambda ctx: (
+                _hang_once_worker,
+                {"flag_path": str(flag), "payload": "done"},
+            ),
+        )
+        campaign, context = _campaign(tmp_path, [step])
+        policy = RetryPolicy(
+            max_attempts=2, backoff_base_s=0.0, timeout_s=1.0
+        )
+        start = time.monotonic()
+        result = campaign.run(context, retry=policy)
+        elapsed = time.monotonic() - start
+
+        assert result.executed == ["slow"]
+        assert result.retried == 1
+        assert context.read_output("slow") == "done"
+        assert elapsed < 60.0  # the hung attempt did not run to sleep(120)
+        attempts = campaign.manifest.attempts("slow")
+        assert len(attempts) == 1
+        assert "StepTimeoutError" in attempts[0]["error"]
+        assert attempts[0]["action"] == "retry"
+
+    def test_timeout_budget_exhausts_to_quarantine(self, tmp_path):
+        step = CampaignStep(
+            "wedged",
+            "hangs on every attempt",
+            lambda ctx: "unused",
+            worker=lambda ctx: (
+                _sleep_forever,
+                {"seconds": 120.0},
+            ),
+        )
+        campaign, context = _campaign(tmp_path, [step])
+        policy = RetryPolicy(
+            max_attempts=2, backoff_base_s=0.0, timeout_s=0.5
+        )
+        result = campaign.run(context, retry=policy, quarantine=True)
+
+        assert result.quarantined == ["wedged"]
+        actions = [
+            entry["action"]
+            for entry in campaign.manifest.attempts("wedged")
+        ]
+        assert actions == ["retry", "quarantine"]
+
+    def test_worker_crash_retried_in_parallel_run(self, tmp_path):
+        flag = tmp_path / "crashed-once"
+        steps = [
+            CampaignStep(
+                f"w{i}",
+                "worker step",
+                lambda ctx: "inline",
+                worker=lambda ctx, i=i: (
+                    (_crash_once_worker, {
+                        "flag_path": str(flag),
+                        "payload": "ok",
+                    })
+                    if i == 0
+                    else (_echo, {"payload": "fine"})
+                ),
+            )
+            for i in range(2)
+        ]
+        campaign, context = _campaign(tmp_path, steps)
+        result = campaign.run(context, jobs=2, retry=_FAST)
+
+        assert sorted(result.executed) == ["w0", "w1"]
+        assert result.retried == 1
+        assert context.read_output("w0") == "ok"
+        assert context.read_output("w1") == "fine"
+        attempts = campaign.manifest.attempts("w0")
+        assert len(attempts) == 1
+        assert "WorkerCrashError" in attempts[0]["error"]

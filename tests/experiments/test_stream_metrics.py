@@ -134,6 +134,27 @@ class TestStreamMetrics:
         metrics = StreamMetrics(
             offered=7, delivered=5, attempts=6, failures=1,
             deferrals=1, deadline_misses=1, duration_s=0.7,
+            degraded_rounds=2, fallback_decisions=2,
         )
         rebuilt = StreamMetrics.from_dict(metrics.as_dict())
         assert rebuilt == metrics
+
+    def test_degraded_counters_merge(self):
+        total = StreamMetrics()
+        total.merge(
+            StreamMetrics(degraded_rounds=2, fallback_decisions=3)
+        )
+        total.merge(
+            StreamMetrics(degraded_rounds=1, fallback_decisions=1)
+        )
+        assert total.degraded_rounds == 3
+        assert total.fallback_decisions == 4
+
+    def test_legacy_payload_without_degraded_fields_loads(self):
+        """Payloads persisted before degraded-mode existed stay readable."""
+        payload = StreamMetrics(offered=3, delivered=3).as_dict()
+        del payload["degraded_rounds"]
+        del payload["fallback_decisions"]
+        rebuilt = StreamMetrics.from_dict(payload)
+        assert rebuilt.degraded_rounds == 0
+        assert rebuilt.fallback_decisions == 0

@@ -1,0 +1,154 @@
+"""Degraded prediction rounds: serving faults fall back, deterministically.
+
+When the prediction service raises mid-round (injected here through the
+``service.flush`` fault site) or overruns the optional round deadline,
+the simulator must finish the pass on the warm reactive fallback for
+the affected rounds — counted in ``StreamMetrics.degraded_rounds`` /
+``fallback_decisions`` — and two runs under the same fault plan must
+produce byte-identical payloads.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.dataset import build_components
+from repro.errors import (
+    ConfigurationError,
+    ServiceDeadlineError,
+    is_transient,
+)
+from repro.stream import (
+    PredictionService,
+    StreamSimulator,
+    stream_link_config,
+)
+from repro.stream.policy import build_policy
+
+
+@pytest.fixture()
+def disarm():
+    """Guarantee no fault plan leaks out of a test."""
+    yield
+    faults.deactivate()
+
+
+def _fresh_service(smoke_service) -> PredictionService:
+    """A service clone with fresh stats (and fresh flush counters)."""
+    return PredictionService(
+        smoke_service.trained,
+        smoke_service.max_depth_m,
+        detector=smoke_service.detector,
+    )
+
+
+def _simulator(smoke_config, smoke_traces, **kwargs) -> StreamSimulator:
+    components = build_components(
+        stream_link_config(smoke_config, 2, slots=20)
+    )
+    return StreamSimulator(
+        components, smoke_traces, deadline_slots=3, **kwargs
+    )
+
+
+def _chaos_run(smoke_config, smoke_traces, smoke_service, state_dir):
+    plan = faults.FaultPlan(
+        name="serving-outage",
+        specs=(
+            faults.FaultSpec(
+                "service.flush", faults.KIND_IO_ERROR, times=1
+            ),
+        ),
+        state_dir=state_dir,
+    )
+    faults.activate(plan, state_dir / "plan.json")
+    try:
+        simulator = _simulator(smoke_config, smoke_traces)
+        return simulator.run(
+            build_policy("proactive"),
+            service=_fresh_service(smoke_service),
+        )
+    finally:
+        faults.deactivate()
+
+
+class TestServiceFaultDegradation:
+    def test_one_faulted_round_degrades_not_aborts(
+        self,
+        smoke_config,
+        smoke_traces,
+        smoke_service,
+        tmp_path,
+        capsys,
+        disarm,
+    ):
+        result = _chaos_run(
+            smoke_config, smoke_traces, smoke_service, tmp_path / "s"
+        )
+        # One faulted round, counted once per affected link.
+        assert result.metrics.degraded_rounds == len(smoke_traces)
+        assert (
+            result.metrics.fallback_decisions
+            == result.metrics.degraded_rounds
+        )
+        for per_link in result.per_link:
+            assert per_link.degraded_rounds == 1
+        assert "prediction round degraded" in capsys.readouterr().out
+
+    def test_chaos_payload_is_deterministic(
+        self, smoke_config, smoke_traces, smoke_service, tmp_path, disarm
+    ):
+        first = _chaos_run(
+            smoke_config, smoke_traces, smoke_service, tmp_path / "a"
+        )
+        second = _chaos_run(
+            smoke_config, smoke_traces, smoke_service, tmp_path / "b"
+        )
+        assert json.dumps(
+            first.payload(), sort_keys=True
+        ) == json.dumps(second.payload(), sort_keys=True)
+
+    def test_clean_run_counts_no_degradation(
+        self, smoke_config, smoke_traces, smoke_service
+    ):
+        faults.deactivate()
+        result = _simulator(smoke_config, smoke_traces).run(
+            build_policy("proactive"),
+            service=_fresh_service(smoke_service),
+        )
+        assert result.metrics.degraded_rounds == 0
+        assert result.metrics.fallback_decisions == 0
+        payload = result.payload()
+        assert payload["metrics"]["degraded_rounds"] == 0
+
+
+class TestRoundDeadline:
+    def test_overrun_degrades_every_round(
+        self, smoke_config, smoke_traces, smoke_service, capsys
+    ):
+        # An impossible budget: every prediction round overruns.
+        simulator = _simulator(
+            smoke_config, smoke_traces, round_deadline_s=1e-9
+        )
+        result = simulator.run(
+            build_policy("proactive"),
+            service=_fresh_service(smoke_service),
+        )
+        assert result.metrics.degraded_rounds > 0
+        assert (
+            result.metrics.fallback_decisions
+            == result.metrics.degraded_rounds
+        )
+        assert "ServiceDeadlineError" in capsys.readouterr().out
+
+    def test_deadline_validation(self, smoke_config, smoke_traces):
+        with pytest.raises(ConfigurationError, match="round_deadline_s"):
+            _simulator(
+                smoke_config, smoke_traces, round_deadline_s=0.0
+            )
+
+    def test_service_deadline_error_is_transient(self):
+        assert is_transient(ServiceDeadlineError("overran")) is True

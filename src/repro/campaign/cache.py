@@ -58,13 +58,32 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-vvd" / "datasets"
 
 
+#: Config fields added *after* :data:`DATASET_CACHE_SALT` v2 shipped,
+#: keyed by ``(dataclass name, field name)``.  They are elided from
+#: canonicalization while they hold their declared default, so every
+#: pre-v3 dataset/model cache key stays byte-identical; a config that
+#: actually activates one of them hashes to a distinct key.  Never
+#: remove an entry without bumping the salt.
+_POST_V2_FIELDS = {
+    ("MobilityConfig", "speed_profile"),
+    ("MobilityConfig", "group_spread_m"),
+}
+
+
 def _canonical(value: object) -> object:
     """Recursively convert config values into JSON-stable primitives."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return {
-            f.name: _canonical(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-        }
+        cls_name = type(value).__name__
+        out = {}
+        for f in dataclasses.fields(value):
+            field_value = getattr(value, f.name)
+            if (
+                (cls_name, f.name) in _POST_V2_FIELDS
+                and field_value == f.default
+            ):
+                continue
+            out[f.name] = _canonical(field_value)
+        return out
     if isinstance(value, complex):
         return {"re": value.real, "im": value.imag}
     if isinstance(value, (tuple, list)):

@@ -25,6 +25,13 @@ Installed as the ``repro`` console script (``setup.py``) and runnable as
     as an independent campaign step (scheduled as a topological
     wavefront over ``--jobs`` worker processes) and render the
     cross-scenario summary table from the aggregated results store.
+``scenarios``
+    The scenario language: ``load`` validates and registers scenarios
+    (and custom rooms) from a TOML/JSON file, ``sample`` draws seeded
+    uniformly-valid specs from the declared parameter ranges (one
+    canonical JSON line per spec — diffable, so two runs with the same
+    seed must print byte-identical output), and ``describe`` prints the
+    declared parameter/condition catalog.
 ``cache``
     Inspect (``stats``/``list``) or invalidate (``clear``) the cache.
 
@@ -737,6 +744,54 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     return 3 if result.quarantined else 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .params import (
+        describe_parameters,
+        load_scenario_file,
+        sample_scenario_specs,
+        spec_from_scenario,
+    )
+
+    if args.action == "describe":
+        if args.scenario is not None:
+            scenario = get_scenario(args.scenario)
+            report = spec_from_scenario(scenario).validate()
+            print(spec_from_scenario(scenario).canonical_json())
+            print(report.summary())
+            for line in report.warnings:
+                print(f"warning: {line}")
+            return 0
+        print(describe_parameters())
+        return 0
+    if args.action == "load":
+        if args.file is None:
+            raise ReproError(
+                "scenarios load needs a file argument, e.g. "
+                "`repro scenarios load my-scenarios.toml`"
+            )
+        loaded = load_scenario_file(
+            args.file, register=True, replace=args.replace
+        )
+        for scenario in loaded:
+            print(f"registered scenario {scenario.name!r}")
+        print(f"{len(loaded)} scenario(s) loaded from {args.file}")
+        return 0
+    if args.action == "sample":
+        specs = sample_scenario_specs(
+            args.seed, args.count, scale=args.scale
+        )
+        for spec in specs:
+            print(spec.canonical_json())
+        if args.register:
+            from .scenario import register_scenario
+
+            for spec in specs:
+                register_scenario(spec.to_scenario(), replace=True)
+            print(f"{len(specs)} sampled scenario(s) registered")
+        return 0
+    raise ReproError(f"unknown scenarios action {args.action!r}")
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = DatasetCache(args.cache_dir)
     if args.action == "stats":
@@ -1052,6 +1107,61 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_dir_option(p_grid)
     _add_common_options(p_grid)
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_scenarios = sub.add_parser(
+        "scenarios",
+        help="scenario language: load TOML/JSON files, sample seeded "
+        "specs, describe the declared schema",
+    )
+    p_scenarios.add_argument(
+        "action",
+        choices=("load", "sample", "describe"),
+        help="load = validate+register a scenario file, sample = draw "
+        "seeded valid specs, describe = print the parameter catalog",
+    )
+    p_scenarios.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="with 'load': the .toml/.json scenario file",
+    )
+    p_scenarios.add_argument(
+        "--replace",
+        action="store_true",
+        help="with 'load': overwrite already-registered names",
+    )
+    p_scenarios.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="with 'sample': the draw seed (same seed, same specs — "
+        "across processes and machines)",
+    )
+    p_scenarios.add_argument(
+        "--count",
+        type=int,
+        default=10,
+        help="with 'sample': number of valid specs to draw",
+    )
+    p_scenarios.add_argument(
+        "--scale",
+        choices=("full", "tiny"),
+        default="full",
+        help="with 'sample': 'tiny' clamps dimensions to seconds-scale "
+        "specs (used by the fuzz round-trip tests)",
+    )
+    p_scenarios.add_argument(
+        "--register",
+        action="store_true",
+        help="with 'sample': also register the sampled scenarios",
+    )
+    p_scenarios.add_argument(
+        "--scenario",
+        default=None,
+        help="with 'describe': print one registered scenario's "
+        "effective spec + validation summary instead of the catalog",
+    )
+    p_scenarios.set_defaults(func=_cmd_scenarios)
 
     p_cache = sub.add_parser(
         "cache", help="inspect or invalidate the dataset cache"

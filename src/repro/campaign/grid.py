@@ -29,7 +29,6 @@ publishes a deterministic record into the campaign's
 
 from __future__ import annotations
 
-import dataclasses
 import itertools
 import json
 from dataclasses import dataclass
@@ -37,6 +36,7 @@ from typing import Sequence
 
 from ..config import SimulationConfig
 from ..errors import ConfigurationError
+from .params import get_parameter
 from .results import ResultsStore, coords_key
 from .scenario import Scenario, get_scenario, register_scenario
 
@@ -44,6 +44,7 @@ from .scenario import Scenario, get_scenario, register_scenario
 AXIS_FIELDS: dict[str, str] = {
     "num_humans": "num_humans",
     "speed": "speed_range_mps",
+    "speed_profile": "speed_profile",
     "trajectory": "trajectory",
     "room": "room",
     "snr_db": "snr_db",
@@ -58,6 +59,30 @@ AXIS_FIELDS: dict[str, str] = {
 #: while grid members sharing every other coordinate share one cached
 #: dataset.
 EVAL_AXES = ("horizon",)
+
+
+def _axis_violations(axis: str, value: object) -> list[str]:
+    """Schema violations of one axis value (empty when valid).
+
+    Scenario-field axes validate through the declared
+    :class:`~repro.campaign.params.Parameter`; the ``horizon`` eval
+    axis expects a non-negative int.  Runs at :class:`GridSpec`
+    construction so an inconsistent grid fails before any expansion,
+    registration or campaign start.
+    """
+    if axis in EVAL_AXES:
+        if isinstance(value, bool) or not isinstance(value, int):
+            return [
+                f"{axis}: expected int, got "
+                f"{type(value).__name__} ({value!r})"
+            ]
+        if value < 0:
+            return [f"{axis}: must be >= 0, got {value}"]
+        return []
+    parameter = get_parameter(AXIS_FIELDS[axis])
+    if isinstance(value, list):
+        value = tuple(value)
+    return parameter.violations(value)
 
 
 def format_axis_value(value: object) -> str:
@@ -157,6 +182,16 @@ class GridSpec:
                 raise ConfigurationError(
                     f"grid axis {axis!r} has no values"
                 )
+        violations: list[str] = []
+        for axis, values in normalized:
+            for value in values:
+                violations.extend(_axis_violations(axis, value))
+        if violations:
+            raise ConfigurationError(
+                f"grid {self.name!r} axis values failed validation "
+                f"with {len(violations)} violation(s): "
+                + "; ".join(violations)
+            )
 
     @property
     def axis_names(self) -> tuple[str, ...]:
@@ -183,9 +218,9 @@ class GridSpec:
         """Every grid cell as a :class:`GridPoint`, in declared order.
 
         Each member scenario is the base scenario with the cell's axis
-        overrides applied via ``dataclasses.replace`` (scenario
-        validation runs per member, so an inconsistent cell fails here,
-        before any campaign starts).
+        overrides applied via :meth:`Scenario.variant` (the scenario
+        language's delta-copy, so an inconsistent cell fails here with
+        its full violation list, before any campaign starts).
         """
         base = get_scenario(self.base)
         names = self.axis_names
@@ -208,8 +243,7 @@ class GridSpec:
                     low, high = value
                     value = (float(low), float(high))
                 overrides[field] = value
-            member = dataclasses.replace(
-                base,
+            member = base.variant(
                 name=self.member_name(coords),
                 description=(
                     f"grid {self.name!r} member ({coords_key(coords)})"

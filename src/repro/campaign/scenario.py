@@ -16,6 +16,16 @@ Parametric grids (:class:`~repro.campaign.grid.GridSpec`) register
 their derived member scenarios here too — a grid member like
 ``smoke-grid/snr_db=6,seed=0,speed=0.4-0.8`` is a first-class scenario
 every step builder accepts by name.
+
+Validation is delegated to the scenario language in
+:mod:`repro.campaign.params`: every field is a declared
+:class:`~repro.campaign.params.Parameter` and cross-field rules are
+declared :class:`~repro.campaign.params.Condition` objects, so an
+inconsistent scenario fails at construction with the *full* list of
+violations.  :meth:`Scenario.variant` delta-copies through the same
+schema, and scenarios can be loaded from TOML/JSON files
+(:func:`~repro.campaign.params.load_scenario_file`) or sampled from the
+declared ranges (:func:`~repro.campaign.params.sample_scenarios`).
 """
 
 from __future__ import annotations
@@ -46,6 +56,20 @@ ROOM_PRESETS: dict[str, RoomConfig] = {
             (6.5, 1.1, 1.1, 0.24),
             (8.0, 6.7, 1.0, 0.27),
             (3.2, 7.2, 1.5, 0.22),
+        ),
+    ),
+    # A long narrow corridor: 16 x 3 m, near-grazing wall bounces and a
+    # LoS link running the full length; two doorframe scatterers.
+    "corridor": RoomConfig(
+        width_m=16.0,
+        depth_m=3.0,
+        height_m=3.0,
+        tx_position=(1.0, 1.5, 1.2),
+        rx_position=(15.0, 1.5, 1.2),
+        movement_area=(2.0, 0.5, 14.0, 2.5),
+        scatterers=(
+            (5.0, 0.3, 1.0, 0.22),
+            (10.0, 2.7, 1.0, 0.22),
         ),
     ),
 }
@@ -81,6 +105,10 @@ class Scenario:
     num_humans: int = 1
     #: Walking-speed range override ``(min, max)`` in m/s.
     speed_range_mps: tuple[float, float] | None = None
+    #: Per-walker speed assignment: ``"uniform"`` (all walkers share
+    #: the full range) or ``"heterogeneous"`` (disjoint per-walker
+    #: bands; see :func:`repro.channel.walker_speed_band`).
+    speed_profile: str = "uniform"
     #: Operating-point SNR override for single-point campaigns.
     snr_db: float | None = None
     #: SNR grid evaluated by ``repro sweep`` (highest first in reports).
@@ -98,22 +126,22 @@ class Scenario:
     tags: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.base not in _BASE_PRESETS:
-            raise ConfigurationError(
-                f"unknown base preset {self.base!r}; expected one of "
-                f"{sorted(_BASE_PRESETS)}"
-            )
-        if self.room not in ROOM_PRESETS:
-            raise ConfigurationError(
-                f"unknown room preset {self.room!r}; expected one of "
-                f"{sorted(ROOM_PRESETS)}"
-            )
-        if not self.snr_grid_db:
-            raise ConfigurationError("snr_grid_db must not be empty")
-        if self.stream_links < 1:
-            raise ConfigurationError(
-                f"stream_links must be >= 1, got {self.stream_links}"
-            )
+        from .params import spec_from_scenario
+
+        spec_from_scenario(self).validate().raise_for_errors()
+
+    def variant(self, **overrides: object) -> "Scenario":
+        """Delta-copy: this scenario with ``overrides`` applied.
+
+        Routes through the :class:`~repro.campaign.params.ScenarioSpec`
+        schema, so an inconsistent variant fails at construction with
+        the full aggregated violation list (replacing the old ad-hoc
+        ``dataclasses.replace`` chains).
+        """
+        from .params import spec_from_scenario
+
+        spec = spec_from_scenario(self).delta(**overrides)
+        return spec.to_scenario()
 
     def resolve(self) -> SimulationConfig:
         """Materialize the concrete :class:`SimulationConfig`.
@@ -135,6 +163,8 @@ class Scenario:
             low, high = self.speed_range_mps
             mobility_changes["speed_min_mps"] = float(low)
             mobility_changes["speed_max_mps"] = float(high)
+        if self.speed_profile != "uniform":
+            mobility_changes["speed_profile"] = self.speed_profile
         if mobility_changes:
             config = config.replace(
                 mobility=dataclasses.replace(
@@ -293,6 +323,21 @@ def _register_builtins() -> None:
             speed_range_mps=(1.0, 1.6),
             stream_links=6,
             tags=("new-workload", "stream"),
+        ),
+        Scenario(
+            name="corridor-commute",
+            description=(
+                "Grouped commuters in a 16 x 3 m corridor: a "
+                "three-walker cluster with heterogeneous per-walker "
+                "speeds sweeping the full-length LoS link"
+            ),
+            base="reduced",
+            room="corridor",
+            trajectory="grouped",
+            num_humans=3,
+            speed_range_mps=(0.6, 1.4),
+            speed_profile="heterogeneous",
+            tags=("new-workload", "grouped"),
         ),
         Scenario(
             name="stream-smoke",

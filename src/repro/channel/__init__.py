@@ -23,9 +23,12 @@ from .geometry import (
 from .multipath import PropagationPath, build_static_paths, human_scatter_path
 from .human import (
     CrossingMobility,
+    GroupedFollowerMobility,
     RandomWaypointMobility,
+    build_walkers,
     make_walker,
     sample_trajectory,
+    walker_speed_band,
 )
 from .blockage import (
     blockage_attenuation,
@@ -43,9 +46,12 @@ __all__ = [
     "build_static_paths",
     "human_scatter_path",
     "CrossingMobility",
+    "GroupedFollowerMobility",
     "RandomWaypointMobility",
+    "build_walkers",
     "make_walker",
     "sample_trajectory",
+    "walker_speed_band",
     "blockage_attenuation",
     "path_blockage_factor",
     "shadow_clearance_m",

@@ -5,12 +5,18 @@ The paper's campaign walks a single human on random waypoints (Sec. 3:
 area is limited so all movements are captured).  Campaign scenarios add
 :class:`CrossingMobility`, a walker that shuttles between the two sides
 of the movement area so the LoS path is crossed on every traversal, and
-:func:`make_walker` selects the trajectory preset configured in
-:class:`~repro.config.MobilityConfig`.
+:class:`GroupedFollowerMobility`, a walker that tracks a leader at a
+bounded offset so multi-human scenes move as one cluster
+(``trajectory="grouped"``).  :func:`make_walker` selects the trajectory
+preset configured in :class:`~repro.config.MobilityConfig` and
+:func:`build_walkers` assembles the full per-set walker list (leader +
+followers, heterogeneous per-walker speed bands) the dataset generator
+consumes.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -133,20 +139,137 @@ class CrossingMobility(RandomWaypointMobility):
         )
 
 
+class GroupedFollowerMobility:
+    """Walker that tracks a leader at a bounded, fixed offset.
+
+    Grouped scenes (``trajectory="grouped"``) move as one cluster: the
+    leader walks random waypoints and every follower holds a per-walker
+    offset drawn once from a disc of radius
+    ``mobility.group_spread_m``, clamped back into the movement area so
+    followers never escape the camera-covered region.  The offset is a
+    pure function of the follower's RNG, so grouped trajectories replay
+    deterministically like every other preset.
+    """
+
+    def __init__(
+        self,
+        leader: RandomWaypointMobility,
+        room: RoomConfig,
+        mobility: MobilityConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self._leader = leader
+        self._area = room.movement_area
+        angle = rng.uniform(0.0, 2.0 * np.pi)
+        radius = mobility.group_spread_m * np.sqrt(rng.uniform(0.0, 1.0))
+        self._offset = np.array(
+            [radius * np.cos(angle), radius * np.sin(angle)],
+            dtype=np.float64,
+        )
+        self.duration_s = leader.duration_s
+
+    def position_at(self, time_s: float) -> np.ndarray:
+        """Leader position plus the offset, clamped to the area."""
+        x0, y0, x1, y1 = self._area
+        position = self._leader.position_at(time_s) + self._offset
+        return np.clip(position, (x0, y0), (x1, y1))
+
+
 def make_walker(
     room: RoomConfig,
     mobility: MobilityConfig,
     rng: np.random.Generator,
     duration_s: float,
 ) -> RandomWaypointMobility:
-    """Build the walker class selected by ``mobility.trajectory``."""
+    """Build the walker class selected by ``mobility.trajectory``.
+
+    ``"grouped"`` returns the cluster's *leader* (a random-waypoint
+    walk); followers wrap it via :class:`GroupedFollowerMobility` — see
+    :func:`build_walkers` for the full per-set assembly.
+    """
     if mobility.trajectory == "crossing":
         return CrossingMobility(room, mobility, rng, duration_s)
-    if mobility.trajectory == "random-waypoint":
+    if mobility.trajectory in ("random-waypoint", "grouped"):
         return RandomWaypointMobility(room, mobility, rng, duration_s)
     raise ConfigurationError(
         f"unknown trajectory preset {mobility.trajectory!r}"
     )
+
+
+def walker_speed_band(
+    mobility: MobilityConfig, walker_index: int
+) -> tuple[float, float]:
+    """Speed range of one walker under the configured speed profile.
+
+    ``"uniform"`` gives every walker the full ``(speed_min_mps,
+    speed_max_mps)`` range; ``"heterogeneous"`` partitions the range
+    into ``num_humans`` equal disjoint bands (walker 0 slowest), so
+    multi-walker scenes mix dwell times deterministically.
+    """
+    if (
+        mobility.speed_profile == "uniform"
+        or mobility.num_humans == 1
+    ):
+        return (mobility.speed_min_mps, mobility.speed_max_mps)
+    span = mobility.speed_max_mps - mobility.speed_min_mps
+    step = span / mobility.num_humans
+    low = mobility.speed_min_mps + walker_index * step
+    high = low + step if step > 0 else mobility.speed_max_mps
+    return (low, high)
+
+
+def build_walkers(
+    room: RoomConfig,
+    mobility: MobilityConfig,
+    seed_root: tuple[int, ...],
+    duration_s: float,
+):
+    """The per-set walker list: leader plus ``num_humans - 1`` extras.
+
+    The primary walker keeps the original single-human seed derivation
+    (``seed_root`` alone) so existing datasets replay bit-identically;
+    every extra walker extends the seed tuple with its index.  Grouped
+    trajectories attach followers to the primary walker; heterogeneous
+    speed profiles give each walker its own
+    :func:`walker_speed_band`.
+    """
+    def _mobility_for(index: int) -> MobilityConfig:
+        low, high = walker_speed_band(mobility, index)
+        if (low, high) == (
+            mobility.speed_min_mps,
+            mobility.speed_max_mps,
+        ):
+            return mobility
+        return dataclasses.replace(
+            mobility, speed_min_mps=low, speed_max_mps=high
+        )
+
+    walkers = [
+        make_walker(
+            room,
+            _mobility_for(0),
+            np.random.default_rng(list(seed_root)),
+            duration_s=duration_s,
+        )
+    ]
+    for extra in range(1, mobility.num_humans):
+        rng = np.random.default_rng([*seed_root, extra])
+        if mobility.trajectory == "grouped":
+            walkers.append(
+                GroupedFollowerMobility(
+                    walkers[0], room, _mobility_for(extra), rng
+                )
+            )
+        else:
+            walkers.append(
+                make_walker(
+                    room,
+                    _mobility_for(extra),
+                    rng,
+                    duration_s=duration_s,
+                )
+            )
+    return walkers
 
 
 def sample_trajectory(

@@ -199,7 +199,10 @@ class CameraConfig:
 
 
 #: Trajectory presets understood by the dataset generator.
-TRAJECTORY_PRESETS = ("random-waypoint", "crossing")
+TRAJECTORY_PRESETS = ("random-waypoint", "crossing", "grouped")
+
+#: Per-walker speed assignment modes (``speed_profile``).
+SPEED_PROFILES = ("uniform", "heterogeneous")
 
 
 @dataclass(frozen=True)
@@ -208,8 +211,13 @@ class MobilityConfig:
 
     The paper walks a single human on random waypoints; campaign
     scenarios additionally support deterministic LoS-crossing walks
-    (``trajectory="crossing"``) and multiple simultaneous humans
+    (``trajectory="crossing"``), grouped walkers that move as a cluster
+    around a shared leader (``trajectory="grouped"``, spread bounded by
+    ``group_spread_m``) and multiple simultaneous humans
     (``num_humans > 1``, each with an independently seeded trajectory).
+    ``speed_profile="heterogeneous"`` splits the speed range into one
+    disjoint band per walker instead of every walker drawing from the
+    full range.
     """
 
     speed_min_mps: float = 0.3
@@ -217,6 +225,12 @@ class MobilityConfig:
     pause_max_s: float = 2.5
     num_humans: int = 1
     trajectory: str = "random-waypoint"
+    # NOTE: fields below were added after DATASET_CACHE_SALT v2 and are
+    # elided from cache-key canonicalization at their defaults (see
+    # repro.campaign.cache._canonical) so pre-existing dataset and model
+    # keys stay byte-identical.
+    speed_profile: str = "uniform"
+    group_spread_m: float = 0.6
 
     def __post_init__(self) -> None:
         if not 0 < self.speed_min_mps <= self.speed_max_mps:
@@ -232,6 +246,15 @@ class MobilityConfig:
             raise ConfigurationError(
                 f"trajectory must be one of {TRAJECTORY_PRESETS}, got "
                 f"{self.trajectory!r}"
+            )
+        if self.speed_profile not in SPEED_PROFILES:
+            raise ConfigurationError(
+                f"speed_profile must be one of {SPEED_PROFILES}, got "
+                f"{self.speed_profile!r}"
+            )
+        if self.group_spread_m <= 0:
+            raise ConfigurationError(
+                f"group_spread_m must be positive, got {self.group_spread_m}"
             )
 
 

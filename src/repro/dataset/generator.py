@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..channel import IndoorEnvironment, make_walker
+from ..channel import IndoorEnvironment, build_walkers
 from ..channel.noise import awgn, noise_power_for_snr
 from ..config import SimulationConfig
 from ..dsp.phase import canonicalize_phase, canonicalize_phase_batch
@@ -289,25 +289,15 @@ def generate_measurement_set(
     # The primary human keeps the seed derivation of the original
     # single-human campaign so existing datasets replay bit-identically;
     # additional humans (campaign scenarios) extend the seed tuple.
-    walkers = [
-        make_walker(
-            config.room,
-            config.mobility,
-            np.random.default_rng([config.seed, 101, set_index]),
-            duration_s=duration,
-        )
-    ]
-    for extra in range(1, config.mobility.num_humans):
-        walkers.append(
-            make_walker(
-                config.room,
-                config.mobility,
-                np.random.default_rng(
-                    [config.seed, 101, set_index, extra]
-                ),
-                duration_s=duration,
-            )
-        )
+    # build_walkers also applies grouped-follower attachment and
+    # heterogeneous per-walker speed bands when the mobility config
+    # activates them.
+    walkers = build_walkers(
+        config.room,
+        config.mobility,
+        (config.seed, 101, set_index),
+        duration_s=duration,
+    )
     multi_human = len(walkers) > 1
     packet_rng = np.random.default_rng([config.seed, 202, set_index])
 

@@ -93,8 +93,11 @@ def stream_link_config(
 
     The derived config keeps the scenario's PHY/channel/room/mobility
     parameters — streamed links experience exactly the campaign's
-    physics — but re-dimensions the dataset (one set per link, ``slots``
-    packets each) and offsets the seed by :data:`STREAM_SEED_OFFSET`, so
+    physics, including the scenario-language axes (grouped walkers,
+    heterogeneous ``speed_profile`` bands, custom rooms) which flow
+    through untouched — but re-dimensions the dataset (one set per
+    link, ``slots`` packets each) and offsets the seed by
+    :data:`STREAM_SEED_OFFSET`, so
     link trajectories are disjoint from every set of the scenario's own
     campaign (no train/serve leakage).  Because the result is a plain
     :class:`~repro.config.SimulationConfig`, the dataset cache keys it

@@ -202,3 +202,38 @@ class TestInvalidation:
         cache.load_or_generate(micro_config)
         assert cache.clear() == 1
         assert cache.entries() == []
+
+
+class TestPostV2FieldElision:
+    """New config fields must not disturb pre-existing cache keys.
+
+    MobilityConfig grew speed_profile/group_spread_m after the v2
+    cache salt; _canonical elides them at their defaults so every
+    existing dataset and model key stays byte-identical, while any
+    non-default value still changes the key.
+    """
+
+    def test_default_new_fields_keep_the_old_key(self, micro_config):
+        assert micro_config.mobility.speed_profile == "uniform"
+        canonical_mobility = dataclasses.asdict(micro_config.mobility)
+        # The elided fields exist on the dataclass...
+        assert "speed_profile" in canonical_mobility
+        # ...but the smoke fingerprint equals its pre-port pin.
+        assert config_fingerprint(micro_config) == "db7c0893a69e4d0c"
+
+    def test_activating_a_new_field_changes_the_key(self, micro_config):
+        base = config_fingerprint(micro_config)
+        changed = micro_config.replace(
+            mobility=dataclasses.replace(
+                micro_config.mobility,
+                num_humans=2,
+                speed_profile="heterogeneous",
+            )
+        )
+        assert config_fingerprint(changed) != base
+        spread = micro_config.replace(
+            mobility=dataclasses.replace(
+                micro_config.mobility, group_spread_m=1.0
+            )
+        )
+        assert config_fingerprint(spread) != base

@@ -205,3 +205,73 @@ class TestSelfHealing:
         )
         assert code == 2
         assert "unknown fault plan" in capsys.readouterr().err
+
+
+class TestScenariosSubcommand:
+    def test_describe_prints_the_catalog(self, capsys):
+        assert main(["scenarios", "describe"]) == 0
+        out = capsys.readouterr().out
+        for fragment in (
+            "speed_profile",
+            "grouped-needs-company",
+            "solo-crossing",
+        ):
+            assert fragment in out
+
+    def test_describe_one_scenario(self, capsys):
+        assert (
+            main(["scenarios", "describe", "--scenario", "tiny"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert '"name":"tiny"' in out
+        assert "ok" in out
+
+    def test_sample_prints_canonical_json_lines(self, capsys):
+        assert (
+            main(["scenarios", "sample", "--seed", "3", "--count", "4"])
+            == 0
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4
+        import json as _json
+
+        for line in lines:
+            spec = _json.loads(line)
+            assert spec["name"].startswith("sampled-3-")
+
+    def test_sample_is_deterministic_per_seed(self, capsys):
+        main(["scenarios", "sample", "--seed", "9", "--count", "5"])
+        first = capsys.readouterr().out
+        main(["scenarios", "sample", "--seed", "9", "--count", "5"])
+        assert capsys.readouterr().out == first
+
+    def test_load_registers_scenarios_from_toml(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "extra.toml"
+        path.write_text(
+            "[[scenarios]]\n"
+            'name = "cli-loaded"\n'
+            'description = "from the cli test"\n'
+            "num_humans = 2\n"
+        )
+        assert main(["scenarios", "load", str(path)]) == 0
+        assert "cli-loaded" in capsys.readouterr().out
+        assert main(["list-scenarios"]) == 0
+        assert "cli-loaded" in capsys.readouterr().out
+
+    def test_load_without_file_is_an_error(self, capsys):
+        assert main(["scenarios", "load"]) == 2
+        assert "file argument" in capsys.readouterr().err
+
+    def test_broken_file_is_an_error_exit(self, tmp_path, capsys):
+        path = tmp_path / "broken.toml"
+        path.write_text(
+            "[[scenarios]]\n"
+            'name = "nope"\n'
+            'description = "x"\n'
+            'trajectory = "grouped"\n'
+            "num_humans = 1\n"
+        )
+        assert main(["scenarios", "load", str(path)]) == 2
+        assert "grouped-needs-company" in capsys.readouterr().err

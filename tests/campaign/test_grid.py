@@ -196,3 +196,73 @@ class TestKeyStability:
             env={"PYTHONPATH": str(_SRC), "PATH": "/usr/bin:/bin"},
         ).stdout
         assert json.loads(output) == local
+
+
+class TestAxisValueValidation:
+    def test_axis_values_checked_against_the_schema(self):
+        # Construction-time aggregation: every bad value listed.
+        with pytest.raises(
+            ConfigurationError, match="3 violation"
+        ) as excinfo:
+            GridSpec(
+                name="bad-values",
+                description="x",
+                axes=(
+                    ("num_humans", (0, 99)),
+                    ("snr_db", (40.0,)),
+                ),
+            )
+        message = str(excinfo.value)
+        assert "num_humans" in message and "snr_db" in message
+
+    def test_horizon_axis_requires_non_negative_ints(self):
+        GridSpec(
+            name="h-ok", description="x", axes=(("horizon", (0, 3)),)
+        )
+        with pytest.raises(ConfigurationError, match="horizon"):
+            GridSpec(
+                name="h-bad",
+                description="x",
+                axes=(("horizon", (-1,)),),
+            )
+        with pytest.raises(ConfigurationError, match="horizon"):
+            GridSpec(
+                name="h-bool",
+                description="x",
+                axes=(("horizon", (True,)),),
+            )
+
+    def test_speed_profile_axis_expands(self):
+        spec = GridSpec(
+            name="profile-grid",
+            description="x",
+            base="multi-human-crossing",
+            axes=(
+                ("speed_profile", ("uniform", "heterogeneous")),
+            ),
+        )
+        points = spec.expand()
+        assert [
+            p.scenario.speed_profile for p in points
+        ] == ["uniform", "heterogeneous"]
+        configs = [p.scenario.resolve() for p in points]
+        assert configs[0].mobility.speed_profile == "uniform"
+        assert configs[1].mobility.speed_profile == "heterogeneous"
+
+    def test_inconsistent_member_fails_at_expansion(self):
+        # Axis values valid individually, combination invalid: the
+        # grouped-needs-company condition fires per member, at
+        # expansion, with the member's full violation list.
+        spec = GridSpec(
+            name="lonely-grouped-grid",
+            description="x",
+            base="tiny",
+            axes=(
+                ("trajectory", ("grouped",)),
+                ("num_humans", (1,)),
+            ),
+        )
+        with pytest.raises(
+            ConfigurationError, match="grouped-needs-company"
+        ):
+            spec.expand()

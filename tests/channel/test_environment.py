@@ -154,3 +154,92 @@ class TestIndoorEnvironment:
         env_a = IndoorEnvironment(RoomConfig(), ChannelConfig(), PhyConfig())
         env_b = IndoorEnvironment(RoomConfig(), ChannelConfig(), PhyConfig())
         assert np.allclose(env_a.cir((3.3, 2.2)), env_b.cir((3.3, 2.2)))
+
+
+class TestGroupedWalkers:
+    def test_follower_tracks_leader_inside_area(self):
+        from repro.channel import GroupedFollowerMobility
+
+        room = RoomConfig()
+        mobility = MobilityConfig(trajectory="grouped", num_humans=2)
+        leader = RandomWaypointMobility(
+            room, mobility, np.random.default_rng(3), 30.0
+        )
+        follower = GroupedFollowerMobility(
+            leader, room, mobility, np.random.default_rng(4)
+        )
+        x0, y0, x1, y1 = room.movement_area
+        for t in np.linspace(0, 30, 200):
+            pos = follower.position_at(float(t))
+            assert x0 - 1e-9 <= pos[0] <= x1 + 1e-9
+            assert y0 - 1e-9 <= pos[1] <= y1 + 1e-9
+            separation = np.linalg.norm(
+                pos - leader.position_at(float(t))
+            )
+            # Clamping can only shrink the offset, never grow it.
+            assert separation <= mobility.group_spread_m + 1e-9
+
+    def test_speed_bands_partition_the_range(self):
+        from repro.channel import walker_speed_band
+
+        mobility = MobilityConfig(
+            speed_min_mps=0.4,
+            speed_max_mps=1.6,
+            num_humans=3,
+            speed_profile="heterogeneous",
+        )
+        bands = [walker_speed_band(mobility, i) for i in range(3)]
+        assert bands[0][0] == pytest.approx(0.4)
+        assert bands[-1][1] == pytest.approx(1.6)
+        for (lo_a, hi_a), (lo_b, hi_b) in zip(bands, bands[1:]):
+            assert hi_a == pytest.approx(lo_b)  # contiguous, disjoint
+            assert lo_a < hi_a
+
+    def test_uniform_profile_gives_everyone_the_full_range(self):
+        from repro.channel import walker_speed_band
+
+        mobility = MobilityConfig(num_humans=3)
+        for index in range(3):
+            assert walker_speed_band(mobility, index) == (
+                mobility.speed_min_mps,
+                mobility.speed_max_mps,
+            )
+
+    def test_build_walkers_primary_is_bit_identical_to_make_walker(self):
+        # The single-human seed derivation must not change: existing
+        # cached datasets replay through build_walkers.
+        from repro.channel import build_walkers, make_walker
+
+        room = RoomConfig()
+        mobility = MobilityConfig()
+        old = make_walker(
+            room, mobility, np.random.default_rng([42, 101, 0]), 20.0
+        )
+        new = build_walkers(room, mobility, (42, 101, 0), 20.0)
+        assert len(new) == 1
+        times = np.linspace(0, 20, 100)
+        assert np.array_equal(
+            sample_trajectory(old, times),
+            sample_trajectory(new[0], times),
+        )
+
+    def test_build_walkers_grouped_cluster(self):
+        from repro.channel import GroupedFollowerMobility, build_walkers
+
+        room = RoomConfig()
+        mobility = MobilityConfig(
+            trajectory="grouped",
+            num_humans=3,
+            speed_profile="heterogeneous",
+        )
+        walkers = build_walkers(room, mobility, (7, 101, 0), 15.0)
+        assert len(walkers) == 3
+        assert isinstance(walkers[0], RandomWaypointMobility)
+        assert all(
+            isinstance(w, GroupedFollowerMobility) for w in walkers[1:]
+        )
+        # Distinct follower seeds -> distinct offsets.
+        t = 5.0
+        assert not np.allclose(
+            walkers[1].position_at(t), walkers[2].position_at(t)
+        )

@@ -126,3 +126,20 @@ class TestPresets:
         config = SimulationConfig.tiny()
         with pytest.raises(dataclasses.FrozenInstanceError):
             config.phy.psdu_bytes = 64
+
+
+class TestMobilityNewFields:
+    def test_speed_profile_validated(self):
+        assert MobilityConfig().speed_profile == "uniform"
+        MobilityConfig(speed_profile="heterogeneous")
+        with pytest.raises(ConfigurationError):
+            MobilityConfig(speed_profile="chaotic")
+
+    def test_group_spread_positive(self):
+        with pytest.raises(ConfigurationError):
+            MobilityConfig(group_spread_m=0.0)
+
+    def test_grouped_trajectory_accepted(self):
+        assert (
+            MobilityConfig(trajectory="grouped").trajectory == "grouped"
+        )

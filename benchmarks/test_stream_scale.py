@@ -1,0 +1,97 @@
+"""Heterogeneous stream scale: 1,000-link capacity run, O(links) memory.
+
+The PR 8 acceptance bench: a 1,000-link heterogeneous (``mixed``
+traffic, ``triple`` QoS) capacity simulation must
+
+- complete at a sane arrival-processing rate
+  (``REPRO_STREAM_SCALE_FLOOR`` arrivals/s, default 20k — shared CI
+  runners set a lower bar),
+- be byte-identical across repeat runs (pure function of the seed),
+- hold peak memory *independent of the event count*: the lazy heap
+  scheduler keeps one pending event per link, so memory grows with
+  links (cursors) but never with ``links x duration x rate`` (the
+  dense pre-sorted event list the seed replay materialized).
+
+Measured numbers land in the merged benchmark trajectory
+(``tools/bench_trajectory.py``) under the ``stream_scale`` bench.
+"""
+
+import json
+import os
+import time
+import tracemalloc
+
+from repro.stream.capacity import simulate_capacity
+from tools.bench_trajectory import append_entry
+
+_LINKS = 1000
+_DURATION_S = 10.0
+_ARRIVALS_PER_S_FLOOR = float(
+    os.environ.get("REPRO_STREAM_SCALE_FLOOR", 20_000.0)
+)
+
+
+def _peak_memory_bytes(links: int, duration_s: float) -> int:
+    tracemalloc.start()
+    simulate_capacity(links, duration_s=duration_s)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def test_stream_scale():
+    # Warm-up run outside the timed region (imports, allocator pools).
+    simulate_capacity(64, duration_s=2.0)
+
+    start = time.perf_counter()
+    result = simulate_capacity(_LINKS, duration_s=_DURATION_S)
+    elapsed = time.perf_counter() - start
+    arrivals_per_s = result.arrivals / elapsed
+
+    # Determinism: the same parameters replay to the same bytes.
+    repeat = simulate_capacity(_LINKS, duration_s=_DURATION_S)
+    assert json.dumps(result.payload(), sort_keys=True) == json.dumps(
+        repeat.payload(), sort_keys=True
+    )
+
+    # Memory independence of the event count: doubling the horizon
+    # doubles the events but must NOT double peak memory (the dense
+    # replay list would).  Generous 1.5x bound — the heap holds one
+    # pending event per link either way.
+    peak_short = _peak_memory_bytes(400, 5.0)
+    peak_long = _peak_memory_bytes(400, 20.0)
+    assert peak_long < 1.5 * peak_short, (
+        f"peak memory grew with the event count: {peak_short} B at "
+        f"5 s vs {peak_long} B at 20 s"
+    )
+
+    print(
+        f"\nstream scale ({_LINKS} links, {_DURATION_S:g} s): "
+        f"{result.arrivals} arrivals in {elapsed:.2f} s "
+        f"({arrivals_per_s:.0f} arrivals/s), "
+        f"{result.batches} batches, slo_met={result.slo_met}; "
+        f"peak {peak_short / 1e6:.2f} MB @5s vs "
+        f"{peak_long / 1e6:.2f} MB @20s (400 links)"
+    )
+
+    append_entry(
+        "stream_scale",
+        {
+            "links": _LINKS,
+            "duration_s": _DURATION_S,
+            "arrivals": result.arrivals,
+            "batches": result.batches,
+            "elapsed_s": elapsed,
+            "arrivals_per_s": arrivals_per_s,
+            "floor_arrivals_per_s": _ARRIVALS_PER_S_FLOOR,
+            "peak_bytes_5s_400links": peak_short,
+            "peak_bytes_20s_400links": peak_long,
+            "slo_met": result.slo_met,
+            "timestamp": time.time(),
+        },
+    )
+    assert arrivals_per_s > _ARRIVALS_PER_S_FLOOR, (
+        f"{arrivals_per_s:.0f} arrivals/s under the "
+        f"{_ARRIVALS_PER_S_FLOOR:.0f} floor (override with "
+        "REPRO_STREAM_SCALE_FLOOR)"
+    )

@@ -20,6 +20,15 @@ Installed as the ``repro`` console script (``setup.py``) and runnable as
     adaptation (proactive VVD vs reactive vs genie) as a resumable
     campaign: cached link traces, checkpoint-resolved serving model,
     per-policy goodput/outage/deadline metrics and a timeline figure.
+``capacity``
+    Sweep a modeled serving fleet over link counts: heterogeneous
+    per-link arrival processes (``--traffic``), QoS classes with
+    deadlines (``--qos``), admission control and load shedding on the
+    modeled prediction backend — reported as a per-class SLA summary
+    (p50/p99/p999, deadline-miss and shed rates vs. targets) plus the
+    links-sustained-vs-SLO capacity curve.  Pure queueing simulation:
+    no PHY, no datasets, no checkpoints; byte-identical across
+    ``--jobs`` and repeat runs.
 ``grid``
     Expand a parametric scenario grid, evaluate every derived scenario
     as an independent campaign step (scheduled as a topological
@@ -74,6 +83,7 @@ from .runner import (
     Campaign,
     CampaignContext,
     RetryPolicy,
+    capacity_steps,
     figure_steps,
     stream_steps,
     sweep_steps,
@@ -491,10 +501,24 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
+    from ..stream.traffic import get_qos_mix, validate_traffic
+
     scenario = get_scenario(args.scenario)
     config = scenario.resolve()
     policies = list(dict.fromkeys(args.policies))
     links = args.links if args.links is not None else scenario.stream_links
+    # Heterogeneous-traffic options resolve CLI > scenario and are
+    # validated before any dataset generation or training runs.  They
+    # drive only the modeled SLA appendix printed after the replay
+    # report — never the replay steps themselves — so they are
+    # deliberately NOT part of the campaign-directory hash: existing
+    # stream campaign directories (and their byte-identical payloads)
+    # stay untouched.
+    traffic = validate_traffic(
+        args.traffic if args.traffic is not None else scenario.traffic
+    )
+    qos = args.qos if args.qos is not None else scenario.qos
+    get_qos_mix(qos)
     # Probe-build every requested policy with its actual arguments so a
     # bad --defer-threshold fails here, before any dataset generation
     # or model training runs.
@@ -570,6 +594,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         if plan is not None:
             faults.deactivate()
     print(context.read_output("report"))
+    # Non-default traffic/QoS append the modeled per-class SLA summary
+    # at the replayed link count (pure queueing simulation, in-process,
+    # deterministic — see `repro capacity` for the full sweep).
+    if traffic != "periodic" or qos != "uniform":
+        from ..stream.capacity import simulate_capacity
+
+        modeled = simulate_capacity(
+            links, traffic=traffic, qos=qos, seed=args.seed
+        )
+        print()
+        print(modeled.sla_summary())
     service = context.shared.get(
         f"stream-service:{args.horizon}:{args.seed}"
     )
@@ -605,6 +640,73 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         and not workers_simulated
     ):
         print("no models retrained (100% checkpoint hits)")
+    return 3 if result.quarantined else 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from ..stream.traffic import get_qos_mix, validate_traffic
+
+    traffic = validate_traffic(args.traffic)
+    get_qos_mix(args.qos)
+    link_counts = sorted({int(n) for n in args.links})
+    cache = DatasetCache(args.cache_dir)
+    options = {
+        "links": link_counts,
+        "duration_s": args.duration,
+        "traffic": traffic,
+        "qos": args.qos,
+        "seed": args.seed,
+        "service_pps": args.service_pps,
+        "admission_limit": args.admission_limit,
+    }
+    directory = _campaign_dir(cache, "capacity", args.qos, options)
+    campaign = Campaign(
+        f"capacity[{traffic}/{args.qos}]",
+        capacity_steps(
+            link_counts,
+            duration_s=args.duration,
+            traffic=traffic,
+            qos=args.qos,
+            seed=args.seed,
+            service_pps=args.service_pps,
+            admission_limit=args.admission_limit,
+        ),
+        directory,
+    )
+    # Capacity points are pure queueing simulations — the context's
+    # scenario config is never consulted, but CampaignContext wants
+    # one; the stream smoke preset resolves without touching the cache.
+    context = CampaignContext(
+        get_scenario("stream-smoke").resolve(),
+        cache,
+        directory,
+        workers=args.workers,
+        verbose=args.verbose,
+        options=options,
+    )
+    plan = _arm_faults(args, directory)
+    try:
+        result = campaign.run(
+            context,
+            resume=not args.fresh,
+            jobs=args.jobs,
+            retry=_retry_policy(args),
+            quarantine=not args.no_quarantine,
+        )
+    finally:
+        if plan is not None:
+            faults.deactivate()
+    print(context.read_output("report"))
+    print(
+        f"\nsteps: {len(result.executed)} executed, "
+        f"{len(result.skipped)} resumed from manifest "
+        f"({directory / 'manifest.json'})"
+    )
+    _self_healing_summary(result, plan)
+    print(
+        f"capacity: {len(link_counts)} modeled point(s) over "
+        f"{args.jobs} job(s); no datasets or checkpoints touched"
+    )
     return 3 if result.quarantined else 0
 
 
@@ -1039,6 +1141,20 @@ def build_parser() -> argparse.ArgumentParser:
         "to the reactive fallback for that slot instead of aborting",
     )
     p_stream.add_argument(
+        "--traffic",
+        default=None,
+        help="arrival-process spec for the modeled SLA appendix "
+        "(periodic[:pps], poisson:pps, onoff:pps:on_s:off_s, "
+        "diurnal:pps:period_s:depth, or 'mixed'; default: the "
+        "scenario's traffic, usually 'periodic' = replay only)",
+    )
+    p_stream.add_argument(
+        "--qos",
+        default=None,
+        help="QoS class mix of the modeled SLA appendix ('uniform' or "
+        "'triple'; default: the scenario's qos)",
+    )
+    p_stream.add_argument(
         "--fresh",
         action="store_true",
         help="ignore the campaign manifest and re-run every step",
@@ -1054,6 +1170,75 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_dir_option(p_stream)
     _add_common_options(p_stream)
     p_stream.set_defaults(func=_cmd_stream)
+
+    p_capacity = sub.add_parser(
+        "capacity",
+        help="sweep the modeled serving fleet over link counts: "
+        "heterogeneous traffic, QoS deadlines, admission control and "
+        "the links-sustained-vs-SLO capacity curve",
+    )
+    p_capacity.add_argument(
+        "--links",
+        type=int,
+        nargs="+",
+        default=[16, 32, 64, 96, 128],
+        help="link counts swept (one modeled capacity point each)",
+    )
+    p_capacity.add_argument(
+        "--duration",
+        type=float,
+        default=30.0,
+        help="simulated horizon in seconds per point",
+    )
+    p_capacity.add_argument(
+        "--traffic",
+        default="mixed",
+        help="per-link arrival-process spec (periodic[:pps], "
+        "poisson:pps, onoff:pps:on_s:off_s, diurnal:pps:period_s:depth "
+        "or 'mixed' = rotate all four across links)",
+    )
+    p_capacity.add_argument(
+        "--qos",
+        default="triple",
+        help="QoS class mix ('uniform' or 'triple' = "
+        "gold/silver/bronze deadlines)",
+    )
+    p_capacity.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="arrival-process / class-assignment seed (same seed, "
+        "byte-identical payloads — across --jobs and machines)",
+    )
+    p_capacity.add_argument(
+        "--service-pps",
+        type=float,
+        default=900.0,
+        help="modeled prediction-backend throughput in predictions/s",
+    )
+    p_capacity.add_argument(
+        "--admission-limit",
+        type=int,
+        default=512,
+        help="admission-controlled queue depth; arrivals beyond it "
+        "shed the youngest lower-priority request (or themselves)",
+    )
+    p_capacity.add_argument(
+        "--fresh",
+        action="store_true",
+        help="ignore the campaign manifest and re-run every step",
+    )
+    p_capacity.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes simulating independent capacity points "
+        "concurrently (1 = serial; results are byte-identical either "
+        "way)",
+    )
+    _add_robustness_options(p_capacity)
+    _add_common_options(p_capacity)
+    p_capacity.set_defaults(func=_cmd_capacity)
 
     p_grid = sub.add_parser(
         "grid",

@@ -52,6 +52,11 @@ AXIS_FIELDS: dict[str, str] = {
     "packets_per_set": "packets_per_set",
     "seed": "seed",
     "stream_links": "stream_links",
+    #: ``capacity`` aliases ``stream_links`` for capacity sweeps — the
+    #: axis that answers "how many links before the SLOs break".
+    "capacity": "stream_links",
+    "traffic": "traffic",
+    "qos": "qos",
 }
 
 #: Axes consumed by the evaluation step instead of the scenario: a
@@ -592,6 +597,20 @@ def _register_builtins() -> None:
                 ("speed", ((0.4, 0.8), (1.0, 1.6))),
             ),
             tags=("ci",),
+        ),
+        GridSpec(
+            name="capacity-smoke",
+            description=(
+                "Nightly capacity smoke: link count x traffic model "
+                "against the triple QoS mix (6 modeled capacity points)"
+            ),
+            base="stream-smoke",
+            axes=(
+                ("capacity", (16, 64, 128)),
+                ("traffic", ("periodic:10", "mixed")),
+                ("qos", ("triple",)),
+            ),
+            tags=("ci", "capacity"),
         ),
     ]
     for spec in builtins:

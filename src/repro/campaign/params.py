@@ -61,8 +61,10 @@ PACKETS_PER_SET_BOUNDS = (2, 2000)
 #: Campaign-seed bounds.
 SEED_BOUNDS = (0, 2**32 - 1)
 
-#: Concurrent-stream-link bounds.
-STREAM_LINKS_BOUNDS = (1, 256)
+#: Concurrent-stream-link bounds.  The heap-based discrete-event
+#: scheduler keeps replay and capacity memory O(links), so capacity
+#: grids sweep into the thousands.
+STREAM_LINKS_BOUNDS = (1, 10_000)
 
 _MISSING = object()
 
@@ -281,6 +283,24 @@ def _base_choices() -> tuple:
     return tuple(_BASE_PRESETS)
 
 
+def _qos_choices() -> tuple:
+    """Registered QoS class-mix names."""
+    from ..stream.traffic import QOS_MIXES
+
+    return tuple(sorted(QOS_MIXES))
+
+
+def _traffic_violation(value: object) -> str | None:
+    """Validate an arrival-process spec string (``mixed`` allowed)."""
+    from ..stream.traffic import validate_traffic
+
+    try:
+        validate_traffic(str(value))
+    except ConfigurationError as exc:
+        return str(exc)
+    return None
+
+
 #: The declared scenario schema, in definition order.  Mirrors the
 #: fields of :class:`~repro.campaign.scenario.Scenario`; that dataclass
 #: delegates its construction-time validation here.
@@ -413,6 +433,27 @@ SCENARIO_PARAMETERS: tuple[Parameter, ...] = (
         default=4,
         bounds=STREAM_LINKS_BOUNDS,
         tags=("stream",),
+    ),
+    Parameter(
+        name="traffic",
+        type_hint=str,
+        description=(
+            "Arrival-process model for capacity runs: periodic[:R], "
+            "poisson:R, onoff:R:ON:OFF, diurnal:R:P[:D], or 'mixed'"
+        ),
+        default="periodic",
+        label="traffic spec",
+        allowed=_traffic_violation,
+        tags=("stream", "traffic"),
+    ),
+    Parameter(
+        name="qos",
+        type_hint=str,
+        description="QoS class mix capacity runs schedule against",
+        default="uniform",
+        choices=_qos_choices,
+        label="QoS mix",
+        tags=("stream", "traffic"),
     ),
     Parameter(
         name="tags",
@@ -992,6 +1033,16 @@ def _draw_values(
         "packets_per_set": packets,
         "seed": rng.randint(0, 99_999),
         "stream_links": rng.randint(1, 6),
+        "traffic": rng.choice(
+            (
+                "periodic",
+                "poisson:12",
+                "onoff:40:1:4",
+                "diurnal:10:60:0.8",
+                "mixed",
+            )
+        ),
+        "qos": rng.choice(("uniform", "triple")),
         "tags": ("sampled", scale),
     }
 

@@ -1698,3 +1698,119 @@ def stream_steps(
         )
     )
     return steps
+
+
+# -- capacity campaign ----------------------------------------------------
+def capacity_steps(
+    link_counts: Sequence[int],
+    duration_s: float = 30.0,
+    traffic: str = "mixed",
+    qos: str = "triple",
+    seed: int = 7,
+    service_pps: float = 900.0,
+    admission_limit: int = 512,
+) -> list[CampaignStep]:
+    """Steps of a capacity campaign: one modeled point per link count.
+
+    Capacity points are pure queueing-model simulations over the heap
+    scheduler (no PHY, no datasets, no checkpoints), so every
+    ``capacity@<links>`` step is independent and worker-runnable; the
+    final ``report`` step assembles the SLA summary of the largest
+    point plus the links-sustained-vs-SLO capacity curve purely from
+    the persisted JSON payloads.
+    """
+    from ..stream.tasks import CapacityTask, run_capacity_task
+
+    counts = sorted({int(c) for c in link_counts})
+    if not counts:
+        raise ConfigurationError("capacity_steps needs link counts")
+
+    def _task_for(links: int) -> CapacityTask:
+        return CapacityTask(
+            links=links,
+            duration_s=duration_s,
+            traffic=traffic,
+            qos=qos,
+            seed=seed,
+            service_pps=service_pps,
+            admission_limit=admission_limit,
+        )
+
+    steps: list[CampaignStep] = []
+    point_ids: list[str] = []
+    for links in counts:
+
+        def _run_point(ctx: CampaignContext, links=links) -> str:
+            return run_capacity_task(_task_for(links))
+
+        def _point_worker(ctx: CampaignContext, links=links):
+            return run_capacity_task, {"task": _task_for(links)}
+
+        step_id = f"capacity@{links}"
+        steps.append(
+            CampaignStep(
+                step_id=step_id,
+                description=(
+                    f"modeled capacity point at {links} link(s)"
+                ),
+                run=_run_point,
+                worker=_point_worker,
+            )
+        )
+        point_ids.append(step_id)
+
+    def _run_report(ctx: CampaignContext) -> str:
+        from ..experiments.figures import capacity as capacity_figure
+        from ..stream.capacity import CapacityResult
+        from ..stream.tasks import CapacityTask  # noqa: F401
+
+        available = [
+            step_id
+            for step_id in point_ids
+            if step_id not in ctx.quarantined
+            and ctx.output_path(step_id).exists()
+        ]
+        if not available:
+            raise ConfigurationError(
+                "capacity report has no completed point; all "
+                f"{len(point_ids)} step(s) are quarantined"
+            )
+        payloads = [
+            json.loads(ctx.read_output(step_id))
+            for step_id in available
+        ]
+        payloads.sort(key=lambda p: p["links"])
+        from ..experiments.metrics import StreamMetrics
+
+        largest = payloads[-1]
+        result = CapacityResult(
+            links=largest["links"],
+            duration_s=largest["duration_s"],
+            traffic=largest["traffic"],
+            qos=largest["qos"],
+            metrics=StreamMetrics.from_dict(largest["metrics"]),
+            arrivals=largest["arrivals"],
+            batches=largest["batches"],
+        )
+        lines = [result.sla_summary(), ""]
+        lines.append(
+            capacity_figure.render(capacity_figure.generate(payloads))
+        )
+        missing = [s for s in point_ids if s not in available]
+        if missing:
+            lines.append(
+                f"{len(missing)} point(s) quarantined: "
+                + ", ".join(missing)
+            )
+        return "\n".join(lines)
+
+    steps.append(
+        CampaignStep(
+            step_id="report",
+            description="assemble SLA summary + capacity curve",
+            run=_run_report,
+            depends_on=tuple(point_ids),
+            run_on_partial=True,
+        )
+    )
+    return steps

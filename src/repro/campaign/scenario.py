@@ -122,6 +122,15 @@ class Scenario:
     #: Concurrent links the ``repro stream`` campaign replays by
     #: default (each link walks its own seed-disjoint trajectory).
     stream_links: int = 4
+    #: Arrival-process spec capacity runs drive the links with
+    #: (``periodic[:R]``, ``poisson:R``, ``onoff:R:ON:OFF``,
+    #: ``diurnal:R:P[:D]`` or ``mixed``).  Stream-only: never part of
+    #: :meth:`resolve`, so dataset cache keys are unaffected.
+    traffic: str = "periodic"
+    #: QoS class mix capacity runs schedule against (see
+    #: :data:`repro.stream.traffic.QOS_MIXES`).  Stream-only, like
+    #: :attr:`traffic`.
+    qos: str = "uniform"
     #: Free-form labels shown by ``repro list-scenarios``.
     tags: tuple[str, ...] = ()
 

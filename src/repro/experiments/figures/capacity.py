@@ -1,0 +1,111 @@
+"""Capacity curve — links sustained vs. per-class SLOs.
+
+Not a paper figure: the production-scale companion to the stream
+timeline.  Each point is one modeled capacity simulation
+(:mod:`repro.stream.capacity`) at a swept link count; the curve shows
+the worst per-class SLO miss rate growing with fleet size and marks the
+largest link count whose classes all meet their targets — the
+"sustained capacity" headline of ROADMAP item 3.
+
+``generate`` consumes the plain payload dicts persisted by
+``capacity@<links>`` campaign steps, so a completed campaign replays
+the figure without re-simulating anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigurationError
+
+
+@dataclass
+class CapacityCurveData:
+    """One renderable capacity curve."""
+
+    traffic: str
+    qos: str
+    duration_s: float
+    #: (links, worst slo-miss rate, worst class name, p99 latency of
+    #: the highest-priority class in seconds, slo_met) per point.
+    points: list[tuple[int, float, str, float, bool]]
+
+    @property
+    def sustained_links(self) -> int:
+        """Largest swept link count meeting every class SLO."""
+        sustained = 0
+        for links, _, _, _, met in self.points:
+            if met:
+                sustained = max(sustained, links)
+        return sustained
+
+
+def generate(payloads: list[dict]) -> CapacityCurveData:
+    """Assemble curve data from ``capacity@<links>`` step payloads."""
+    if not payloads:
+        raise ConfigurationError("capacity curve needs >= 1 payload")
+    reference = payloads[0]
+    points: list[tuple[int, float, str, float, bool]] = []
+    for payload in sorted(payloads, key=lambda p: p["links"]):
+        if (
+            payload["traffic"] != reference["traffic"]
+            or payload["qos"] != reference["qos"]
+        ):
+            raise ConfigurationError(
+                "capacity curve payloads mix traffic/QoS settings"
+            )
+        classes = payload["metrics"].get("classes", {})
+        if not classes:
+            raise ConfigurationError(
+                f"capacity payload at {payload['links']} link(s) "
+                "carries no per-class metrics"
+            )
+        worst_name, worst_rate = max(
+            (
+                (name, entry["slo_miss_rate"])
+                for name, entry in classes.items()
+            ),
+            key=lambda item: (item[1], item[0]),
+        )
+        first_class = sorted(classes)[0]
+        p99_s = classes[first_class]["latency"]["p99_s"]
+        points.append(
+            (
+                int(payload["links"]),
+                float(worst_rate),
+                worst_name,
+                float(p99_s),
+                bool(payload["slo_met"]),
+            )
+        )
+    return CapacityCurveData(
+        traffic=reference["traffic"],
+        qos=reference["qos"],
+        duration_s=float(reference["duration_s"]),
+        points=points,
+    )
+
+
+def render(data: CapacityCurveData, width: int = 40) -> str:
+    """ASCII capacity curve printed by ``repro capacity`` and CI."""
+    header = (
+        f"Capacity curve — {data.traffic} traffic, {data.qos} QoS, "
+        f"{data.duration_s:g} s horizon"
+    )
+    lines = [header, "=" * len(header)]
+    lines.append(
+        f"{'links':>7}  {'worst miss%':>11}  {'class':<8} "
+        f"{'p99 ms':>8}  {'slo':>4}  curve"
+    )
+    for links, rate, name, p99_s, met in data.points:
+        bar = "#" * max(0, round(rate * width))
+        marker = "ok" if met else "VIOL"
+        lines.append(
+            f"{links:>7}  {100 * rate:>10.2f}%  {name:<8} "
+            f"{1e3 * p99_s:>8.2f}  {marker:>4}  |{bar}"
+        )
+    lines.append(
+        f"sustained capacity: {data.sustained_links} link(s) within "
+        "every class SLO"
+    )
+    return "\n".join(lines)

@@ -6,6 +6,16 @@ checkpointed-model stack (see docs/ARCHITECTURE.md):
 - :mod:`repro.stream.events` — deterministic, seed-reproducible
   replay of any registered scenario as a time-ordered event stream of
   depth frames and packet slots across N concurrent links.
+- :mod:`repro.stream.scheduler` — the heap-based discrete-event core:
+  integer-tick :class:`TickEvent` records, lazy per-link
+  :class:`EventSource` cursors and the O(links)-memory
+  :class:`EventScheduler` both the replay and capacity paths share.
+- :mod:`repro.stream.traffic` — heterogeneous per-link arrival
+  processes (periodic/Poisson/on-off/diurnal) and QoS class mixes
+  with deadlines, all string-seeded for cross-process determinism.
+- :mod:`repro.stream.capacity` — the modeled serving-fleet queueing
+  simulation: admission control, load shedding, per-class SLA metrics
+  and the links-sustained-vs-SLO capacity curve.
 - :mod:`repro.stream.service` — :class:`PredictionService`, the
   micro-batching VVD inference front-end (models resolve through the
   content-addressed checkpoint registry; per-request latency and
@@ -22,6 +32,13 @@ campaign step and the proactive-vs-reactive timeline figure) lives in
 :mod:`repro.campaign` and :mod:`repro.experiments.figures.stream_timeline`.
 """
 
+from .capacity import (
+    CapacityCurve,
+    CapacityResult,
+    ServiceModel,
+    capacity_curve,
+    simulate_capacity,
+)
 from .events import (
     STREAM_SEED_OFFSET,
     LinkTrace,
@@ -40,11 +57,31 @@ from .policy import (
     SlotContext,
     build_policy,
 )
+from .scheduler import (
+    TICKS_PER_SECOND,
+    EventScheduler,
+    ReplayLinkSource,
+    TickEvent,
+    replay_scheduler,
+    seconds_to_ticks,
+    ticks_to_seconds,
+)
 from .service import Prediction, PredictionService, ServiceStats
 from .simulator import (
     LinkTimeline,
     StreamPolicyResult,
     StreamSimulator,
+)
+from .traffic import (
+    QOS_MIXES,
+    ArrivalSource,
+    ClassAssigner,
+    QoSClass,
+    TrafficSpec,
+    get_qos_mix,
+    link_traffic_spec,
+    parse_traffic_spec,
+    validate_traffic,
 )
 
 __all__ = [
@@ -54,6 +91,27 @@ __all__ = [
     "build_link_traces",
     "merge_event_streams",
     "stream_link_config",
+    "TICKS_PER_SECOND",
+    "EventScheduler",
+    "ReplayLinkSource",
+    "TickEvent",
+    "replay_scheduler",
+    "seconds_to_ticks",
+    "ticks_to_seconds",
+    "QOS_MIXES",
+    "ArrivalSource",
+    "ClassAssigner",
+    "QoSClass",
+    "TrafficSpec",
+    "get_qos_mix",
+    "link_traffic_spec",
+    "parse_traffic_spec",
+    "validate_traffic",
+    "CapacityCurve",
+    "CapacityResult",
+    "ServiceModel",
+    "capacity_curve",
+    "simulate_capacity",
     "POLICY_BUILDERS",
     "GeniePolicy",
     "LinkAdaptationPolicy",

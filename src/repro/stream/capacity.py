@@ -1,0 +1,426 @@
+"""Capacity simulation: how many links does the serving layer sustain?
+
+The replay simulator answers "what happens to *these* recorded links";
+the capacity simulator answers the production question — given an
+arrival-process model, a QoS class mix and a modeled
+:class:`~repro.stream.service.PredictionService` (batch service rate,
+per-flush overhead, admission limit), how many links can one server
+sustain before per-class SLOs (deadline-miss rate, shedding) break?
+
+It is a pure discrete-event queueing model over the heap scheduler:
+
+- **Arrivals** come from one lazy
+  :class:`~repro.stream.traffic.ArrivalSource` per link (O(links)
+  memory, no arrival arrays), each seeded
+  ``"traffic:{seed}:{link}:{spec}"`` — byte-identical across repeat
+  runs and worker counts.
+- **Service** is a single batch server: requests queue per class,
+  batches of at most ``max_batch`` form in priority order whenever the
+  server is free, and one batch costs
+  ``overhead + n / service_pps`` *simulated* seconds.  Latency,
+  deadline misses and shedding are therefore deterministic functions of
+  the seed — no wall clock anywhere.
+- **Admission control** bounds the queue: when full, a new arrival is
+  shed unless a strictly lower-priority request is queued, in which
+  case the youngest such request is evicted instead (priority
+  load-shedding).
+
+Everything lands in the :class:`~repro.experiments.metrics.ClassMetrics`
+SLA layer: per-class p50/p99/p999 latency, deadline-miss and shed
+rates, and :func:`capacity_curve` sweeps link counts to find the
+largest fleet whose classes all meet their SLO targets.
+
+The default service model mirrors the measured serving numbers in
+BENCH_trajectory.json (~900 predictions/s at paper frame size,
+micro-batch 16); override it to model faster backends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..experiments.metrics import (
+    ClassMetrics,
+    LatencyReservoir,
+    StreamMetrics,
+)
+from .scheduler import EventScheduler, seconds_to_ticks, ticks_to_seconds
+from .traffic import (
+    ArrivalSource,
+    ClassAssigner,
+    QoSClass,
+    get_qos_mix,
+    link_traffic_spec,
+    validate_traffic,
+)
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Modeled serving backend of a capacity run.
+
+    Defaults follow the measured single-core serving path
+    (``benchmarks/test_stream_throughput.py``): ~900 micro-batched
+    predictions/s at paper frame size, batches of at most 16, a few ms
+    of per-flush overhead.
+    """
+
+    #: Steady-state predictions per *simulated* second inside a batch.
+    service_pps: float = 900.0
+    #: Fixed per-batch cost (stacking, normalization, dispatch).
+    batch_overhead_s: float = 0.004
+    #: Largest micro-batch the modeled server forms.
+    max_batch: int = 16
+    #: Admission limit: most requests queued at once before shedding.
+    admission_limit: int = 512
+
+    def __post_init__(self) -> None:
+        if self.service_pps <= 0.0:
+            raise ConfigurationError(
+                f"service_pps must be > 0, got {self.service_pps}"
+            )
+        if self.batch_overhead_s < 0.0:
+            raise ConfigurationError(
+                "batch_overhead_s must be >= 0, got "
+                f"{self.batch_overhead_s}"
+            )
+        if self.max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.admission_limit < 1:
+            raise ConfigurationError(
+                "admission_limit must be >= 1, got "
+                f"{self.admission_limit}"
+            )
+
+
+@dataclass
+class _QueuedRequest:
+    arrival_tick: int
+    link: int
+    qos: QoSClass
+
+
+@dataclass
+class CapacityResult:
+    """One capacity simulation: aggregate + per-class SLA metrics."""
+
+    links: int
+    duration_s: float
+    traffic: str
+    qos: str
+    metrics: StreamMetrics
+    #: Arrivals processed (offered across every class).
+    arrivals: int = 0
+    #: Batches the modeled server executed.
+    batches: int = 0
+
+    @property
+    def slo_met(self) -> bool:
+        """True when every class meets its SLO target (deadline misses
+        *plus* shed arrivals count against it — dropping a packet never
+        improves the SLO)."""
+        mix = {c.name: c for c in get_qos_mix(self.qos)}
+        for name, metrics in self.metrics.classes.items():
+            target = mix[name].target_miss_rate
+            if metrics.slo_miss_rate > target:
+                return False
+        return True
+
+    def payload(self) -> dict:
+        """Deterministic JSON-able payload for campaign steps."""
+        return {
+            "links": self.links,
+            "duration_s": self.duration_s,
+            "traffic": self.traffic,
+            "qos": self.qos,
+            "arrivals": self.arrivals,
+            "batches": self.batches,
+            "slo_met": self.slo_met,
+            "metrics": self.metrics.as_dict(),
+        }
+
+    def sla_summary(self) -> str:
+        """Human-readable per-class SLA table (CI greps the header)."""
+        header = (
+            f"SLA summary — {self.links} link(s), {self.traffic} "
+            f"traffic, {self.qos} QoS over {self.duration_s:g} s"
+        )
+        mix = {c.name: c for c in get_qos_mix(self.qos)}
+        columns = (
+            f"{'class':<8} {'offered':>8} {'shed%':>7} {'miss%':>7} "
+            f"{'p50 ms':>8} {'p99 ms':>8} {'p999 ms':>8} "
+            f"{'SLO':>8} {'status':>7}"
+        )
+        lines = [header, "=" * len(columns), columns, "-" * len(columns)]
+        ordered = sorted(
+            self.metrics.classes.items(),
+            key=lambda item: (mix[item[0]].priority, item[0]),
+        )
+        for name, metrics in ordered:
+            qos = mix[name]
+            p50, p99, p999 = metrics.latency.quantiles()
+            status = (
+                "ok"
+                if metrics.slo_miss_rate <= qos.target_miss_rate
+                else "VIOL"
+            )
+            lines.append(
+                f"{name:<8} {metrics.offered:>8} "
+                f"{100 * metrics.shed_rate:>6.2f}% "
+                f"{100 * metrics.slo_miss_rate:>6.2f}% "
+                f"{1e3 * p50:>8.2f} {1e3 * p99:>8.2f} "
+                f"{1e3 * p999:>8.2f} "
+                f"{100 * qos.target_miss_rate:>7.1f}% {status:>7}"
+            )
+        verdict = "met" if self.slo_met else "VIOLATED"
+        lines.append(f"(per-class SLOs {verdict})")
+        return "\n".join(lines)
+
+
+class _ClassQueues:
+    """Priority-ordered bounded FIFO queues, one per QoS class."""
+
+    def __init__(self, classes: tuple[QoSClass, ...], limit: int):
+        # Serve order: priority ascending, name as the tiebreak.
+        self._order = sorted(
+            classes, key=lambda c: (c.priority, c.name)
+        )
+        self._queues: dict[str, deque[_QueuedRequest]] = {
+            qos.name: deque() for qos in self._order
+        }
+        self._limit = limit
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def admit(self, request: _QueuedRequest) -> _QueuedRequest | None:
+        """Admit one arrival under the queue limit.
+
+        Returns the request that was *shed* — ``None`` when the queue
+        had room, the evicted lower-priority victim when the new
+        request displaced one, or the request itself when nothing
+        queued is lower-priority than it.
+        """
+        if self._size < self._limit:
+            self._queues[request.qos.name].append(request)
+            self._size += 1
+            return None
+        # Full: evict the youngest request of the lowest-priority
+        # non-empty class, if it is strictly lower-priority.
+        for qos in reversed(self._order):
+            if (
+                qos.priority > request.qos.priority
+                and self._queues[qos.name]
+            ):
+                victim = self._queues[qos.name].pop()
+                self._queues[request.qos.name].append(request)
+                return victim
+        return request
+
+    def earliest_tick(self) -> int | None:
+        """Oldest queued arrival tick across classes (``None`` empty)."""
+        heads = [
+            queue[0].arrival_tick
+            for queue in self._queues.values()
+            if queue
+        ]
+        return min(heads) if heads else None
+
+    def pop_batch(self, max_batch: int) -> list[_QueuedRequest]:
+        """Form one service batch in (priority, FIFO) order."""
+        batch: list[_QueuedRequest] = []
+        for qos in self._order:
+            queue = self._queues[qos.name]
+            while queue and len(batch) < max_batch:
+                batch.append(queue.popleft())
+                self._size -= 1
+            if len(batch) >= max_batch:
+                break
+        return batch
+
+
+def simulate_capacity(
+    links: int,
+    duration_s: float = 30.0,
+    traffic: str = "mixed",
+    qos: str = "triple",
+    seed: int = 7,
+    model: ServiceModel | None = None,
+) -> CapacityResult:
+    """Run one deterministic capacity simulation.
+
+    Memory is O(links + admission limit + reservoir capacity) — lazy
+    arrival synthesis means nothing scales with ``duration * rate``.
+    """
+    if links < 1:
+        raise ConfigurationError(f"links must be >= 1, got {links}")
+    traffic = validate_traffic(traffic)
+    classes = get_qos_mix(qos)
+    if model is None:
+        model = ServiceModel()
+
+    scheduler = EventScheduler(
+        [
+            ArrivalSource(
+                link, link_traffic_spec(traffic, link), seed, duration_s
+            )
+            for link in range(links)
+        ]
+    )
+    assigners = [
+        ClassAssigner(qos, link, seed) for link in range(links)
+    ]
+    per_class = {
+        c.name: ClassMetrics(
+            duration_s=duration_s,
+            latency=LatencyReservoir(
+                seed=f"capacity:{seed}:{c.name}"
+            ),
+        )
+        for c in classes
+    }
+    queues = _ClassQueues(classes, model.admission_limit)
+
+    arrivals = 0
+    batches = 0
+    server_free_tick = 0
+
+    def admit_next_arrival() -> None:
+        nonlocal arrivals
+        event = scheduler.pop()
+        assert event is not None
+        arrivals += 1
+        qos_class = assigners[event.link].draw()
+        metrics = per_class[qos_class.name]
+        metrics.offered += 1
+        shed = queues.admit(
+            _QueuedRequest(
+                arrival_tick=event.tick,
+                link=event.link,
+                qos=qos_class,
+            )
+        )
+        if shed is None:
+            metrics.admitted += 1
+        else:
+            per_class[shed.qos.name].shed += 1
+            if shed.qos.name != qos_class.name:
+                # The arrival itself was admitted; its victim was not.
+                metrics.admitted += 1
+                per_class[shed.qos.name].admitted -= 1
+
+    while True:
+        head = scheduler.peek()
+        if len(queues) == 0:
+            if head is None:
+                break
+            admit_next_arrival()
+            continue
+        # The next batch starts when the server is free *and* work is
+        # queued; arrivals up to that instant may still join it.
+        earliest = queues.earliest_tick()
+        start_tick = max(server_free_tick, earliest)
+        while head is not None and head.tick <= start_tick:
+            admit_next_arrival()
+            head = scheduler.peek()
+        batch = queues.pop_batch(model.max_batch)
+        service_ticks = seconds_to_ticks(
+            model.batch_overhead_s + len(batch) / model.service_pps
+        )
+        done_tick = start_tick + service_ticks
+        batches += 1
+        for request in batch:
+            metrics = per_class[request.qos.name]
+            latency_s = ticks_to_seconds(
+                done_tick - request.arrival_tick
+            )
+            metrics.latency.add(latency_s)
+            if latency_s > request.qos.deadline_s:
+                metrics.deadline_misses += 1
+            else:
+                metrics.delivered += 1
+        server_free_tick = done_tick
+
+    total = StreamMetrics(duration_s=duration_s)
+    for name in sorted(per_class):
+        metrics = per_class[name]
+        total.offered += metrics.offered
+        total.delivered += metrics.delivered
+        total.attempts += metrics.admitted
+        total.deadline_misses += metrics.deadline_misses
+        total.classes[name] = metrics
+    return CapacityResult(
+        links=links,
+        duration_s=duration_s,
+        traffic=traffic,
+        qos=qos,
+        metrics=total,
+        arrivals=arrivals,
+        batches=batches,
+    )
+
+
+@dataclass
+class CapacityCurve:
+    """Link-count sweep: the links-sustained-vs-SLO capacity figure."""
+
+    traffic: str
+    qos: str
+    duration_s: float
+    results: list[CapacityResult] = field(default_factory=list)
+
+    @property
+    def sustained_links(self) -> int:
+        """Largest swept link count whose classes all meet their SLOs
+        (0 when even the smallest point violates)."""
+        sustained = 0
+        for result in self.results:
+            if result.slo_met:
+                sustained = max(sustained, result.links)
+        return sustained
+
+    def payload(self) -> dict:
+        """Deterministic JSON-able payload for campaign steps."""
+        return {
+            "traffic": self.traffic,
+            "qos": self.qos,
+            "duration_s": self.duration_s,
+            "sustained_links": self.sustained_links,
+            "points": [r.payload() for r in self.results],
+        }
+
+
+def capacity_curve(
+    link_counts,
+    duration_s: float = 30.0,
+    traffic: str = "mixed",
+    qos: str = "triple",
+    seed: int = 7,
+    model: ServiceModel | None = None,
+) -> CapacityCurve:
+    """Sweep link counts and collect the capacity curve."""
+    counts = sorted({int(c) for c in link_counts})
+    if not counts:
+        raise ConfigurationError("capacity_curve needs link counts")
+    curve = CapacityCurve(
+        traffic=validate_traffic(traffic),
+        qos=str(qos),
+        duration_s=float(duration_s),
+    )
+    for links in counts:
+        curve.results.append(
+            simulate_capacity(
+                links,
+                duration_s=duration_s,
+                traffic=traffic,
+                qos=qos,
+                seed=seed,
+                model=model,
+            )
+        )
+    return curve

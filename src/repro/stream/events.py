@@ -166,35 +166,38 @@ def merge_event_streams(
 ) -> list[StreamEvent]:
     """Merge every link's frames and packets into one time-ordered stream.
 
-    Ordering is total and deterministic: events sort by ``(time,
-    kind-rank, link, index)``, so at equal timestamps frames precede
-    packets and lower link ids precede higher ones.  Every simulator
-    run — regardless of how the traces were generated (serial or
-    ``workers=N``) — consumes the identical sequence, which is what
+    Ordering is total and deterministic: events order by ``(tick,
+    kind-rank, link, index)`` on the integer-tick grid of
+    :mod:`repro.stream.scheduler`, so at equal timestamps frames
+    precede packets and lower link ids precede higher ones.  Every
+    simulator run — regardless of how the traces were generated (serial
+    or ``workers=N``) — consumes the identical sequence, which is what
     makes closed-loop metrics bit-identical across runs.
+
+    This materialized form exists for figures and tests; the simulator
+    itself drains the lazy heap scheduler directly and never builds the
+    dense list (``traces`` may be any iterable, including a generator —
+    it is normalized before the emptiness check).
     """
+    from .scheduler import KIND_FRAME, replay_scheduler
+
+    traces = list(traces)
     if not traces:
         raise ConfigurationError("merge_event_streams needs link traces")
+    by_link = {trace.link: trace.measurement_set for trace in traces}
     events: list[StreamEvent] = []
-    for trace in traces:
-        measurement_set = trace.measurement_set
-        for frame_index, time_s in enumerate(measurement_set.frame_times):
-            events.append(
-                StreamEvent(
-                    time_s=float(time_s),
-                    kind=EVENT_FRAME,
-                    link=trace.link,
-                    index=frame_index,
-                )
+    for event in replay_scheduler(traces):
+        measurement_set = by_link[event.link]
+        if event.kind == KIND_FRAME:
+            time_s = float(measurement_set.frame_times[event.index])
+        else:
+            time_s = float(measurement_set.packets[event.index].time_s)
+        events.append(
+            StreamEvent(
+                time_s=time_s,
+                kind=event.kind,
+                link=event.link,
+                index=event.index,
             )
-        for slot, record in enumerate(measurement_set.packets):
-            events.append(
-                StreamEvent(
-                    time_s=float(record.time_s),
-                    kind=EVENT_PACKET,
-                    link=trace.link,
-                    index=slot,
-                )
-            )
-    events.sort(key=lambda e: (e.time_s, e.kind_rank, e.link, e.index))
+        )
     return events

@@ -1,0 +1,252 @@
+"""Heap-based discrete-event scheduler keyed on integer ticks.
+
+The streaming subsystem used to *materialize* every link's frame and
+packet events into one dense, pre-sorted list and linearly scan it,
+grouping packet slots by exact float equality of their computed times
+(``events.sort`` + ``time_s ==`` comparisons).  That replay breaks down
+on the road to thousands of links twice over: the event list is
+``O(links x (frames + slots))`` memory before the first slot runs, and
+float-sum equality is an accident of every link computing its times the
+same way — an adversarial packet interval (say 0.0333... s) accumulated
+differently per link silently splits one slot into several.
+
+This module replaces both mechanisms:
+
+- **Integer ticks.** Event times are quantized to nanosecond ticks
+  (:func:`seconds_to_ticks`).  Packet slots group by tick equality,
+  which is exact integer comparison — two times within half a
+  nanosecond are the same slot no matter how their floats were
+  computed.  Frame/packet grids in this codebase are >= milliseconds
+  apart, so the quantization can never merge genuinely distinct slots.
+- **A lazy heap.** :class:`EventScheduler` holds at most ONE pending
+  event per :class:`EventSource` in a heap and re-arms the source on
+  every pop, so the scheduler's memory is ``O(links)`` regardless of
+  how many events each link will ever emit.  Sources synthesize their
+  events on demand (:class:`ReplayLinkSource` walks a materialized
+  trace cursor-by-cursor; the capacity simulator's traffic sources
+  generate arrivals from seeded RNGs with no backing arrays at all).
+
+Ordering is total and deterministic: ``(tick, kind-rank, link, index)``
+— at one tick frames precede packets and lower link ids precede higher
+ones, exactly the contract the dense sort provided, which is what keeps
+pre-rewrite stream payloads byte-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Protocol, Sequence
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .events import LinkTrace
+
+#: Tick resolution: one nanosecond.  Coarse enough that float noise in
+#: accumulated times (~1e-16 s) collapses onto one tick, fine enough
+#: that real event grids (>= 1 ms apart) never collide.
+TICKS_PER_SECOND = 1_000_000_000
+
+#: Event kinds, ordered: at equal ticks a frame (rank 0) is delivered
+#: before a packet (rank 1) — camera output is available to the
+#: transmit-time decision of the same instant.
+KIND_FRAME = "frame"
+KIND_PACKET = "packet"
+_KIND_RANK = {KIND_FRAME: 0, KIND_PACKET: 1}
+
+
+def seconds_to_ticks(time_s: float) -> int:
+    """Quantize a float time to the integer tick grid (round-to-nearest)."""
+    return round(time_s * TICKS_PER_SECOND)
+
+
+def ticks_to_seconds(tick: int) -> float:
+    """Float seconds of an integer tick (for display / payloads)."""
+    return tick / TICKS_PER_SECOND
+
+
+@dataclass(frozen=True)
+class TickEvent:
+    """One scheduled occurrence on one link, keyed on integer ticks.
+
+    ``index`` is the frame index (``kind == "frame"``) or the packet
+    slot (``kind == "packet"``) within the link's event grid.
+    """
+
+    tick: int
+    kind: str
+    link: int
+    index: int
+
+    @property
+    def kind_rank(self) -> int:
+        """Sort rank of the event kind (frames before packets)."""
+        return _KIND_RANK[self.kind]
+
+    @property
+    def time_s(self) -> float:
+        """Float-seconds view of :attr:`tick`."""
+        return ticks_to_seconds(self.tick)
+
+    def sort_key(self) -> tuple[int, int, int, int]:
+        """The total deterministic ordering of the event stream."""
+        return (self.tick, self.kind_rank, self.link, self.index)
+
+
+class EventSource(Protocol):
+    """Anything that lazily emits one link's events in tick order."""
+
+    def next_event(self) -> TickEvent | None:
+        """Produce the source's next event, or ``None`` when drained.
+
+        Successive calls must return events in non-decreasing
+        :meth:`TickEvent.sort_key` order — the scheduler holds only one
+        pending event per source and relies on the source itself being
+        internally ordered.
+        """
+        ...  # pragma: no cover - protocol
+
+
+class ReplayLinkSource:
+    """Lazy event source over one materialized :class:`LinkTrace`.
+
+    Walks the trace with two integer cursors (frame index, packet slot)
+    and emits the earlier event on demand — no event list is ever
+    built.  ``max_slots`` truncates the *packet* grid to the common
+    slot window of a multi-link run; frames beyond the window are still
+    emitted (the camera keeps filming after the last common slot),
+    preserving the established ragged-trace semantics.
+    """
+
+    def __init__(self, trace: "LinkTrace", max_slots: int | None = None):
+        self._trace = trace
+        self._link = trace.link
+        measurement_set = trace.measurement_set
+        self._frame_ticks = [
+            seconds_to_ticks(float(t))
+            for t in measurement_set.frame_times
+        ]
+        self._packet_ticks = [
+            seconds_to_ticks(float(record.time_s))
+            for record in measurement_set.packets
+        ]
+        if max_slots is not None:
+            self._packet_ticks = self._packet_ticks[:max_slots]
+        self._frame_i = 0
+        self._packet_i = 0
+
+    def next_event(self) -> TickEvent | None:
+        """The trace's next frame or packet event, in tick order."""
+        frame_ok = self._frame_i < len(self._frame_ticks)
+        packet_ok = self._packet_i < len(self._packet_ticks)
+        if not frame_ok and not packet_ok:
+            return None
+        # Frames win ties (rank 0 before rank 1 at one tick).
+        if frame_ok and (
+            not packet_ok
+            or self._frame_ticks[self._frame_i]
+            <= self._packet_ticks[self._packet_i]
+        ):
+            event = TickEvent(
+                tick=self._frame_ticks[self._frame_i],
+                kind=KIND_FRAME,
+                link=self._link,
+                index=self._frame_i,
+            )
+            self._frame_i += 1
+            return event
+        event = TickEvent(
+            tick=self._packet_ticks[self._packet_i],
+            kind=KIND_PACKET,
+            link=self._link,
+            index=self._packet_i,
+        )
+        self._packet_i += 1
+        return event
+
+
+class EventScheduler:
+    """Merge N lazy event sources through a heap, one pending event each.
+
+    The scheduler's working set is one :class:`TickEvent` per live
+    source — ``O(links)`` — independent of how many events the sources
+    will emit over the run.  :meth:`pop` returns the globally next
+    event and immediately re-arms its source; :meth:`peek` supports the
+    simulator's same-tick slot grouping without consuming.
+    """
+
+    def __init__(self, sources: Sequence[EventSource]):
+        self._heap: list[tuple[tuple[int, int, int, int], int, TickEvent]] = []
+        self._sources = list(sources)
+        for slot, source in enumerate(self._sources):
+            self._arm(slot)
+
+    def _arm(self, slot: int) -> None:
+        event = self._sources[slot].next_event()
+        if event is not None:
+            heapq.heappush(self._heap, (event.sort_key(), slot, event))
+
+    @property
+    def pending(self) -> int:
+        """Live sources still holding an event."""
+        return len(self._heap)
+
+    def peek(self) -> TickEvent | None:
+        """The next event without consuming it (``None`` when drained)."""
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def pop(self) -> TickEvent | None:
+        """Consume the next event and re-arm its source."""
+        if not self._heap:
+            return None
+        _, slot, event = heapq.heappop(self._heap)
+        self._arm(slot)
+        return event
+
+    def pop_slot_group(self) -> list[TickEvent]:
+        """Pop every *packet* event sharing the next event's tick.
+
+        The integer-tick replacement for the float-equality slot scan:
+        packet events group by exact tick comparison, and the group
+        stops before any frame event (frames sort first at a tick, so a
+        same-tick frame was already delivered).  Returns ``[]`` when
+        the next event is a frame or the scheduler is drained.
+        """
+        head = self.peek()
+        if head is None or head.kind != KIND_PACKET:
+            return []
+        tick = head.tick
+        group: list[TickEvent] = []
+        while True:
+            event = self.peek()
+            if (
+                event is None
+                or event.kind != KIND_PACKET
+                or event.tick != tick
+            ):
+                break
+            group.append(self.pop())
+        return group
+
+    def __iter__(self) -> Iterator[TickEvent]:
+        """Drain the scheduler in deterministic order."""
+        while True:
+            event = self.pop()
+            if event is None:
+                return
+            yield event
+
+
+def replay_scheduler(
+    traces: Sequence["LinkTrace"], max_slots: int | None = None
+) -> EventScheduler:
+    """An :class:`EventScheduler` over materialized link traces."""
+    traces = list(traces)
+    if not traces:
+        raise ConfigurationError("replay_scheduler needs link traces")
+    return EventScheduler(
+        [ReplayLinkSource(trace, max_slots=max_slots) for trace in traces]
+    )

@@ -35,6 +35,7 @@ from .. import faults
 from ..core.blockage import BlockageDetector
 from ..core.training import TrainedVVD
 from ..errors import ConfigurationError
+from ..experiments.metrics import LatencyReservoir
 from ..vision.preprocessing import normalize_depth_batch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -61,8 +62,25 @@ class ServiceStats:
     singles: int = 0
     #: Wall time spent inside per-request forward passes.
     single_seconds: float = 0.0
-    #: Per-request latency samples (submit -> completed flush), seconds.
-    latencies_s: list[float] = field(default_factory=list)
+    #: Requests rejected by admission control (``admission_limit``).
+    shed_requests: int = 0
+    #: Bounded per-request latency accounting (submit -> completed
+    #: flush).  The old unbounded ``latencies_s`` list leaked one float
+    #: per request forever — fatal at 10k links; the reservoir keeps a
+    #: deterministic fixed-size sample plus exact count / sum / max.
+    latency: LatencyReservoir = field(
+        default_factory=lambda: LatencyReservoir(seed="service")
+    )
+
+    @property
+    def latencies_s(self) -> list[float]:
+        """Latency samples currently held by the reservoir (bounded
+        back-compat view of the old unbounded list)."""
+        return self.latency.samples
+
+    def record_latency(self, value_s: float) -> None:
+        """Record one request latency sample (seconds)."""
+        self.latency.add(value_s)
 
     def predictions_per_second(self) -> float:
         """Aggregate micro-batched throughput (0.0 before any flush)."""
@@ -72,10 +90,15 @@ class ServiceStats:
 
     def latency_quantiles(self) -> tuple[float, float]:
         """(median, p95) per-request latency in seconds (0.0 when idle)."""
-        if not self.latencies_s:
+        if self.latency.count == 0:
             return 0.0, 0.0
-        p50, p95 = np.percentile(self.latencies_s, [50, 95])
-        return float(p50), float(p95)
+        p50, p95 = self.latency.percentiles([50, 95])
+        return p50, p95
+
+    def latency_sla(self) -> tuple[float, float, float]:
+        """(p50, p99, p999) per-request latency in seconds — the SLA
+        trio reported by capacity runs (0.0 each when idle)."""
+        return self.latency.quantiles()
 
     def mean_batch_size(self) -> float:
         """Average micro-batch size (0.0 before any flush)."""
@@ -134,14 +157,25 @@ class PredictionService:
         max_depth_m: float,
         max_batch: int = 16,
         detector: BlockageDetector | None = None,
+        admission_limit: int | None = None,
     ) -> None:
         if max_batch < 1:
             raise ConfigurationError(
                 f"max_batch must be >= 1, got {max_batch}"
             )
+        if admission_limit is not None and admission_limit < 1:
+            raise ConfigurationError(
+                f"admission_limit must be >= 1, got {admission_limit}"
+            )
         self.trained = trained
         self.max_depth_m = float(max_depth_m)
         self.max_batch = int(max_batch)
+        #: Admission control: at most this many links pending per flush
+        #: cycle; excess submits are shed (``None`` = accept all, the
+        #: pre-SLA behavior).
+        self.admission_limit = (
+            None if admission_limit is None else int(admission_limit)
+        )
         #: Optional Sec. 6.4 blockage head served alongside the CIR
         #: prediction (one pooled matmul per micro-batch — negligible
         #: next to the CNN forward).
@@ -193,20 +227,31 @@ class PredictionService:
         )
 
     # -- request path -----------------------------------------------------
-    def submit(self, link: int, frame: np.ndarray) -> None:
+    def submit(self, link: int, frame: np.ndarray) -> bool:
         """Queue one link's depth frame for the next :meth:`flush`.
 
         A second submit from the same link before the flush replaces the
         earlier frame — the service always answers with the freshest
         camera output, exactly like a real serving queue coalescing
-        stale requests.
+        stale requests.  With ``admission_limit`` set, a *new* link
+        beyond the limit is shed instead of queued (returns ``False``
+        and counts in ``stats.shed_requests``); refreshing an
+        already-pending link is always admitted.
         """
+        if (
+            self.admission_limit is not None
+            and link not in self._pending
+            and len(self._pending) >= self.admission_limit
+        ):
+            self.stats.shed_requests += 1
+            return False
         self._pending[link] = _PendingRequest(
             link=link,
             frame=np.asarray(frame),
             submitted_at=time.perf_counter(),
         )
         self.stats.requests += 1
+        return True
 
     @property
     def pending(self) -> int:
@@ -258,7 +303,7 @@ class PredictionService:
                         else float(probabilities[row])
                     ),
                 )
-                self.stats.latencies_s.append(
+                self.stats.record_latency(
                     completed - request.submitted_at
                 )
         return results

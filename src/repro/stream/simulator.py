@@ -38,12 +38,8 @@ from ..experiments.metrics import (
     TechniqueResult,
 )
 from ..experiments.runner import EvaluationRunner
-from .events import (
-    EVENT_FRAME,
-    LinkTrace,
-    StreamEvent,
-    merge_event_streams,
-)
+from .scheduler import KIND_FRAME, TickEvent, replay_scheduler
+from .events import LinkTrace
 from .policy import (
     LinkAdaptationPolicy,
     ReactivePreviousPolicy,
@@ -131,6 +127,10 @@ class StreamSimulator:
         deadline_slots: int = 3,
         round_deadline_s: float | None = None,
     ) -> None:
+        # Normalize before the emptiness check: an exhausted *generator*
+        # is truthy, so guarding the raw argument lets an empty stream
+        # through and `run` later dies on `min()` of an empty sequence.
+        traces = list(traces)
         if not traces:
             raise ConfigurationError("StreamSimulator needs link traces")
         if deadline_slots < 1:
@@ -142,7 +142,7 @@ class StreamSimulator:
                 f"round_deadline_s must be > 0, got {round_deadline_s}"
             )
         self.components = components
-        self.traces = list(traces)
+        self.traces = traces
         self.deadline_slots = int(deadline_slots)
         #: Wall-time budget of one micro-batched prediction round; a
         #: round that raises or overruns it degrades to the reactive
@@ -154,7 +154,6 @@ class StreamSimulator:
         self.runner = EvaluationRunner(
             components, [t.measurement_set for t in self.traces]
         )
-        self.events: list[StreamEvent] = merge_event_streams(self.traces)
         self._shadow = shadow_clearance_m(components.config.channel)
 
     # -- event loop -------------------------------------------------------
@@ -186,6 +185,10 @@ class StreamSimulator:
             raise ConfigurationError(
                 f"policy {policy.name!r} needs a PredictionService"
             )
+        if not self.traces:
+            raise ConfigurationError(
+                "StreamSimulator.run needs at least one link trace"
+            )
         num_links = len(self.traces)
         interval = self.components.config.dataset.packet_interval_s
         num_slots = min(trace.num_slots for trace in self.traces)
@@ -208,28 +211,24 @@ class StreamSimulator:
             fallback = ReactivePreviousPolicy()
             fallback.reset(num_links)
 
-        index = 0
-        while index < len(self.events):
-            event = self.events[index]
-            if event.kind == EVENT_FRAME:
+        # Lazy heap replay: the scheduler holds one pending event per
+        # link (O(links) memory, never a dense event list) and groups
+        # packet slots by exact integer-tick equality — no more relying
+        # on float sums of the slot interval comparing `==` across
+        # links.  Packet events past the common `num_slots` window are
+        # truncated at the source; frames beyond it still arrive and
+        # advance `latest_frame` (the camera keeps filming).
+        scheduler = replay_scheduler(self.traces, max_slots=num_slots)
+        while True:
+            event = scheduler.peek()
+            if event is None:
+                break
+            if event.kind == KIND_FRAME:
+                scheduler.pop()
                 state = states[event.link]
                 state.latest_frame = max(state.latest_frame, event.index)
-                index += 1
                 continue
-            # Group the packet events of this slot time (the links share
-            # the 100 ms slot grid, so they are adjacent after sorting).
-            slot_events = []
-            time_s = event.time_s
-            while (
-                index < len(self.events)
-                and self.events[index].kind != EVENT_FRAME
-                and self.events[index].time_s == time_s
-            ):
-                slot_events.append(self.events[index])
-                index += 1
-            slot_events = [
-                e for e in slot_events if e.index < num_slots
-            ]
+            slot_events = scheduler.pop_slot_group()
             if slot_events:
                 self._run_slot(
                     slot_events, states, policy, service, fallback
@@ -270,7 +269,7 @@ class StreamSimulator:
 
     def _run_slot(
         self,
-        slot_events: Sequence[StreamEvent],
+        slot_events: Sequence[TickEvent],
         states: list[_LinkState],
         policy: LinkAdaptationPolicy,
         service: "PredictionService | None",

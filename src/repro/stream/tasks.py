@@ -114,3 +114,50 @@ def run_stream_policy_task(task: StreamPolicyTask) -> str:
     )
     result = simulator.run(policy, service=service)
     return json.dumps(result.payload(), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class CapacityTask:
+    """Picklable work order of one ``capacity@<links>`` step.
+
+    Capacity points are pure queueing-model simulations — no PHY, no
+    dataset, no checkpoints — so the task is nothing but the simulation
+    parameters; payloads are deterministic functions of them, which is
+    what makes ``--jobs N`` byte-identical to serial.
+    """
+
+    #: Concurrent links the modeled fleet drives.
+    links: int
+    #: Simulated horizon in seconds.
+    duration_s: float
+    #: Arrival-process spec string (``mixed`` allowed).
+    traffic: str
+    #: QoS class-mix name.
+    qos: str
+    #: Arrival/class RNG seed.
+    seed: int
+    #: Modeled serving backend (see ``ServiceModel``).
+    service_pps: float = 900.0
+    batch_overhead_s: float = 0.004
+    max_batch: int = 16
+    admission_limit: int = 512
+
+
+def run_capacity_task(task: CapacityTask) -> str:
+    """Simulate one capacity point; returns the JSON payload."""
+    from .capacity import ServiceModel, simulate_capacity
+
+    result = simulate_capacity(
+        task.links,
+        duration_s=task.duration_s,
+        traffic=task.traffic,
+        qos=task.qos,
+        seed=task.seed,
+        model=ServiceModel(
+            service_pps=task.service_pps,
+            batch_overhead_s=task.batch_overhead_s,
+            max_batch=task.max_batch,
+            admission_limit=task.admission_limit,
+        ),
+    )
+    return json.dumps(result.payload(), sort_keys=True)

@@ -1,0 +1,336 @@
+"""Per-link arrival-process models and QoS class mixes.
+
+The replay simulator drives every link with the recorded 100 ms packet
+grid — deterministic-periodic traffic.  Production framing needs
+*heterogeneous* workloads: this module defines arrival-process models
+(periodic, Poisson, bursty on/off, diurnal rate envelopes) as lazy
+:class:`~repro.stream.scheduler.EventSource` generators, plus QoS class
+mixes (per-class deadlines, priorities, SLO targets) the capacity
+simulator schedules against.
+
+Determinism is the contract: every stochastic draw comes from a
+:class:`random.Random` seeded with a *string* of the form
+``"traffic:{seed}:{link}:{spec}"`` — the same ``STREAM_SEED_OFFSET``
+philosophy as link traces (string seeding hashes via sha512, so the
+sequence is identical across processes, platforms and ``--jobs N``).
+An arrival source never materializes its arrivals: it holds one cursor
+and synthesizes the next event on demand, so a 10k-link run costs 10k
+cursors, not 10k arrival arrays.
+
+Spec strings are grid-axis safe (``:``-separated — ``,``/``=``/
+whitespace are rejected by ``format_axis_value``):
+
+- ``periodic`` / ``periodic:R`` — fixed gaps at ``R`` packets/s.
+- ``poisson:R`` — exponential gaps at mean rate ``R``.
+- ``onoff:R:ON:OFF`` — bursty two-state source: exponential on/off
+  dwell times (means ``ON`` / ``OFF`` seconds), Poisson arrivals at
+  ``R`` while on, silence while off.
+- ``diurnal:R:P`` / ``diurnal:R:P:D`` — inhomogeneous Poisson with a
+  sinusoidal rate envelope ``R * (1 + D * sin(2*pi*t/P))`` (thinning).
+- ``mixed`` — heterogeneous fleet: link ``l`` uses
+  ``MIXED_PROFILE[l % len(MIXED_PROFILE)]``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .scheduler import KIND_PACKET, TickEvent, seconds_to_ticks
+
+#: Default arrival rate when a spec omits it: the replay slot grid
+#: (one packet per 100 ms).
+DEFAULT_RATE_PPS = 10.0
+
+#: Arrival-process kinds accepted by :func:`parse_traffic_spec`.
+ARRIVAL_KINDS = ("periodic", "poisson", "onoff", "diurnal")
+
+#: The per-link rotation behind the ``mixed`` heterogeneous spec.
+MIXED_PROFILE = (
+    "periodic:10",
+    "poisson:12",
+    "onoff:40:1:4",
+    "diurnal:10:60:0.8",
+)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One parsed arrival-process model (hashable, canonical)."""
+
+    kind: str
+    rate_pps: float = DEFAULT_RATE_PPS
+    #: Mean dwell times of the on/off burst states (``onoff`` only).
+    on_s: float = 1.0
+    off_s: float = 4.0
+    #: Envelope period / modulation depth (``diurnal`` only).
+    period_s: float = 60.0
+    depth: float = 0.8
+
+    def key(self) -> str:
+        """Canonical string form — part of every arrival RNG seed, so
+        two specs parse equal iff their arrival streams are equal."""
+        if self.kind == "periodic" or self.kind == "poisson":
+            return f"{self.kind}:{self.rate_pps:g}"
+        if self.kind == "onoff":
+            return (
+                f"onoff:{self.rate_pps:g}:{self.on_s:g}:{self.off_s:g}"
+            )
+        return (
+            f"diurnal:{self.rate_pps:g}:{self.period_s:g}:{self.depth:g}"
+        )
+
+
+def parse_traffic_spec(text: str) -> TrafficSpec:
+    """Parse one concrete spec string (``mixed`` is *not* concrete —
+    resolve it per link through :func:`link_traffic_spec`)."""
+    parts = str(text).strip().split(":")
+    kind = parts[0]
+    if kind not in ARRIVAL_KINDS:
+        raise ConfigurationError(
+            f"unknown traffic kind {kind!r} "
+            f"(expected one of {', '.join(ARRIVAL_KINDS)}, or 'mixed')"
+        )
+    try:
+        values = [float(p) for p in parts[1:]]
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"malformed traffic spec {text!r}: {exc}"
+        ) from None
+    rate = values[0] if values else DEFAULT_RATE_PPS
+    if rate <= 0.0:
+        raise ConfigurationError(
+            f"traffic rate must be > 0, got {rate} in {text!r}"
+        )
+    if kind in ("periodic", "poisson"):
+        if len(values) > 1:
+            raise ConfigurationError(
+                f"{kind} takes at most one parameter, got {text!r}"
+            )
+        return TrafficSpec(kind=kind, rate_pps=rate)
+    if kind == "onoff":
+        if len(values) != 3:
+            raise ConfigurationError(
+                f"onoff needs rate:on:off, got {text!r}"
+            )
+        on_s, off_s = values[1], values[2]
+        if on_s <= 0.0 or off_s <= 0.0:
+            raise ConfigurationError(
+                f"onoff dwell times must be > 0, got {text!r}"
+            )
+        return TrafficSpec(
+            kind=kind, rate_pps=rate, on_s=on_s, off_s=off_s
+        )
+    if len(values) not in (2, 3):
+        raise ConfigurationError(
+            f"diurnal needs rate:period[:depth], got {text!r}"
+        )
+    period_s = values[1]
+    depth = values[2] if len(values) == 3 else 0.8
+    if period_s <= 0.0:
+        raise ConfigurationError(
+            f"diurnal period must be > 0, got {text!r}"
+        )
+    if not 0.0 <= depth <= 1.0:
+        raise ConfigurationError(
+            f"diurnal depth must be in [0, 1], got {text!r}"
+        )
+    return TrafficSpec(
+        kind=kind, rate_pps=rate, period_s=period_s, depth=depth
+    )
+
+
+def link_traffic_spec(text: str, link: int) -> TrafficSpec:
+    """Resolve a (possibly ``mixed``) spec string for one link."""
+    if str(text).strip() == "mixed":
+        return parse_traffic_spec(
+            MIXED_PROFILE[link % len(MIXED_PROFILE)]
+        )
+    return parse_traffic_spec(text)
+
+
+def validate_traffic(text: str) -> str:
+    """Validate a spec string (``mixed`` included); returns it back."""
+    text = str(text).strip()
+    if text != "mixed":
+        parse_traffic_spec(text)
+    return text
+
+
+class ArrivalSource:
+    """Lazy per-link packet-arrival :class:`EventSource`.
+
+    Emits :class:`TickEvent` packets (``index`` = arrival ordinal) on
+    the integer tick grid until ``duration_s`` is exhausted.  All
+    randomness comes from one string-seeded RNG, so the stream is a
+    pure function of ``(seed, link, spec)``.
+    """
+
+    def __init__(
+        self,
+        link: int,
+        spec: TrafficSpec,
+        seed: int,
+        duration_s: float,
+    ) -> None:
+        if duration_s <= 0.0:
+            raise ConfigurationError(
+                f"duration_s must be > 0, got {duration_s}"
+            )
+        self.link = int(link)
+        self.spec = spec
+        self._rng = random.Random(
+            f"traffic:{seed}:{link}:{spec.key()}"
+        )
+        self._limit_tick = seconds_to_ticks(duration_s)
+        self._time_s = 0.0
+        self._index = 0
+        # Bursty on/off state: start in the on phase with a fresh dwell.
+        if spec.kind == "onoff":
+            self._on_until_s = self._exponential(1.0 / spec.on_s)
+        else:
+            self._on_until_s = math.inf
+
+    def _exponential(self, rate: float) -> float:
+        """Inverse-transform exponential draw (explicit so the RNG
+        consumption pattern is pinned, not an implementation detail of
+        ``random.expovariate``)."""
+        return -math.log(1.0 - self._rng.random()) / rate
+
+    def _advance(self) -> None:
+        """Move ``_time_s`` to the next arrival instant."""
+        spec = self.spec
+        if spec.kind == "periodic":
+            self._time_s = (self._index + 1) / spec.rate_pps
+            return
+        if spec.kind == "poisson":
+            self._time_s += self._exponential(spec.rate_pps)
+            return
+        if spec.kind == "onoff":
+            while True:
+                gap = self._exponential(spec.rate_pps)
+                if self._time_s + gap <= self._on_until_s:
+                    self._time_s += gap
+                    return
+                # The candidate falls past this on-phase: burn the off
+                # dwell and retry from the next on-phase start.
+                off = self._exponential(1.0 / spec.off_s)
+                self._time_s = self._on_until_s + off
+                self._on_until_s = self._time_s + self._exponential(
+                    1.0 / spec.on_s
+                )
+            return
+        # Diurnal: thinning against the envelope's peak rate.
+        peak = spec.rate_pps * (1.0 + spec.depth)
+        while True:
+            self._time_s += self._exponential(peak)
+            phase = 2.0 * math.pi * self._time_s / spec.period_s
+            rate = spec.rate_pps * (
+                1.0 + spec.depth * math.sin(phase)
+            )
+            if self._rng.random() * peak <= rate:
+                return
+
+    def next_event(self) -> TickEvent | None:
+        """The link's next arrival, or ``None`` past the horizon."""
+        self._advance()
+        tick = seconds_to_ticks(self._time_s)
+        if tick > self._limit_tick:
+            return None
+        event = TickEvent(
+            tick=tick,
+            kind=KIND_PACKET,
+            link=self.link,
+            index=self._index,
+        )
+        self._index += 1
+        return event
+
+
+@dataclass(frozen=True)
+class QoSClass:
+    """One traffic class: delivery deadline, shed priority, SLO target."""
+
+    name: str
+    #: Per-packet delivery deadline (arrival -> served), seconds.
+    deadline_s: float
+    #: Shed priority: lower numbers are served first and shed last.
+    priority: int
+    #: Mix weight (relative fraction of arrivals drawn into the class).
+    weight: float
+    #: SLO: maximum acceptable deadline-miss rate (shed included).
+    target_miss_rate: float
+
+
+#: Builtin QoS class mixes, selected by name from the CLI / grid axis.
+QOS_MIXES: dict[str, tuple[QoSClass, ...]] = {
+    "uniform": (
+        QoSClass(
+            name="default",
+            deadline_s=0.3,
+            priority=0,
+            weight=1.0,
+            target_miss_rate=0.05,
+        ),
+    ),
+    "triple": (
+        QoSClass(
+            name="gold",
+            deadline_s=0.15,
+            priority=0,
+            weight=0.2,
+            target_miss_rate=0.01,
+        ),
+        QoSClass(
+            name="silver",
+            deadline_s=0.3,
+            priority=1,
+            weight=0.3,
+            target_miss_rate=0.05,
+        ),
+        QoSClass(
+            name="bronze",
+            deadline_s=0.6,
+            priority=2,
+            weight=0.5,
+            target_miss_rate=0.2,
+        ),
+    ),
+}
+
+
+def get_qos_mix(name: str) -> tuple[QoSClass, ...]:
+    """Look a QoS mix up by name (clean error on unknown names)."""
+    try:
+        return QOS_MIXES[str(name).strip()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown QoS mix {name!r} "
+            f"(expected one of {', '.join(sorted(QOS_MIXES))})"
+        ) from None
+
+
+class ClassAssigner:
+    """Deterministic per-link weighted class draw for each arrival."""
+
+    def __init__(
+        self, mix_name: str, link: int, seed: int
+    ) -> None:
+        self._classes = get_qos_mix(mix_name)
+        self._rng = random.Random(f"qos:{seed}:{link}:{mix_name}")
+        total = sum(c.weight for c in self._classes)
+        self._cumulative = []
+        acc = 0.0
+        for qos in self._classes:
+            acc += qos.weight / total
+            self._cumulative.append(acc)
+
+    def draw(self) -> QoSClass:
+        """The next arrival's class."""
+        u = self._rng.random()
+        for qos, edge in zip(self._classes, self._cumulative):
+            if u <= edge:
+                return qos
+        return self._classes[-1]

@@ -1,0 +1,179 @@
+"""SLA metrics layer: bounded reservoirs, per-class counters, payloads.
+
+Three contracts ride on this module:
+
+- ``LatencyReservoir`` replaces the unbounded ``latencies_s`` list —
+  memory must stay bounded while count/mean/max stay *exact* and the
+  sampling stays byte-deterministic (string-seeded RNG, cross-process
+  stable);
+- ``ClassMetrics`` ratios are total functions on every zero edge, and
+  merging preserves the counters exactly;
+- ``StreamMetrics`` payloads elide the ``classes`` key when empty so
+  pre-SLA stream payloads stay byte-identical, and legacy payloads
+  (no ``classes`` key at all) still load.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.experiments.metrics import (
+    RESERVOIR_CAPACITY,
+    ClassMetrics,
+    LatencyReservoir,
+    StreamMetrics,
+)
+
+
+class TestLatencyReservoir:
+    def test_memory_is_bounded_but_sums_exact(self):
+        reservoir = LatencyReservoir(capacity=64, seed="t")
+        values = [0.001 * (i + 1) for i in range(10_000)]
+        reservoir.extend(values)
+        assert len(reservoir.samples) == 64
+        assert reservoir.count == 10_000
+        assert reservoir.total_s == pytest.approx(sum(values))
+        assert reservoir.max_s == pytest.approx(values[-1])
+        assert reservoir.mean_s == pytest.approx(
+            sum(values) / len(values)
+        )
+
+    def test_sampling_is_deterministic(self):
+        def fill():
+            reservoir = LatencyReservoir(capacity=32, seed="same")
+            reservoir.extend(0.001 * (i % 97) for i in range(5_000))
+            return reservoir.samples
+
+        assert fill() == fill()
+        other = LatencyReservoir(capacity=32, seed="other")
+        other.extend(0.001 * (i % 97) for i in range(5_000))
+        assert other.samples != fill()
+
+    def test_below_capacity_keeps_everything(self):
+        reservoir = LatencyReservoir(capacity=100, seed="t")
+        reservoir.extend([0.3, 0.1, 0.2])
+        assert reservoir.samples == [0.3, 0.1, 0.2]
+        p50, p99, p999 = reservoir.quantiles()
+        assert p50 == pytest.approx(0.2)
+
+    def test_empty_reservoir_is_all_zeros(self):
+        reservoir = LatencyReservoir()
+        assert reservoir.mean_s == 0.0
+        assert reservoir.quantiles() == (0.0, 0.0, 0.0)
+        assert reservoir.as_dict()["count"] == 0
+
+    def test_merge_keeps_exact_counters(self):
+        a = LatencyReservoir(capacity=16, seed="a")
+        b = LatencyReservoir(capacity=16, seed="b")
+        a.extend([0.1] * 100)
+        b.extend([0.4] * 300)
+        merged = a.merge(b)
+        assert merged.count == 400
+        assert merged.total_s == pytest.approx(0.1 * 100 + 0.4 * 300)
+        assert merged.max_s == pytest.approx(0.4)
+        assert len(merged.samples) == 16
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ShapeError):
+            LatencyReservoir(capacity=0)
+
+    def test_quantile_growth_to_p999(self):
+        reservoir = LatencyReservoir(capacity=4096, seed="t")
+        reservoir.extend(0.001 * i for i in range(1, 1001))
+        p50, p99, p999 = reservoir.quantiles()
+        assert p50 < p99 < p999 <= reservoir.max_s + 1e-12
+
+
+class TestClassMetrics:
+    def test_zero_edges_are_total(self):
+        empty = ClassMetrics()
+        assert empty.shed_rate == 0.0
+        assert empty.deadline_miss_rate == 0.0
+        assert empty.slo_miss_rate == 0.0
+        assert empty.delivery_rate == 0.0
+        assert empty.goodput_pps == 0.0  # zero duration too
+        payload = empty.as_dict()
+        assert payload["slo_miss_rate"] == 0.0
+        assert json.dumps(payload)  # JSON-safe, no NaN
+
+    def test_shed_counts_against_the_slo(self):
+        metrics = ClassMetrics(
+            offered=100, admitted=60, shed=40, delivered=50,
+            deadline_misses=10, duration_s=10.0,
+        )
+        assert metrics.deadline_miss_rate == pytest.approx(0.10)
+        assert metrics.slo_miss_rate == pytest.approx(0.50)
+
+    def test_merge_sums_counters(self):
+        a = ClassMetrics(offered=10, admitted=8, shed=2, delivered=7,
+                         deadline_misses=1, duration_s=5.0)
+        a.latency.extend([0.1] * 7)
+        b = ClassMetrics(offered=20, admitted=20, shed=0, delivered=18,
+                         deadline_misses=2, duration_s=5.0)
+        b.latency.extend([0.2] * 18)
+        a.merge(b)
+        assert (a.offered, a.admitted, a.shed) == (30, 28, 2)
+        assert (a.delivered, a.deadline_misses) == (25, 3)
+        assert a.latency.count == 25
+
+    def test_round_trip_preserves_quantiles(self):
+        metrics = ClassMetrics(offered=50, admitted=50, delivered=50,
+                               duration_s=10.0)
+        metrics.latency.extend(0.001 * i for i in range(1, 51))
+        payload = json.loads(json.dumps(metrics.as_dict()))
+        rebuilt = ClassMetrics.from_dict(payload)
+        assert rebuilt.offered == 50
+        assert rebuilt.latency.count == 50
+        assert rebuilt.latency.samples == []  # summary-only payloads
+        # Quantiles answer from the persisted summary, not zeros.
+        assert rebuilt.latency.quantiles() == pytest.approx(
+            metrics.latency.quantiles()
+        )
+        assert rebuilt.as_dict() == payload
+
+
+class TestStreamMetricsClasses:
+    def test_empty_classes_elided_from_payloads(self):
+        # The byte-identity pin: homogeneous replay payloads must not
+        # grow a "classes" key.
+        assert "classes" not in StreamMetrics(offered=5).as_dict()
+
+    def test_legacy_payloads_load_with_empty_classes(self):
+        legacy = StreamMetrics(offered=5, delivered=4).as_dict()
+        assert "classes" not in legacy
+        rebuilt = StreamMetrics.from_dict(legacy)
+        assert rebuilt.classes == {}
+        assert rebuilt.offered == 5
+
+    def test_classes_round_trip_sorted(self):
+        metrics = StreamMetrics(offered=30, duration_s=10.0)
+        metrics.classes["silver"] = ClassMetrics(offered=20)
+        metrics.classes["gold"] = ClassMetrics(offered=10)
+        payload = metrics.as_dict()
+        assert list(payload["classes"]) == ["gold", "silver"]
+        rebuilt = StreamMetrics.from_dict(
+            json.loads(json.dumps(payload))
+        )
+        assert rebuilt.classes["gold"].offered == 10
+        assert rebuilt.classes["silver"].offered == 20
+
+    def test_merge_folds_per_class(self):
+        a = StreamMetrics(offered=10)
+        a.classes["gold"] = ClassMetrics(offered=10, shed=1)
+        b = StreamMetrics(offered=20)
+        b.classes["gold"] = ClassMetrics(offered=12, shed=2)
+        b.classes["bronze"] = ClassMetrics(offered=8)
+        a.merge(b)
+        assert a.offered == 30
+        assert a.classes["gold"].offered == 22
+        assert a.classes["gold"].shed == 3
+        assert a.classes["bronze"].offered == 8
+        # Merging never aliases the other run's instances.
+        assert a.classes["bronze"] is not b.classes["bronze"]
+
+    def test_merge_into_classless_total_stays_homogeneous(self):
+        total = StreamMetrics()
+        total.merge(StreamMetrics(offered=5, delivered=5))
+        assert total.classes == {}
+        assert "classes" not in total.as_dict()

@@ -1,0 +1,173 @@
+"""Modeled capacity simulation: determinism, shedding, SLA verdicts.
+
+The capacity path is a pure queueing simulation over the heap
+scheduler — no PHY, no datasets, no wall clock — so its payloads must
+be exact functions of the parameters: byte-identical across repeat
+runs and across processes (the campaign's ``--jobs N`` contract rides
+on this).
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stream.capacity import (
+    CapacityResult,
+    ServiceModel,
+    capacity_curve,
+    simulate_capacity,
+)
+from repro.experiments.metrics import StreamMetrics
+
+
+class TestDeterminism:
+    def test_repeat_runs_are_byte_identical(self):
+        first = simulate_capacity(24, duration_s=8.0)
+        second = simulate_capacity(24, duration_s=8.0)
+        assert json.dumps(first.payload(), sort_keys=True) == json.dumps(
+            second.payload(), sort_keys=True
+        )
+
+    def test_cross_process_payloads_match(self):
+        parent = json.dumps(
+            simulate_capacity(12, duration_s=6.0).payload(),
+            sort_keys=True,
+        )
+        script = (
+            "import json\n"
+            "from repro.stream.capacity import simulate_capacity\n"
+            "payload = simulate_capacity(12, duration_s=6.0).payload()\n"
+            "print(json.dumps(payload, sort_keys=True))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert result.stdout.strip() == parent
+
+    def test_seed_changes_the_run(self):
+        a = simulate_capacity(12, duration_s=6.0, seed=7)
+        b = simulate_capacity(12, duration_s=6.0, seed=8)
+        assert a.payload() != b.payload()
+
+
+class TestQueueing:
+    def test_light_load_meets_every_slo(self):
+        result = simulate_capacity(8, duration_s=10.0)
+        assert result.slo_met
+        assert result.arrivals > 0
+        for metrics in result.metrics.classes.values():
+            assert metrics.shed == 0
+            assert metrics.slo_miss_rate == 0.0
+
+    def test_overload_sheds_and_violates(self):
+        # ~14 pps/link mixed traffic against a 50-predictions/s server:
+        # massive overload, bounded queue, shedding must engage.
+        result = simulate_capacity(
+            64,
+            duration_s=10.0,
+            model=ServiceModel(service_pps=50.0, admission_limit=32),
+        )
+        assert not result.slo_met
+        assert (
+            sum(m.shed for m in result.metrics.classes.values()) > 0
+        )
+        # Shedding counts against the SLO: a class that sheds most of
+        # its arrivals cannot report an "ok" miss rate.
+        worst = max(
+            m.slo_miss_rate for m in result.metrics.classes.values()
+        )
+        assert worst > 0.5
+
+    def test_shedding_protects_high_priority_classes(self):
+        result = simulate_capacity(
+            64,
+            duration_s=10.0,
+            qos="triple",
+            model=ServiceModel(service_pps=50.0, admission_limit=32),
+        )
+        classes = result.metrics.classes
+        # Admission evicts strictly-lower-priority victims first, so
+        # shed rates must be ordered bronze >= silver >= gold.
+        assert (
+            classes["bronze"].shed_rate
+            >= classes["silver"].shed_rate
+            >= classes["gold"].shed_rate
+        )
+        assert classes["gold"].shed_rate < classes["bronze"].shed_rate
+
+    def test_counters_are_conserved(self):
+        result = simulate_capacity(
+            48,
+            duration_s=10.0,
+            model=ServiceModel(service_pps=200.0, admission_limit=64),
+        )
+        for metrics in result.metrics.classes.values():
+            served = metrics.delivered + metrics.deadline_misses
+            # Every offered arrival was either served (on time or
+            # late), shed, or still queued at the horizon.
+            assert metrics.admitted == metrics.offered - metrics.shed
+            assert served <= metrics.admitted
+        totals = result.metrics
+        assert totals.offered == result.arrivals
+        assert totals.offered == sum(
+            m.offered for m in totals.classes.values()
+        )
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            simulate_capacity(0)
+        with pytest.raises(ConfigurationError):
+            simulate_capacity(4, duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceModel(service_pps=0.0)
+        with pytest.raises(ConfigurationError):
+            ServiceModel(admission_limit=0)
+
+
+class TestReporting:
+    def test_sla_summary_carries_the_ci_sentinel(self):
+        result = simulate_capacity(8, duration_s=5.0)
+        summary = result.sla_summary()
+        assert summary.startswith("SLA summary — 8 link(s)")
+        for name in ("gold", "silver", "bronze"):
+            assert name in summary
+        assert "(per-class SLOs met)" in summary
+
+    def test_payload_round_trips_through_stream_metrics(self):
+        result = simulate_capacity(8, duration_s=5.0)
+        payload = json.loads(
+            json.dumps(result.payload(), sort_keys=True)
+        )
+        rebuilt = CapacityResult(
+            links=payload["links"],
+            duration_s=payload["duration_s"],
+            traffic=payload["traffic"],
+            qos=payload["qos"],
+            metrics=StreamMetrics.from_dict(payload["metrics"]),
+            arrivals=payload["arrivals"],
+            batches=payload["batches"],
+        )
+        assert rebuilt.slo_met == result.slo_met
+        # The report path rebuilds the SLA table from persisted
+        # quantiles (reservoir samples are not serialized) — the table
+        # must match the in-process one exactly.
+        assert rebuilt.sla_summary() == result.sla_summary()
+
+    def test_capacity_curve_finds_the_knee(self):
+        model = ServiceModel(service_pps=150.0, admission_limit=64)
+        curve = capacity_curve(
+            (4, 8, 64), duration_s=8.0, model=model
+        )
+        met = {
+            r.links: r.slo_met for r in curve.results
+        }
+        assert met[4] and not met[64]
+        assert curve.sustained_links == max(
+            links for links, ok in met.items() if ok
+        )

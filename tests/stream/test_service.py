@@ -107,6 +107,74 @@ class TestServiceStats:
         assert service.stats.mean_batch_size() == 0.0
 
 
+class TestAdmissionControl:
+    def test_excess_links_are_shed(self, smoke_service, smoke_traces):
+        service = PredictionService(
+            smoke_service.trained,
+            smoke_service.max_depth_m,
+            admission_limit=2,
+        )
+        frames = _frames(smoke_traces, 4)
+        assert service.submit(0, frames[0]) is True
+        assert service.submit(1, frames[1]) is True
+        assert service.submit(2, frames[2]) is False  # shed
+        assert service.submit(3, frames[3]) is False  # shed
+        assert service.pending == 2
+        assert service.stats.shed_requests == 2
+        assert service.stats.requests == 2  # shed submits not counted
+        assert sorted(service.flush()) == [0, 1]
+
+    def test_refreshing_pending_link_always_admitted(
+        self, smoke_service, smoke_traces
+    ):
+        service = PredictionService(
+            smoke_service.trained,
+            smoke_service.max_depth_m,
+            admission_limit=1,
+        )
+        frames = _frames(smoke_traces, 2)
+        assert service.submit(0, frames[0]) is True
+        # Coalescing a fresher frame onto link 0 is not a new link.
+        assert service.submit(0, frames[1]) is True
+        assert service.stats.shed_requests == 0
+        assert service.pending == 1
+
+    def test_no_limit_is_the_pre_sla_behavior(
+        self, smoke_service, smoke_traces
+    ):
+        service = PredictionService(
+            smoke_service.trained, smoke_service.max_depth_m
+        )
+        for link, frame in enumerate(_frames(smoke_traces, 8)):
+            assert service.submit(link, frame) is True
+        assert service.stats.shed_requests == 0
+
+    def test_invalid_limit_raises(self, smoke_service):
+        with pytest.raises(ConfigurationError):
+            PredictionService(
+                smoke_service.trained, 6.0, admission_limit=0
+            )
+
+
+class TestBoundedLatencyAccounting:
+    def test_reservoir_bounds_memory_keeps_exact_count(
+        self, smoke_service
+    ):
+        # The PR 8 leak fix: the old list grew one float per request
+        # forever; the reservoir stays bounded while count/mean stay
+        # exact and the (p50, p95) quantile contract survives.
+        stats = smoke_service.stats.__class__()
+        for i in range(20_000):
+            stats.record_latency(0.001 * (i % 50 + 1))
+        assert stats.latency.count == 20_000
+        assert len(stats.latencies_s) <= stats.latency.capacity
+        p50, p95 = stats.latency_quantiles()
+        assert 0.0 < p50 <= p95
+        p50_sla, p99, p999 = stats.latency_sla()
+        assert p50_sla == pytest.approx(p50)
+        assert p99 <= p999 <= stats.latency.max_s
+
+
 class TestFromRegistry:
     def test_restart_is_checkpoint_hit(
         self, smoke_config, smoke_dataset, tmp_path

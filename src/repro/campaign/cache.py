@@ -39,6 +39,7 @@ from ..dataset.generator import (
 from ..dataset.io import load_measurement_set, save_measurement_set
 from ..dataset.trace import MeasurementSet
 from ..errors import CacheCorruptionError, ConfigurationError
+from ..obs import log, trace
 from .locking import FileLock, atomic_write_text, sweep_stale_tmp
 
 #: Code-version salt mixed into every cache key.  Bump the trailing
@@ -239,7 +240,7 @@ class DatasetCache:
             pass
         self._digest_path(directory, set_index).unlink(missing_ok=True)
         self.stats.sets_corrupt += 1
-        print(
+        log.warning(
             f"warning: cache corruption detected in "
             f"{directory.name}/{path.name} — quarantined to "
             f"{quarantined.name}, regenerating ({reason})"
@@ -310,20 +311,24 @@ class DatasetCache:
                     break
         sweep_stale_tmp(directory)
         missing = []
-        for i in range(num_sets):
-            state = self._verify_set(directory, i)
-            if state == "corrupt":
-                self._quarantine_set(
-                    directory, i, "sha256 digest mismatch"
-                )
-            if state != "ok":
-                missing.append(i)
+        with trace.span("cache.verify", key=key, sets=num_sets):
+            for i in range(num_sets):
+                state = self._verify_set(directory, i)
+                if state == "corrupt":
+                    self._quarantine_set(
+                        directory, i, "sha256 digest mismatch"
+                    )
+                if state != "ok":
+                    missing.append(i)
         if not missing:
             try:
-                sets = [
-                    self._load_set_checked(directory, i)
-                    for i in range(num_sets)
-                ]
+                with trace.span(
+                    "cache.load", key=key, sets=num_sets
+                ):
+                    sets = [
+                        self._load_set_checked(directory, i)
+                        for i in range(num_sets)
+                    ]
             except CacheCorruptionError:
                 missing = [
                     i
@@ -334,7 +339,7 @@ class DatasetCache:
                 self.stats.hits += 1
                 self.stats.sets_loaded += num_sets
                 if verbose:
-                    print(
+                    log.info(
                         f"cache hit {key}: "
                         f"loaded {num_sets} set(s) from {directory}"
                     )
@@ -342,30 +347,38 @@ class DatasetCache:
 
         self.stats.misses += 1
         if verbose:
-            print(
+            log.info(
                 f"cache miss {self.key_for(config, engine=engine)}: "
                 f"generating {len(missing)}/{num_sets} set(s)"
             )
         directory.mkdir(parents=True, exist_ok=True)
         generated: dict[int, MeasurementSet] = {}
-        if workers is not None and workers > 1 and len(missing) > 1:
-            pool_size = min(workers, len(missing))
-            with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                for measurement_set in pool.map(
-                    _generate_set_task,
-                    [config] * len(missing),
-                    missing,
-                    [engine] * len(missing),
-                ):
-                    generated[measurement_set.index] = measurement_set
-        else:
-            components = build_components(config)
-            for set_index in missing:
-                generated[set_index] = generate_measurement_set(
-                    components, set_index, engine=engine
+        with trace.span(
+            "cache.generate", key=key, sets=len(missing)
+        ):
+            if workers is not None and workers > 1 and len(missing) > 1:
+                pool_size = min(workers, len(missing))
+                with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                    for measurement_set in pool.map(
+                        _generate_set_task,
+                        [config] * len(missing),
+                        missing,
+                        [engine] * len(missing),
+                    ):
+                        generated[measurement_set.index] = (
+                            measurement_set
+                        )
+            else:
+                components = build_components(config)
+                for set_index in missing:
+                    generated[set_index] = generate_measurement_set(
+                        components, set_index, engine=engine
+                    )
+        with trace.span("cache.store", key=key, sets=len(generated)):
+            for set_index, measurement_set in generated.items():
+                self._atomic_save(
+                    directory, set_index, measurement_set
                 )
-        for set_index, measurement_set in generated.items():
-            self._atomic_save(directory, set_index, measurement_set)
         self.stats.sets_generated += len(missing)
         self._write_meta(directory, config, engine)
 

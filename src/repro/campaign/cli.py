@@ -73,6 +73,7 @@ from pathlib import Path
 from .. import faults
 from ..errors import ReproError
 from ..experiments.suite import SUITE_BUILDERS
+from ..obs import analysis as obs_analysis, log, trace
 from ..stream.policy import POLICY_BUILDERS, build_policy
 from .cache import DATASET_CACHE_SALT, DatasetCache
 from .grid import get_grid, grid_steps, list_grids
@@ -120,6 +121,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print per-step/per-set progress",
     )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress summaries and sentinels (log level WARNING); "
+        "corruption warnings and errors still print",
+    )
 
 
 def _add_model_dir_option(parser: argparse.ArgumentParser) -> None:
@@ -162,6 +169,33 @@ def _add_robustness_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    """``--trace`` flag shared by the campaign commands."""
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record a structured span journal under "
+        "<campaign dir>/trace (inspect with `repro trace summary`); "
+        "wall-clock side-channel only — payloads, cache keys and "
+        "manifests stay byte-identical",
+    )
+
+
+def _arm_tracing(args: argparse.Namespace, directory: Path) -> bool:
+    """Arm the span journal under ``<campaign dir>/trace``.
+
+    Deliberately *not* part of the :func:`_campaign_dir` hash: a traced
+    and an untraced invocation of the same campaign share one manifest
+    and resume each other — the determinism firewall guarantees their
+    payloads are byte-identical anyway.
+    """
+    if not getattr(args, "trace", False):
+        return False
+    trace.arm(directory / "trace")
+    log.info(f"tracing armed: journal under {directory / 'trace'}")
+    return True
+
+
 def _retry_policy(args: argparse.Namespace) -> RetryPolicy:
     """Build the run's :class:`RetryPolicy` from the CLI options."""
     return RetryPolicy(
@@ -185,7 +219,7 @@ def _arm_faults(
         args.faults, state_dir=directory / "faults" / "state"
     )
     faults.activate(plan, directory / "faults" / "plan.json")
-    print(f"fault plan {plan.name!r} armed: {plan.summary()}")
+    log.info(f"fault plan {plan.name!r} armed: {plan.summary()}")
     return plan
 
 
@@ -205,7 +239,7 @@ def _self_healing_summary(result, plan) -> None:
     )
     if result.quarantined:
         line += ": " + ", ".join(result.quarantined)
-    print(line)
+    log.info(line)
 
 
 def _campaign_dir(
@@ -243,33 +277,33 @@ def _campaign_dir(
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     scenarios = list_scenarios()
     name_width = max(len(s.name) for s in scenarios)
-    print(f"{'scenario':<{name_width}}  {'base':<8} description")
-    print("-" * (name_width + 60))
+    log.info(f"{'scenario':<{name_width}}  {'base':<8} description")
+    log.info("-" * (name_width + 60))
     for scenario in scenarios:
         tags = f"  [{', '.join(scenario.tags)}]" if scenario.tags else ""
-        print(
+        log.info(
             f"{scenario.name:<{name_width}}  {scenario.base:<8} "
             f"{scenario.description}{tags}"
         )
-    print(
+    log.info(
         f"\n{len(scenarios)} scenario(s); run one with e.g. "
         "`python -m repro generate --scenario <name>`"
     )
     grids = list_grids()
     if grids:
-        print()
+        log.info("")
         grid_width = max(len(g.name) for g in grids)
-        print(f"{'grid':<{grid_width}}  {'members':>7}  axes")
-        print("-" * (grid_width + 60))
+        log.info(f"{'grid':<{grid_width}}  {'members':>7}  axes")
+        log.info("-" * (grid_width + 60))
         for spec in grids:
             axes = " x ".join(
                 f"{axis}[{len(values)}]" for axis, values in spec.axes
             )
-            print(
+            log.info(
                 f"{spec.name:<{grid_width}}  {spec.num_points:>7}  "
                 f"{axes} — {spec.description}"
             )
-        print(
+        log.info(
             f"\n{len(grids)} grid(s); run one with e.g. "
             "`python -m repro grid --grid <name> --jobs 4`"
         )
@@ -287,11 +321,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         verbose=args.verbose,
         force=args.force,
     )
-    print(
+    log.info(
         f"scenario {scenario.name!r}: {len(sets)} set(s) ready under "
         f"{cache.entry_dir(config, engine=args.engine)}"
     )
-    print(f"cache: {cache.stats.summary()}")
+    log.info(f"cache: {cache.stats.summary()}")
     return 0
 
 
@@ -324,6 +358,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         verbose=args.verbose,
     )
     plan = _arm_faults(args, directory)
+    traced = _arm_tracing(args, directory)
     try:
         result = campaign.run(
             context,
@@ -334,16 +369,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     finally:
         if plan is not None:
             faults.deactivate()
-    print(context.read_output("report"))
-    print(
+        if traced:
+            trace.disarm()
+    log.info(context.read_output("report"))
+    log.info(
         f"\nsteps: {len(result.executed)} executed, "
         f"{len(result.skipped)} resumed from manifest "
         f"({directory / 'manifest.json'})"
     )
     _self_healing_summary(result, plan)
-    print(f"cache: {cache.stats.summary()}")
+    log.info(f"cache: {cache.stats.summary()}")
     if cache.stats.sets_generated == 0:
-        print("no measurement sets regenerated (100% cache hits)")
+        log.info("no measurement sets regenerated (100% cache hits)")
     return 3 if result.quarantined else 0
 
 
@@ -425,11 +462,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
             campaign, context, registry
         )
         if reopened and args.verbose:
-            print(
+            log.info(
                 f"{reopened} completed step(s) lost their checkpoint; "
                 "re-resolving"
             )
     plan = _arm_faults(args, directory)
+    traced = _arm_tracing(args, directory)
     try:
         result = campaign.run(
             context,
@@ -440,17 +478,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
     finally:
         if plan is not None:
             faults.deactivate()
-    print(context.read_output("report"))
-    print(
+        if traced:
+            trace.disarm()
+    log.info(context.read_output("report"))
+    log.info(
         f"\nsteps: {len(result.executed)} executed, "
         f"{len(result.skipped)} resumed from manifest "
         f"({directory / 'manifest.json'})"
     )
     _self_healing_summary(result, plan)
-    print(f"cache: {cache.stats.summary()}")
-    print(f"models: {registry.stats.summary()}")
+    log.info(f"cache: {cache.stats.summary()}")
+    log.info(f"models: {registry.stats.summary()}")
     if registry.stats.models_trained == 0:
-        print("no models retrained (100% checkpoint hits)")
+        log.info("no models retrained (100% checkpoint hits)")
     return 3 if result.quarantined else 0
 
 
@@ -489,11 +529,16 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         },
         checkpoints=ModelCheckpointRegistry(args.model_dir),
     )
-    result = campaign.run(context, resume=not args.fresh)
+    traced = _arm_tracing(args, directory)
+    try:
+        result = campaign.run(context, resume=not args.fresh)
+    finally:
+        if traced:
+            trace.disarm()
     for name in names:
-        print(context.read_output(f"figure:{name}"))
-        print()
-    print(
+        log.info(context.read_output(f"figure:{name}"))
+        log.info("")
+    log.info(
         f"steps: {len(result.executed)} executed, "
         f"{len(result.skipped)} resumed; cache: {cache.stats.summary()}"
     )
@@ -577,11 +622,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             campaign, context, registry
         )
         if reopened and args.verbose:
-            print(
+            log.info(
                 f"{reopened} completed step(s) lost their checkpoint; "
                 "re-resolving"
             )
     plan = _arm_faults(args, directory)
+    traced = _arm_tracing(args, directory)
     try:
         result = campaign.run(
             context,
@@ -593,7 +639,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     finally:
         if plan is not None:
             faults.deactivate()
-    print(context.read_output("report"))
+        if traced:
+            trace.disarm()
+    log.info(context.read_output("report"))
     # Non-default traffic/QoS append the modeled per-class SLA summary
     # at the replayed link count (pure queueing simulation, in-process,
     # deterministic — see `repro capacity` for the full sweep).
@@ -603,8 +651,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         modeled = simulate_capacity(
             links, traffic=traffic, qos=qos, seed=args.seed
         )
-        print()
-        print(modeled.sla_summary())
+        log.info("")
+        log.info(modeled.sla_summary())
     service = context.shared.get(
         f"stream-service:{args.horizon}:{args.seed}"
     )
@@ -612,16 +660,16 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     # in pool workers, so the parent service's counters stay zero —
     # print the wall-clock stats only when this process served.
     if service is not None and service.stats.predictions > 0:
-        print(f"\nservice: {service.stats.summary()}")
-    print(
+        log.info(f"\nservice: {service.stats.summary()}")
+    log.info(
         f"\nsteps: {len(result.executed)} executed, "
         f"{len(result.skipped)} resumed from manifest "
         f"({directory / 'manifest.json'})"
     )
     _self_healing_summary(result, plan)
-    print(f"cache: {cache.stats.summary()}")
+    log.info(f"cache: {cache.stats.summary()}")
     if needs_service:
-        print(f"models: {registry.stats.summary()}")
+        log.info(f"models: {registry.stats.summary()}")
     # Under --jobs > 1 the stream@<policy> steps run in pool workers
     # whose private cache/registry instances are invisible to the
     # parent's counters, so a worker that (pathologically — e.g. after
@@ -633,13 +681,13 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         step_id.startswith("stream@") for step_id in result.executed
     )
     if cache.stats.sets_generated == 0 and not workers_simulated:
-        print("no measurement sets regenerated (100% cache hits)")
+        log.info("no measurement sets regenerated (100% cache hits)")
     if (
         needs_service
         and registry.stats.models_trained == 0
         and not workers_simulated
     ):
-        print("no models retrained (100% checkpoint hits)")
+        log.info("no models retrained (100% checkpoint hits)")
     return 3 if result.quarantined else 0
 
 
@@ -685,6 +733,7 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
         options=options,
     )
     plan = _arm_faults(args, directory)
+    traced = _arm_tracing(args, directory)
     try:
         result = campaign.run(
             context,
@@ -696,14 +745,16 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
     finally:
         if plan is not None:
             faults.deactivate()
-    print(context.read_output("report"))
-    print(
+        if traced:
+            trace.disarm()
+    log.info(context.read_output("report"))
+    log.info(
         f"\nsteps: {len(result.executed)} executed, "
         f"{len(result.skipped)} resumed from manifest "
         f"({directory / 'manifest.json'})"
     )
     _self_healing_summary(result, plan)
-    print(
+    log.info(
         f"capacity: {len(link_counts)} modeled point(s) over "
         f"{args.jobs} job(s); no datasets or checkpoints touched"
     )
@@ -798,11 +849,12 @@ def _cmd_grid(args: argparse.Namespace) -> int:
             campaign, context, registry
         )
         if reopened and args.verbose:
-            print(
+            log.info(
                 f"{reopened} completed point(s) lost their checkpoint; "
                 "re-resolving"
             )
     plan = _arm_faults(args, directory)
+    traced = _arm_tracing(args, directory)
     try:
         result = campaign.run(
             context,
@@ -814,7 +866,9 @@ def _cmd_grid(args: argparse.Namespace) -> int:
     finally:
         if plan is not None:
             faults.deactivate()
-    print(context.read_output("report"))
+        if traced:
+            trace.disarm()
+    log.info(context.read_output("report"))
     sets_generated = 0
     models_trained = 0
     for step_id in result.executed:
@@ -825,24 +879,24 @@ def _cmd_grid(args: argparse.Namespace) -> int:
         )
         sets_generated += provenance.get("sets_generated", 0)
         models_trained += provenance.get("models_trained", 0)
-    print(
+    log.info(
         f"\nsteps: {len(result.executed)} executed, "
         f"{len(result.skipped)} resumed from manifest "
         f"({directory / 'manifest.json'})"
     )
     _self_healing_summary(result, plan)
-    print(
+    log.info(
         f"grid: {len(points)} derived scenario(s) over {args.jobs} "
         f"job(s); aggregate at {directory / 'results' / 'results.json'}"
     )
-    print(
+    log.info(
         f"cache: {sets_generated} set(s) generated, "
         f"{models_trained} model(s) trained (summed over executed steps)"
     )
     if sets_generated == 0:
-        print("no measurement sets regenerated (100% cache hits)")
+        log.info("no measurement sets regenerated (100% cache hits)")
     if needs_models and models_trained == 0:
-        print("no models retrained (100% checkpoint hits)")
+        log.info("no models retrained (100% checkpoint hits)")
     return 3 if result.quarantined else 0
 
 
@@ -858,12 +912,12 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         if args.scenario is not None:
             scenario = get_scenario(args.scenario)
             report = spec_from_scenario(scenario).validate()
-            print(spec_from_scenario(scenario).canonical_json())
-            print(report.summary())
+            log.info(spec_from_scenario(scenario).canonical_json())
+            log.info(report.summary())
             for line in report.warnings:
-                print(f"warning: {line}")
+                log.warning(f"warning: {line}")
             return 0
-        print(describe_parameters())
+        log.info(describe_parameters())
         return 0
     if args.action == "load":
         if args.file is None:
@@ -875,21 +929,21 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             args.file, register=True, replace=args.replace
         )
         for scenario in loaded:
-            print(f"registered scenario {scenario.name!r}")
-        print(f"{len(loaded)} scenario(s) loaded from {args.file}")
+            log.info(f"registered scenario {scenario.name!r}")
+        log.info(f"{len(loaded)} scenario(s) loaded from {args.file}")
         return 0
     if args.action == "sample":
         specs = sample_scenario_specs(
             args.seed, args.count, scale=args.scale
         )
         for spec in specs:
-            print(spec.canonical_json())
+            log.info(spec.canonical_json())
         if args.register:
             from .scenario import register_scenario
 
             for spec in specs:
                 register_scenario(spec.to_scenario(), replace=True)
-            print(f"{len(specs)} sampled scenario(s) registered")
+            log.info(f"{len(specs)} sampled scenario(s) registered")
         return 0
     raise ReproError(f"unknown scenarios action {args.action!r}")
 
@@ -900,8 +954,8 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         entries = cache.entries()
         total = sum(entry.size_bytes for entry in entries)
         complete = sum(1 for entry in entries if entry.complete)
-        print(f"cache root: {cache.root}")
-        print(
+        log.info(f"cache root: {cache.root}")
+        log.info(
             f"{len(entries)} entr(ies), {complete} complete, "
             f"{total / 1e6:.1f} MB"
         )
@@ -909,11 +963,11 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "list":
         entries = cache.entries()
         if not entries:
-            print(f"cache root {cache.root} is empty")
+            log.info(f"cache root {cache.root} is empty")
             return 0
         for entry in entries:
             state = "complete" if entry.complete else "partial"
-            print(
+            log.info(
                 f"{entry.key}  {entry.num_sets_present} set(s)  "
                 f"{entry.size_bytes / 1e6:8.1f} MB  {state}  "
                 f"{entry.description}"
@@ -924,9 +978,57 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             removed = cache.invalidate(key=args.key)
         else:
             removed = cache.clear()
-        print(f"removed {removed} cache entr(ies) from {cache.root}")
+        log.info(f"removed {removed} cache entr(ies) from {cache.root}")
         return 0
     raise ReproError(f"unknown cache action {args.action!r}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Inspect the span journal of a traced campaign run.
+
+    Journal resolution: ``--journal`` wins; otherwise the newest
+    ``campaigns/*/trace/trace.jsonl`` under the cache root.  A missing
+    or empty journal is reported and exits 0 — `repro trace summary`
+    must be safe to run on a box that never traced anything.
+    """
+    if args.journal is not None:
+        journal = Path(args.journal)
+    else:
+        cache = DatasetCache(args.cache_dir)
+        journal = obs_analysis.discover_journal(cache.root)
+        if journal is None:
+            log.info(
+                f"no trace journal under {cache.root / 'campaigns'} — "
+                "run a campaign with --trace first"
+            )
+            return 0
+    records = obs_analysis.load_journal(journal)
+    if args.action == "summary":
+        log.info(obs_analysis.render_summary(records))
+        return 0
+    if args.action == "timeline":
+        log.info(obs_analysis.render_timeline(records))
+        return 0
+    if args.action == "critical-path":
+        log.info(obs_analysis.render_critical_path(records))
+        return 0
+    if args.action == "export":
+        if not args.chrome:
+            raise ReproError(
+                "trace export currently supports only --chrome"
+            )
+        output = (
+            Path(args.output)
+            if args.output is not None
+            else Path(journal).with_name("trace.chrome.json")
+        )
+        obs_analysis.write_chrome(records, output)
+        log.info(
+            f"wrote {len(records)} record(s) as Chrome trace JSON to "
+            f"{output} (open via chrome://tracing or ui.perfetto.dev)"
+        )
+        return 0
+    raise ReproError(f"unknown trace action {args.action!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -997,6 +1099,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore the campaign manifest and re-run every step",
     )
     _add_robustness_options(p_sweep)
+    _add_trace_option(p_sweep)
     _add_common_options(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
@@ -1034,6 +1137,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore the campaign manifest and re-run every step",
     )
     _add_robustness_options(p_train)
+    _add_trace_option(p_train)
     _add_model_dir_option(p_train)
     _add_common_options(p_train)
     p_train.set_defaults(func=_cmd_train)
@@ -1069,6 +1173,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore the campaign manifest and re-run every step",
     )
+    _add_trace_option(p_figure)
     _add_model_dir_option(p_figure)
     _add_common_options(p_figure)
     p_figure.set_defaults(func=_cmd_figure)
@@ -1167,6 +1272,7 @@ def build_parser() -> argparse.ArgumentParser:
         "simulations concurrently (1 = serial)",
     )
     _add_robustness_options(p_stream)
+    _add_trace_option(p_stream)
     _add_model_dir_option(p_stream)
     _add_common_options(p_stream)
     p_stream.set_defaults(func=_cmd_stream)
@@ -1237,6 +1343,7 @@ def build_parser() -> argparse.ArgumentParser:
         "way)",
     )
     _add_robustness_options(p_capacity)
+    _add_trace_option(p_capacity)
     _add_common_options(p_capacity)
     p_capacity.set_defaults(func=_cmd_capacity)
 
@@ -1289,6 +1396,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="ignore the campaign manifest and re-run every step",
     )
     _add_robustness_options(p_grid)
+    _add_trace_option(p_grid)
     _add_model_dir_option(p_grid)
     _add_common_options(p_grid)
     p_grid.set_defaults(func=_cmd_grid)
@@ -1364,6 +1472,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_options(p_cache)
     p_cache.set_defaults(func=_cmd_cache)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect the span journal of a traced campaign run "
+        "(arm one with `repro <cmd> ... --trace`)",
+    )
+    p_trace.add_argument(
+        "action",
+        choices=("summary", "timeline", "critical-path", "export"),
+        help="summary = wall-time accounting + per-site totals, "
+        "timeline = chronological nested listing, critical-path = "
+        "dominant-child drill-down, export = write a viewer file",
+    )
+    p_trace.add_argument(
+        "--journal",
+        default=None,
+        help="trace.jsonl path (default: the newest "
+        "campaigns/*/trace/trace.jsonl under the cache root)",
+    )
+    p_trace.add_argument(
+        "--chrome",
+        action="store_true",
+        help="with 'export': write Chrome trace-viewer JSON "
+        "(chrome://tracing / ui.perfetto.dev)",
+    )
+    p_trace.add_argument(
+        "--output",
+        default=None,
+        help="with 'export': output path (default: trace.chrome.json "
+        "beside the journal)",
+    )
+    p_trace.add_argument(
+        "--cache-dir",
+        default=None,
+        help="dataset cache root searched for journals (default: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro-vvd/datasets)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
     return parser
 
 
@@ -1371,11 +1517,17 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    quiet = getattr(args, "quiet", False)
+    if quiet:
+        log.set_level("WARNING")
     try:
         return args.func(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        log.error(f"error: {exc}")
         return 2
+    finally:
+        if quiet:
+            log.reset()
 
 
 if __name__ == "__main__":  # pragma: no cover - python -m repro.campaign.cli

@@ -366,6 +366,16 @@ def run_grid_point_task(task: GridPointTask) -> str:
     run*, not of the grid point) rides along in the step payload only,
     where the CLI sums it for the ``100% cache hits`` sentinels.
     """
+    from ..obs import trace
+
+    with trace.span(
+        "grid.point", point=coords_key(task.coords)
+    ) as point_span:
+        return _run_grid_point(task, point_span)
+
+
+def _run_grid_point(task: GridPointTask, point_span) -> str:
+    """The body of :func:`run_grid_point_task` inside its span."""
     from ..dataset.sets import rotating_set_combinations
     from ..experiments.snr_sweep import evaluate_snr_point
     from .cache import DatasetCache
@@ -426,6 +436,8 @@ def run_grid_point_task(task: GridPointTask) -> str:
             "best_val_loss": trained.history.best_val_loss,
         }
     ResultsStore(task.results_dir).put(task.coords, record)
+    point_span.set("sets_generated", cache.stats.sets_generated)
+    point_span.set("models_trained", models_trained)
     return json.dumps(
         {
             "record": record,

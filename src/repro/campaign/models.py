@@ -45,6 +45,7 @@ from ..core.checkpoint import (
 from ..core.training import TrainedVVD, train_vvd
 from ..dataset.trace import MeasurementSet
 from ..errors import ConfigurationError
+from ..obs import log, trace
 from .cache import _canonical, config_fingerprint
 from .locking import FileLock
 
@@ -222,7 +223,8 @@ class ModelCheckpointRegistry:
                     "models.load", key, directory / "weights.npz"
                 )
             try:
-                trained = load_trained_vvd(directory, config.vvd)
+                with trace.span("models.load", key=key):
+                    trained = load_trained_vvd(directory, config.vvd)
             except Exception as exc:
                 # A checkpoint that passes the completeness probe but
                 # cannot be loaded (torn write, bit rot, version skew)
@@ -235,7 +237,7 @@ class ModelCheckpointRegistry:
                     os.replace(directory, quarantined)
                 except OSError:  # pragma: no cover - racing loader
                     pass
-                print(
+                log.warning(
                     f"warning: model checkpoint {key} is corrupt — "
                     f"quarantined to {quarantined.name}, retraining "
                     f"({type(exc).__name__}: {exc})"
@@ -244,22 +246,23 @@ class ModelCheckpointRegistry:
                 self.stats.hits += 1
                 self.stats.models_loaded += 1
                 if verbose:
-                    print(
+                    log.info(
                         f"model cache hit {key}: loaded from {directory}"
                     )
                 return trained
 
         self.stats.misses += 1
         if verbose:
-            print(f"model cache miss {key}: training")
-        trained = train_vvd(
-            training_sets,
-            validation_sets,
-            config,
-            horizon_frames=horizon_frames,
-            seed=seed,
-            verbose=verbose,
-        )
+            log.info(f"model cache miss {key}: training")
+        with trace.span("models.train", key=key):
+            trained = train_vvd(
+                training_sets,
+                validation_sets,
+                config,
+                horizon_frames=horizon_frames,
+                seed=seed,
+                verbose=verbose,
+            )
         self.save(key, trained, config)
         self.stats.models_trained += 1
         return trained

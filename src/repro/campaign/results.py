@@ -22,6 +22,7 @@ from pathlib import Path
 
 from .. import faults
 from ..errors import ConfigurationError
+from ..obs import log
 from .locking import atomic_write_text, sweep_stale_tmp
 
 #: Characters allowed verbatim in a record file stem; anything else is
@@ -98,7 +99,7 @@ class ResultsStore:
             os.replace(path, quarantined)
         except OSError:  # pragma: no cover - racing quarantine
             pass
-        print(
+        log.warning(
             f"warning: corrupt grid record {path.name} — quarantined "
             f"to {quarantined.name} ({reason})"
         )

@@ -52,6 +52,7 @@ from typing import Callable, Sequence
 
 from .. import faults
 from ..config import SimulationConfig
+from ..obs import log, metrics as obs_metrics, trace
 from ..dataset.sets import rotating_set_combinations
 from ..errors import (
     ConfigurationError,
@@ -264,8 +265,9 @@ def _supervised_entry(
     makes injected crash faults kill a worker and never the scheduler.
     """
     try:
-        faults.inject("worker.body", step_id)
-        outcome: tuple = ("ok", fn(**kwargs))
+        with trace.span("worker.body", step=step_id):
+            faults.inject("worker.body", step_id)
+            outcome: tuple = ("ok", fn(**kwargs))
     except BaseException as exc:  # transported to the scheduler
         outcome = ("error", exc)
     tmp = f"{result_path}.tmp.{os.getpid()}"
@@ -484,9 +486,40 @@ class Campaign:
         if not resume:
             self.manifest.reset()
         policy = retry or _SINGLE_ATTEMPT
-        if jobs <= 1:
-            return self._run_serial(context, policy, quarantine)
-        return self._run_parallel(context, jobs, policy, quarantine)
+        with trace.span(
+            "campaign.run",
+            campaign=self.name,
+            steps=len(self._order),
+            jobs=jobs,
+        ):
+            if jobs <= 1:
+                result = self._run_serial(context, policy, quarantine)
+            else:
+                result = self._run_parallel(
+                    context, jobs, policy, quarantine
+                )
+        self._export_telemetry(context, result)
+        return result
+
+    def _export_telemetry(
+        self, context: CampaignContext, result: CampaignResult
+    ) -> None:
+        """Merge trace shards and export the run's metrics snapshot.
+
+        Runs after the root span closes so the merged journal contains
+        it.  Everything written here lands beside the manifest — never
+        in ``outputs/`` or ``results/`` — keeping telemetry outside
+        the determinism firewall.
+        """
+        tracer = trace.active_tracer()
+        if tracer is not None:
+            trace.merge_shards(tracer.directory)
+        registry = obs_metrics.collect(
+            cache_stats=getattr(context.cache, "stats", None),
+            model_stats=getattr(context.checkpoints, "stats", None),
+            campaign_result=result,
+        )
+        registry.write(self.directory)
 
     def _skip_or_pend(
         self, context: CampaignContext, result: CampaignResult
@@ -512,7 +545,9 @@ class Campaign:
             ):
                 result.skipped.append(step.step_id)
                 if context.verbose:
-                    print(f"[{self.name}] {step.step_id}: resumed (done)")
+                    log.info(
+                        f"[{self.name}] {step.step_id}: resumed (done)"
+                    )
             else:
                 pending.append(step)
         return pending
@@ -552,7 +587,7 @@ class Campaign:
         context.quarantined.add(step.step_id)
         result.quarantined.append(step.step_id)
         if context.verbose:
-            print(
+            log.info(
                 f"[{self.name}] {step.step_id}: quarantined ({detail})"
             )
 
@@ -598,6 +633,13 @@ class Campaign:
             backoff = policy.backoff_s(step.step_id, attempt)
             self._journal_attempt(
                 step.step_id, attempt, exc, "retry", backoff
+            )
+            trace.event(
+                "step.retry",
+                step=step.step_id,
+                attempt=attempt,
+                backoff_s=round(backoff, 6),
+                error=type(exc).__name__,
             )
             result.retried += 1
             return "retry"
@@ -654,21 +696,28 @@ class Campaign:
         ``step.body`` fault site fires.
         """
         if context.verbose:
-            print(f"[{self.name}] {step.step_id}: {step.description}")
-        if step.worker is not None and policy.timeout_s is not None:
-            fn, kwargs = step.worker(context)
-            job = self._spawn(step, fn, kwargs, attempt, policy.timeout_s)
-            while True:
-                outcome = job.outcome()
-                if outcome is not None:
-                    break
-                time.sleep(0.005)
-            status, value = outcome
-            if status == "error":
-                raise value
-            return value
-        faults.inject("step.body", step.step_id)
-        return step.run(context)
+            log.info(
+                f"[{self.name}] {step.step_id}: {step.description}"
+            )
+        with trace.span(
+            "step.attempt", step=step.step_id, attempt=attempt
+        ):
+            if step.worker is not None and policy.timeout_s is not None:
+                fn, kwargs = step.worker(context)
+                job = self._spawn(
+                    step, fn, kwargs, attempt, policy.timeout_s
+                )
+                while True:
+                    outcome = job.outcome()
+                    if outcome is not None:
+                        break
+                    time.sleep(0.005)
+                status, value = outcome
+                if status == "error":
+                    raise value
+                return value
+            faults.inject("step.body", step.step_id)
+            return step.run(context)
 
     def _run_serial(
         self,
@@ -834,7 +883,7 @@ class Campaign:
                         attempts.get(step.step_id, 0) + 1
                     )
                     if context.verbose:
-                        print(
+                        log.info(
                             f"[{self.name}] {step.step_id}: "
                             f"{step.description}"
                         )

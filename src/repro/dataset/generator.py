@@ -36,6 +36,7 @@ from ..channel.noise import awgn, noise_power_for_snr
 from ..config import SimulationConfig
 from ..dsp.phase import canonicalize_phase, canonicalize_phase_batch
 from ..errors import ConfigurationError
+from ..obs import log
 from ..phy.batch import get_batch_engine
 from ..phy.receiver import Receiver
 from ..phy.transmitter import Transmitter
@@ -484,7 +485,7 @@ def _print_set_summary(
     blocked = np.mean(
         [p.los_blocked for p in measurement_set.packets]
     )
-    print(
+    log.info(
         f"set {measurement_set.index + 1}/{num_sets}: "
         f"{measurement_set.num_packets} packets, "
         f"{measurement_set.num_frames} frames, "

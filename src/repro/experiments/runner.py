@@ -25,6 +25,7 @@ from ..dataset.trace import MeasurementSet, PacketRecord
 from ..dsp.metrics import complex_mse
 from ..dsp.phase import correct_phase
 from ..errors import DatasetError
+from ..obs import log
 from ..estimation.base import (
     ChannelEstimate,
     ChannelEstimator,
@@ -194,7 +195,9 @@ class EvaluationRunner:
                 f"{name}: PER={result.per:.3f}"
                 for name, result in results.items()
             )
-            print(f"combination {combination.number}: {summary}")
+            log.info(
+                f"combination {combination.number}: {summary}"
+            )
         return CombinationResult(
             combination=combination, techniques=results
         )

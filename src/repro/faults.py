@@ -316,6 +316,22 @@ def _claim(plan: FaultPlan, index: int, spec: FaultSpec) -> bool:
     return False
 
 
+def _trace_firing(
+    site: str, label: str, kind: str, index: int
+) -> None:
+    """Record a fault firing in the trace journal (cold path only).
+
+    Runs strictly after a successful ledger claim, so it never adds
+    cost to the unarmed hook; the import is lazy because
+    ``repro.faults`` must stay importable before ``repro.obs``.
+    """
+    from .obs import trace
+
+    trace.event(
+        "fault.fired", site=site, label=label, kind=kind, index=index
+    )
+
+
 def inject(site: str, label: str) -> None:
     """Fault hook: fire any armed spec matching ``(site, label)``.
 
@@ -338,6 +354,7 @@ def inject(site: str, label: str) -> None:
             continue
         if not _claim(plan, index, spec):  # type: ignore[arg-type]
             continue
+        _trace_firing(site, label, spec.kind, index)
         if spec.kind == KIND_CRASH:
             os._exit(137)
         if spec.kind == KIND_STALL:
@@ -370,6 +387,7 @@ def corrupt_file(site: str, label: str, path: str | Path) -> bool:
             continue
         if not _claim(plan, index, spec):
             continue
+        _trace_firing(site, label, spec.kind, index)
         data = path.read_bytes()
         keep = max(1, len(data) // 2)
         path.write_bytes(bytes(byte ^ 0xFF for byte in data[:keep]))

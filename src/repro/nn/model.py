@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import NotFittedError, ShapeError
+from ..obs import log
 from .layers import Layer, Parameter
 from .losses import MeanSquaredError
 from .optimizers import Optimizer
@@ -162,7 +163,7 @@ class Sequential:
                 msg = f"epoch {epoch + 1}/{epochs} loss={train_loss:.3e}"
                 if validation_data is not None:
                     msg += f" val={history.val_loss[-1]:.3e}"
-                print(msg)
+                log.info(msg)
 
         if (
             restore_best_weights

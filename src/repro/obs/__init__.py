@@ -1,0 +1,29 @@
+"""Unified telemetry: tracing, metrics, leveled logging, analysis.
+
+``repro.obs`` gives the reproduction stack the span/metric discipline
+of a production inference service while staying outside the
+determinism firewall: everything produced here is wall-clock
+side-channel data that must never reach cache keys, manifests'
+semantic fields, result payloads, or figures.
+
+- :mod:`repro.obs.log` — leveled, sentinel-preserving logging
+  (``REPRO_LOG_LEVEL``), the replacement for bare ``print()``.
+- :mod:`repro.obs.trace` — armable tracer (``REPRO_TRACE_DIR``) with
+  per-pid crash-tolerant JSONL shards and a no-op disarmed path.
+- :mod:`repro.obs.metrics` — counters / gauges / reservoir histograms
+  exported as ``metrics.json`` + ``metrics.prom`` per run.
+- :mod:`repro.obs.analysis` — journal analysis backing ``repro trace
+  summary|timeline|critical-path|export``.
+
+Import order matters: :mod:`log` and :mod:`trace` are stdlib-only, so
+instrumented modules anywhere in ``repro`` may import them without
+creating cycles; :mod:`metrics` and :mod:`analysis` lazily import
+their ``repro`` dependencies inside functions for the same reason.
+"""
+
+from . import log
+from . import trace
+from . import metrics
+from . import analysis
+
+__all__ = ["analysis", "log", "metrics", "trace"]

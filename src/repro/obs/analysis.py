@@ -1,0 +1,298 @@
+"""Trace-journal analysis: summary, timeline, critical path, Chrome.
+
+Everything here is a pure function over the merged ``trace.jsonl``
+records produced by :mod:`repro.obs.trace` — no clocks, no globals —
+so the ``repro trace`` subcommands are trivially testable against
+synthetic journals.
+
+The summary's accounting contract: the **wall time** of a run is the
+duration of its root span (a span with no parent; ``campaign.run`` in
+practice), and the per-step breakdown over the root's direct children
+must account for >= 95% of it on a serial run — the acceptance
+criterion pinned in ``tests/obs/test_analysis.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from . import log
+from .trace import JOURNAL_NAME, SHARD_PREFIX, read_records
+
+
+def load_journal(path) -> list[dict]:
+    """Read a merged journal (or raw shard), warning on corrupt lines.
+
+    Missing files yield an empty list — ``repro trace summary`` on a
+    journal-less run directory must exit cleanly, not raise.
+    """
+    records, skipped = read_records(path)
+    if skipped:
+        log.warning(
+            f"warning: skipped {skipped} corrupt trace line(s) "
+            f"in {Path(path).name}"
+        )
+    return records
+
+
+def discover_journal(cache_dir) -> Path | None:
+    """The most recently written ``trace.jsonl`` under ``cache_dir``.
+
+    Searches ``<cache_dir>/campaigns/*/trace/trace.jsonl`` (the layout
+    the CLI arms) plus any loose shards' parent directories, returning
+    ``None`` when nothing is found.
+    """
+    root = Path(cache_dir)
+    candidates = sorted(
+        root.glob(f"campaigns/*/trace/{JOURNAL_NAME}"),
+        key=lambda p: p.stat().st_mtime,
+    )
+    if not candidates:
+        return None
+    return candidates[-1]
+
+
+def spans(records: list[dict]) -> list[dict]:
+    """Only the span records (events carry no duration)."""
+    return [r for r in records if r.get("kind") == "span"]
+
+
+def root_spans(records: list[dict]) -> list[dict]:
+    """Spans with no parent, oldest first (the run roots)."""
+    return sorted(
+        (s for s in spans(records) if s.get("parent") is None),
+        key=lambda s: s["start"],
+    )
+
+
+def children_of(records: list[dict], span_id: str) -> list[dict]:
+    """Direct child spans of ``span_id``, by start time."""
+    return sorted(
+        (s for s in spans(records) if s.get("parent") == span_id),
+        key=lambda s: s["start"],
+    )
+
+
+def site_totals(records: list[dict]) -> dict:
+    """Per-site aggregate: name -> count / total / mean / max seconds."""
+    totals: dict[str, dict] = {}
+    for record in spans(records):
+        entry = totals.setdefault(
+            record["name"],
+            {"count": 0, "total_s": 0.0, "max_s": 0.0},
+        )
+        duration = float(record.get("dur", 0.0))
+        entry["count"] += 1
+        entry["total_s"] += duration
+        if duration > entry["max_s"]:
+            entry["max_s"] = duration
+    for entry in totals.values():
+        entry["mean_s"] = entry["total_s"] / entry["count"]
+    return totals
+
+
+def wall_accounting(records: list[dict]) -> dict:
+    """Wall time vs. the direct-children breakdown of the run root.
+
+    Returns ``{"wall_s", "accounted_s", "fraction", "steps"}`` where
+    ``steps`` is the list of direct children of the newest root span
+    (step label, duration).  ``fraction`` is accounted / wall, the
+    >= 95% acceptance metric; 0.0 when the journal has no root.
+    """
+    roots = root_spans(records)
+    if not roots:
+        return {
+            "wall_s": 0.0,
+            "accounted_s": 0.0,
+            "fraction": 0.0,
+            "steps": [],
+        }
+    root = roots[-1]
+    wall = float(root.get("dur", 0.0))
+    steps = []
+    accounted = 0.0
+    for child in children_of(records, str(root["id"])):
+        duration = float(child.get("dur", 0.0))
+        accounted += duration
+        steps.append(
+            {
+                "name": child["name"],
+                "label": _label(child),
+                "dur_s": duration,
+            }
+        )
+    fraction = accounted / wall if wall > 0.0 else 0.0
+    return {
+        "wall_s": wall,
+        "accounted_s": accounted,
+        "fraction": fraction,
+        "steps": steps,
+    }
+
+
+def _label(record: dict) -> str:
+    """Human label of a span: its step/key/point attr, else its name."""
+    attrs = record.get("attrs", {}) or {}
+    for key in ("step", "key", "point", "site"):
+        if key in attrs:
+            return f"{record['name']}[{attrs[key]}]"
+    return str(record["name"])
+
+
+def render_summary(records: list[dict]) -> str:
+    """The ``repro trace summary`` report: wall, steps, sites."""
+    if not records:
+        return "trace journal is empty — nothing to summarize"
+    accounting = wall_accounting(records)
+    lines = [
+        f"Trace summary — {len(spans(records))} span(s), "
+        f"{len(records) - len(spans(records))} event(s)"
+    ]
+    if accounting["wall_s"] > 0.0:
+        lines.append(
+            f"wall time: {accounting['wall_s']:.3f}s, "
+            f"accounted by steps: {accounting['accounted_s']:.3f}s "
+            f"({100.0 * accounting['fraction']:.1f}%)"
+        )
+        for step in accounting["steps"]:
+            share = (
+                step["dur_s"] / accounting["wall_s"]
+                if accounting["wall_s"] > 0.0
+                else 0.0
+            )
+            lines.append(
+                f"  {step['label']}: {step['dur_s']:.3f}s"
+                f" ({100.0 * share:.1f}%)"
+            )
+    lines.append("per-site totals:")
+    totals = site_totals(records)
+    for name in sorted(
+        totals, key=lambda n: totals[n]["total_s"], reverse=True
+    ):
+        entry = totals[name]
+        lines.append(
+            f"  {name}: n={entry['count']} total={entry['total_s']:.3f}s"
+            f" mean={entry['mean_s']:.4f}s max={entry['max_s']:.4f}s"
+        )
+    return "\n".join(lines)
+
+
+def render_timeline(records: list[dict]) -> str:
+    """Chronological span/event listing with nesting depth."""
+    if not records:
+        return "trace journal is empty — nothing to render"
+    depth: dict[str, int] = {}
+    for record in spans(records):
+        parent = record.get("parent")
+        depth[str(record["id"])] = (
+            depth.get(str(parent), -1) + 1 if parent else 0
+        )
+    origin = min(float(r["start"]) for r in records)
+    lines = ["Trace timeline (seconds since run start):"]
+    for record in sorted(
+        records, key=lambda r: (float(r["start"]), str(r["id"]))
+    ):
+        offset = float(record["start"]) - origin
+        indent = "  " * depth.get(str(record.get("id")), 0)
+        if record.get("kind") == "span":
+            lines.append(
+                f"{offset:9.3f}s {indent}{_label(record)} "
+                f"({float(record.get('dur', 0.0)):.3f}s)"
+            )
+        else:
+            lines.append(f"{offset:9.3f}s {indent}* {_label(record)}")
+    return "\n".join(lines)
+
+
+def critical_path(records: list[dict]) -> list[dict]:
+    """The dominant-child chain from the run root downward.
+
+    At each level the child with the largest duration is followed —
+    the classic "where did the time go" drill-down for serial runs.
+    """
+    roots = root_spans(records)
+    if not roots:
+        return []
+    path = [roots[-1]]
+    while True:
+        offspring = children_of(records, str(path[-1]["id"]))
+        if not offspring:
+            break
+        path.append(
+            max(offspring, key=lambda s: float(s.get("dur", 0.0)))
+        )
+    return path
+
+
+def render_critical_path(records: list[dict]) -> str:
+    """The ``repro trace critical-path`` report."""
+    path = critical_path(records)
+    if not path:
+        return "trace journal is empty — nothing to render"
+    wall = float(path[0].get("dur", 0.0))
+    lines = ["Critical path (dominant child at each level):"]
+    for depth, record in enumerate(path):
+        duration = float(record.get("dur", 0.0))
+        share = duration / wall if wall > 0.0 else 0.0
+        lines.append(
+            f"  {'  ' * depth}{_label(record)}: {duration:.3f}s"
+            f" ({100.0 * share:.1f}% of wall)"
+        )
+    return "\n".join(lines)
+
+
+def to_chrome(records: list[dict]) -> dict:
+    """Chrome ``chrome://tracing`` JSON (``traceEvents`` schema).
+
+    Spans map to complete events (``ph: "X"``, microsecond ``ts`` /
+    ``dur``); instant events map to ``ph: "i"`` with process scope.
+    """
+    events = []
+    for record in sorted(
+        records, key=lambda r: (float(r["start"]), str(r["id"]))
+    ):
+        base = {
+            "name": record["name"],
+            "pid": int(record.get("pid", 0)),
+            "tid": int(record.get("pid", 0)),
+            "ts": float(record["start"]) * 1e6,
+            "args": record.get("attrs", {}) or {},
+        }
+        if record.get("kind") == "span":
+            base["ph"] = "X"
+            base["dur"] = float(record.get("dur", 0.0)) * 1e6
+            base["cat"] = "span"
+        else:
+            base["ph"] = "i"
+            base["s"] = "p"
+            base["cat"] = "event"
+        events.append(base)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(records: list[dict], output) -> Path:
+    """Serialize :func:`to_chrome` output to ``output`` atomically."""
+    from ..campaign.locking import atomic_write_text
+
+    output = Path(output)
+    atomic_write_text(
+        output, json.dumps(to_chrome(records), sort_keys=True) + "\n"
+    )
+    return output
+
+
+__all__ = [
+    "JOURNAL_NAME",
+    "SHARD_PREFIX",
+    "critical_path",
+    "discover_journal",
+    "load_journal",
+    "render_critical_path",
+    "render_summary",
+    "render_timeline",
+    "site_totals",
+    "to_chrome",
+    "wall_accounting",
+    "write_chrome",
+]

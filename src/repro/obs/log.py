@@ -1,0 +1,137 @@
+"""Leveled, sentinel-preserving logging for the reproduction stack.
+
+Every user-facing message in ``src/repro`` routes through this module
+instead of bare ``print()``.  Three properties are load-bearing:
+
+- **Verbatim messages.**  No prefixes, no timestamps: nightly CI greps
+  exact sentinel strings ("100% cache hits", "self-healing: ...",
+  "cache corruption detected") out of stdout, and the capacity job
+  byte-diffs a serial log against a ``--jobs 2`` log.  Formatting the
+  message would break both.
+- **Late stream binding.**  Messages go through :func:`print` at call
+  time, so ``pytest`` capture (``capsys``) and CI ``tee`` pipelines see
+  them without any handler plumbing.
+- **Environment inheritance.**  :func:`set_level` also writes
+  :data:`ENV_VAR`, so forked and spawned campaign workers inherit the
+  parent's verbosity exactly like ``repro.faults`` plans are inherited.
+
+Levels are the conventional DEBUG < INFO < WARNING < ERROR.  The
+default is INFO: sentinels and summaries print, diagnostics stay quiet.
+``--quiet`` maps to WARNING (summaries suppressed, corruption warnings
+still visible); ``--verbose`` keeps its historical meaning of *more
+INFO lines* rather than switching levels, so existing CLI contracts
+hold.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from ..errors import ConfigurationError
+
+#: Environment variable carrying the minimum level name; read lazily on
+#: first emit and re-written by :func:`set_level` so worker processes
+#: inherit the parent's choice.
+ENV_VAR = "REPRO_LOG_LEVEL"
+
+#: Ordered level names -> numeric severity.
+LEVELS = {"DEBUG": 10, "INFO": 20, "WARNING": 30, "ERROR": 40}
+
+#: Default minimum level when neither :func:`set_level` nor the
+#: environment says otherwise.
+DEFAULT_LEVEL = "INFO"
+
+_UNSET = object()
+#: Process-local forced level name; ``_UNSET`` means "consult the
+#: environment" (the same lazy-resolution idiom as ``repro.faults``).
+_FORCED: object = _UNSET
+
+
+def _resolve(name: str) -> int:
+    """Map a level name to its severity, raising on unknown names."""
+    try:
+        return LEVELS[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown log level {name!r}; expected one of "
+            f"{', '.join(sorted(LEVELS))}"
+        ) from None
+
+
+def level_name() -> str:
+    """The effective minimum level name for this process."""
+    forced = _FORCED
+    if forced is not _UNSET:
+        return str(forced)
+    raw = os.environ.get(ENV_VAR, "").strip()
+    if not raw:
+        return DEFAULT_LEVEL
+    upper = raw.upper()
+    if upper not in LEVELS:
+        return DEFAULT_LEVEL
+    return upper
+
+
+def threshold() -> int:
+    """The effective numeric severity floor for this process."""
+    return LEVELS[level_name()]
+
+
+def set_level(name: str) -> None:
+    """Force the minimum level and export it to child processes.
+
+    Writing :data:`ENV_VAR` is what makes ``--quiet`` reach forked
+    campaign workers: they re-resolve the level lazily on their first
+    emit, exactly like fault plans.
+    """
+    upper = name.upper()
+    _resolve(upper)
+    global _FORCED
+    _FORCED = upper
+    os.environ[ENV_VAR] = upper
+
+
+def reset() -> None:
+    """Clear the forced level and the environment export (test hook)."""
+    global _FORCED
+    _FORCED = _UNSET
+    os.environ.pop(ENV_VAR, None)
+
+
+def log(name: str, message: str) -> None:
+    """Emit ``message`` verbatim if ``name`` clears the level floor.
+
+    WARNING and below go to stdout (CI tees and greps stdout); ERROR
+    goes to stderr, matching the CLI's historical error channel.
+    """
+    severity = _resolve(name)
+    if severity < threshold():
+        return
+    stream = sys.stderr if severity >= LEVELS["ERROR"] else sys.stdout
+    print(message, file=stream)
+
+
+def debug(message: str) -> None:
+    """Diagnostic chatter; hidden unless ``REPRO_LOG_LEVEL=DEBUG``."""
+    log("DEBUG", message)
+
+
+def info(message: str) -> None:
+    """Default-level output: summaries, sentinels, progress lines."""
+    log("INFO", message)
+
+
+def warning(message: str) -> None:
+    """Recoverable-anomaly output (quarantines, degraded rounds).
+
+    Warnings stay on **stdout**: the nightly chaos job greps "cache
+    corruption detected" out of a ``tee`` of stdout, and ``--quiet``
+    must not silence them.
+    """
+    log("WARNING", message)
+
+
+def error(message: str) -> None:
+    """Failure output; routed to stderr like the CLI's error handler."""
+    log("ERROR", message)

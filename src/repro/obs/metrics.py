@@ -1,0 +1,277 @@
+"""Process-local metrics registry with JSON + Prometheus export.
+
+The registry unifies the stack's ad-hoc stats — ``ServiceStats``,
+``DatasetCache`` hit/miss/corrupt counters, ``ModelCheckpointRegistry``
+hit/miss, campaign retry/quarantine counts — under three instrument
+types: :class:`Counter`, :class:`Gauge`, and :class:`Histogram` (backed
+by the bounded, deterministic ``LatencyReservoir``).
+
+Absorption is **pull-model**: nothing on a hot path touches the
+registry.  At the end of a run, :func:`collect` reads the existing
+stats objects into a fresh registry and :meth:`MetricsRegistry.write`
+emits ``metrics.json`` (sorted-key snapshot) and ``metrics.prom``
+(Prometheus text exposition) into the campaign directory, so a future
+``repro serve`` daemon can scrape the same names unchanged.
+
+Metric values are wall-clock telemetry and live outside the
+determinism firewall: they must never feed cache keys, manifests'
+semantic fields, result payloads, or figures.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+class Counter:
+    """A monotonically increasing count (requests, hits, retries)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot of this counter."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A point-in-time value (pending requests, wall seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's current value."""
+        self.value = float(value)
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot of this gauge."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """A bounded latency/duration distribution (reservoir-backed).
+
+    Wraps the PR 8 ``LatencyReservoir``: exact count / sum / max with
+    sampled p50/p99/p999, deterministic under a string seed.
+    """
+
+    __slots__ = ("name", "reservoir")
+
+    def __init__(self, name: str, reservoir=None) -> None:
+        from ..experiments.metrics import LatencyReservoir
+
+        self.name = name
+        self.reservoir = (
+            reservoir
+            if reservoir is not None
+            else LatencyReservoir(seed=name)
+        )
+
+    def observe(self, value_s: float) -> None:
+        """Record one observation (seconds)."""
+        self.reservoir.add(value_s)
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot (count, mean, max, quantile trio)."""
+        payload = self.reservoir.as_dict()
+        payload["type"] = "histogram"
+        return payload
+
+
+class MetricsRegistry:
+    """Named instruments plus JSON / Prometheus exporters.
+
+    Instrument accessors are get-or-create and type-checked, so two
+    subsystems asking for ``repro_cache_hits`` share one counter and a
+    name can never silently change type mid-run.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, object] = {}
+
+    def _get(self, name: str, kind, *args):
+        """Get-or-create an instrument, enforcing its type."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name, *args)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise TypeError(
+                f"metric {name!r} is {type(instrument).__name__}, "
+                f"not {kind.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on demand)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on demand)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, reservoir=None) -> Histogram:
+        """The histogram under ``name``; optionally adopt an existing
+        ``LatencyReservoir`` (pull-model absorption of service stats)."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = Histogram(name, reservoir)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(
+                f"metric {name!r} is {type(instrument).__name__}, "
+                "not Histogram"
+            )
+        return instrument
+
+    def snapshot(self) -> dict:
+        """Sorted-name snapshot of every instrument."""
+        return {
+            name: self._instruments[name].as_dict()
+            for name in sorted(self._instruments)
+        }
+
+    def to_json(self) -> str:
+        """The snapshot as canonical (sorted, indented) JSON text."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every instrument.
+
+        Counters and gauges are scalars; histograms render as the
+        ``summary`` type with ``quantile`` labels plus ``_sum`` and
+        ``_count`` series, which is what a scrape of the future
+        ``repro serve`` daemon would return.
+        """
+        lines: list[str] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {instrument.value}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_format_value(instrument.value)}")
+            else:
+                reservoir = instrument.reservoir
+                p50, p99, p999 = reservoir.quantiles()
+                lines.append(f"# TYPE {name} summary")
+                lines.append(
+                    f'{name}{{quantile="0.5"}} {_format_value(p50)}'
+                )
+                lines.append(
+                    f'{name}{{quantile="0.99"}} {_format_value(p99)}'
+                )
+                lines.append(
+                    f'{name}{{quantile="0.999"}} {_format_value(p999)}'
+                )
+                lines.append(
+                    f"{name}_sum {_format_value(reservoir.total_s)}"
+                )
+                lines.append(f"{name}_count {reservoir.count}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, directory) -> tuple[Path, Path]:
+        """Atomically export ``metrics.json`` + ``metrics.prom``."""
+        from ..campaign.locking import atomic_write_text
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        json_path = directory / "metrics.json"
+        prom_path = directory / "metrics.prom"
+        atomic_write_text(json_path, self.to_json())
+        atomic_write_text(prom_path, self.to_prometheus())
+        return json_path, prom_path
+
+
+def _format_value(value: float) -> str:
+    """Render a float in Prometheus style (repr-exact, no padding)."""
+    return repr(float(value))
+
+
+def collect(
+    cache_stats=None,
+    model_stats=None,
+    service_stats=None,
+    campaign_result=None,
+    registry: MetricsRegistry | None = None,
+) -> MetricsRegistry:
+    """Absorb the stack's ad-hoc stats objects into one registry.
+
+    Every argument is optional and duck-typed, so callers pass
+    whatever their run actually touched: ``DatasetCache.stats``,
+    ``ModelCheckpointRegistry.stats``, ``PredictionService.stats``,
+    and/or a ``CampaignResult``.  Reading happens once, at export
+    time — hot paths keep their existing plain-attribute counters.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    if cache_stats is not None:
+        registry.counter("repro_cache_hits").inc(cache_stats.hits)
+        registry.counter("repro_cache_misses").inc(cache_stats.misses)
+        registry.counter("repro_cache_sets_loaded").inc(
+            cache_stats.sets_loaded
+        )
+        registry.counter("repro_cache_sets_generated").inc(
+            cache_stats.sets_generated
+        )
+        registry.counter("repro_cache_sets_corrupt").inc(
+            cache_stats.sets_corrupt
+        )
+    if model_stats is not None:
+        registry.counter("repro_model_hits").inc(model_stats.hits)
+        registry.counter("repro_model_misses").inc(model_stats.misses)
+        registry.counter("repro_models_trained").inc(
+            model_stats.models_trained
+        )
+        registry.counter("repro_models_loaded").inc(
+            model_stats.models_loaded
+        )
+    if service_stats is not None:
+        registry.counter("repro_service_requests").inc(
+            service_stats.requests
+        )
+        registry.counter("repro_service_predictions").inc(
+            service_stats.predictions
+        )
+        registry.counter("repro_service_batches").inc(
+            service_stats.batches
+        )
+        registry.counter("repro_service_shed_requests").inc(
+            service_stats.shed_requests
+        )
+        registry.gauge("repro_service_flush_seconds").set(
+            service_stats.flush_seconds
+        )
+        registry.histogram(
+            "repro_service_latency_seconds", service_stats.latency
+        )
+    if campaign_result is not None:
+        registry.counter("repro_campaign_steps_executed").inc(
+            len(campaign_result.executed)
+        )
+        registry.counter("repro_campaign_steps_resumed").inc(
+            len(campaign_result.skipped)
+        )
+        registry.counter("repro_campaign_retries").inc(
+            campaign_result.retried
+        )
+        registry.counter("repro_campaign_steps_quarantined").inc(
+            len(campaign_result.quarantined)
+        )
+    return registry

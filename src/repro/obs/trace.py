@@ -1,0 +1,373 @@
+"""Crash-tolerant structured tracing with a zero-cost disarmed path.
+
+The tracer mirrors the arming discipline of :mod:`repro.faults`: a
+module-level ``_ACTIVE`` slot is resolved lazily from
+:data:`ENV_VAR` (``REPRO_TRACE_DIR``), instrumentation sites call
+:func:`span`/:func:`event` unconditionally, and when tracing is
+disarmed the fast path is a single identity check returning a cached
+no-op span — no allocation, no clock read, no branch into I/O.  The
+stream-throughput and grid benchmark floors are the enforcement.
+
+When armed, every process appends JSON lines to its **own** shard
+(``shard-<pid>.jsonl``) opened ``O_APPEND``, so a worker killed
+mid-write can at worst truncate its final line — never corrupt another
+process's records.  Forked workers inherit the armed tracer and the
+parent's open-span stack, which is exactly what links a worker-side
+span to the campaign-level span that forked it; the first emit after a
+fork detects the pid change and switches to a fresh shard.  The parent
+merges all shards into ``trace.jsonl`` at the end of a campaign run,
+skipping torn lines with a counted warning (the same quarantine
+philosophy as ``ResultsStore``).
+
+Span records carry a wall-clock ``start`` (epoch seconds, comparable
+across processes) and a monotonic ``dur`` (``perf_counter`` delta,
+immune to clock steps).  **Nothing here may ever feed cache keys,
+manifests' semantic fields, result payloads, or figures** — that is
+the determinism firewall, enforced by
+``tests/campaign/test_trace_firewall.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+#: Environment variable naming the trace directory; set by
+#: :func:`arm` and inherited by worker processes.
+ENV_VAR = "REPRO_TRACE_DIR"
+
+#: Merged journal filename inside the trace directory.
+JOURNAL_NAME = "trace.jsonl"
+
+#: Shard filename prefix; one shard per writing process.
+SHARD_PREFIX = "shard-"
+
+_UNSET = object()
+#: Lazily resolved tracer: ``_UNSET`` -> consult the environment,
+#: ``None`` -> disarmed, otherwise the armed :class:`Tracer`.
+_ACTIVE: object = _UNSET
+
+
+class Span:
+    """One timed, attributed, nestable unit of work.
+
+    Use via ``with trace.span("cache.load", key=key):`` — entering
+    records the start clocks and pushes onto the per-process span
+    stack; exiting pops, stamps the duration, captures the exception
+    class name (re-raising untouched), and appends one JSON line to
+    the process shard.
+    """
+
+    __slots__ = (
+        "_tracer",
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "_start_epoch",
+        "_start_perf",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = ""
+        self.parent_id = None
+        self._start_epoch = 0.0
+        self._start_perf = 0.0
+
+    def set(self, key: str, value) -> "Span":
+        """Attach one more attribute mid-span; returns self."""
+        self.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        """Start the clocks and enter the span stack."""
+        tracer = self._tracer
+        tracer._ensure_process()
+        self.span_id = tracer._next_id()
+        stack = tracer._stack
+        self.parent_id = stack[-1] if stack else None
+        stack.append(self.span_id)
+        self._start_epoch = time.time()
+        self._start_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """Stamp duration, record the error class, append the record."""
+        duration = time.perf_counter() - self._start_perf
+        tracer = self._tracer
+        if tracer._stack and tracer._stack[-1] == self.span_id:
+            tracer._stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        tracer._write(
+            {
+                "kind": "span",
+                "name": self.name,
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "pid": tracer._pid,
+                "start": self._start_epoch,
+                "dur": duration,
+                "attrs": self.attrs,
+            }
+        )
+        return False
+
+
+class _NullSpan:
+    """The disarmed span: every operation is a no-op.
+
+    A single module-level instance is returned from every disarmed
+    :func:`span` call, so the hot path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    def set(self, key: str, value) -> "_NullSpan":
+        """Ignore the attribute; returns self."""
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        """No-op context entry."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        """No-op context exit; never swallows exceptions."""
+        return False
+
+
+#: The shared disarmed span instance.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Appends span/event JSON lines to a per-process shard.
+
+    The shard file descriptor is opened lazily on first emit and
+    re-opened whenever ``os.getpid()`` changes (fork detection).  The
+    inherited span stack is deliberately **kept** across forks so a
+    worker's first span parents to the campaign span that spawned it.
+    """
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self._fd: int | None = None
+        self._pid: int | None = None
+        self._counter = 0
+        self._stack: list[str] = []
+
+    def _ensure_process(self) -> None:
+        """Open (or re-open after a fork) this process's shard."""
+        pid = os.getpid()
+        if self._fd is not None and self._pid == pid:
+            return
+        if self._fd is not None:
+            # Inherited descriptor from the parent: close our copy so
+            # the child never appends to the parent's shard.
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.directory / f"{SHARD_PREFIX}{pid}.jsonl"
+        self._fd = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        if self._pid != pid:
+            # Only a *fork* resets the id counter; re-opening after a
+            # same-process merge keeps counting so span ids never
+            # collide between two runs that share a trace directory.
+            self._counter = 0
+        self._pid = pid
+
+    def _next_id(self) -> str:
+        """Allocate a process-unique span id (``pid:counter``)."""
+        self._counter += 1
+        return f"{self._pid}:{self._counter}"
+
+    def _write(self, payload: dict) -> None:
+        """Append one JSON line atomically via ``O_APPEND``."""
+        line = json.dumps(payload, sort_keys=True) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def span(self, name: str, **attrs) -> Span:
+        """Create (not yet enter) a span under this tracer."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instantaneous event (retry fired, fault fired)."""
+        self._ensure_process()
+        self._write(
+            {
+                "kind": "event",
+                "name": name,
+                "id": self._next_id(),
+                "parent": self._stack[-1] if self._stack else None,
+                "pid": self._pid,
+                "start": time.time(),
+                "attrs": attrs,
+            }
+        )
+
+    def close(self) -> None:
+        """Close the shard descriptor (idempotent)."""
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
+
+
+def active_tracer() -> Tracer | None:
+    """The armed tracer, or ``None``; resolved lazily from the env.
+
+    Worker processes spawned with a clean interpreter (no inherited
+    module state) land here: the parent's :func:`arm` exported
+    :data:`ENV_VAR`, so their first instrumented call re-arms against
+    the same directory.
+    """
+    global _ACTIVE
+    if _ACTIVE is _UNSET:
+        directory = os.environ.get(ENV_VAR)
+        _ACTIVE = Tracer(directory) if directory else None
+    return _ACTIVE
+
+
+def arm(directory) -> Tracer:
+    """Arm tracing against ``directory`` and export it to children."""
+    global _ACTIVE
+    tracer = Tracer(directory)
+    _ACTIVE = tracer
+    os.environ[ENV_VAR] = str(directory)
+    return tracer
+
+
+def disarm() -> None:
+    """Disarm tracing and clear the environment export."""
+    global _ACTIVE
+    if isinstance(_ACTIVE, Tracer):
+        _ACTIVE.close()
+    _ACTIVE = None
+    os.environ.pop(ENV_VAR, None)
+
+
+def reset() -> None:
+    """Forget the cached arming decision (test hook)."""
+    global _ACTIVE
+    if isinstance(_ACTIVE, Tracer):
+        _ACTIVE.close()
+    _ACTIVE = _UNSET
+
+
+def span(name: str, **attrs):
+    """A context-managed span, or the shared no-op when disarmed.
+
+    This is the instrumentation entry point; the disarmed cost is one
+    global read, one identity check, and one ``None`` check.
+    """
+    tracer = _ACTIVE
+    if tracer is _UNSET:
+        tracer = active_tracer()
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record an instant event when armed; free when disarmed."""
+    tracer = _ACTIVE
+    if tracer is _UNSET:
+        tracer = active_tracer()
+    if tracer is None:
+        return
+    tracer.event(name, **attrs)
+
+
+def read_records(path) -> tuple[list[dict], int]:
+    """Parse one JSONL file, skipping torn/corrupt lines.
+
+    Returns ``(records, skipped)``.  A line is skipped when it is not
+    valid JSON, not an object, or lacks the required keys — the exact
+    failure mode of a worker killed mid-``os.write`` — mirroring the
+    corrupt-record quarantine semantics of ``ResultsStore``.
+    """
+    path = Path(path)
+    records: list[dict] = []
+    skipped = 0
+    if not path.exists():
+        return records, skipped
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if (
+                not isinstance(record, dict)
+                or "kind" not in record
+                or "name" not in record
+                or "id" not in record
+                or "start" not in record
+            ):
+                skipped += 1
+                continue
+            records.append(record)
+    return records, skipped
+
+
+def merge_shards(directory) -> Path:
+    """Fold all per-pid shards into ``trace.jsonl`` and remove them.
+
+    Re-merging is idempotent: the existing journal is read back in,
+    records are de-duplicated by span id, and the result is sorted by
+    ``(start, id)`` before an atomic replace — so a crash during the
+    merge leaves either the old journal or the new one, never a tear.
+    Corrupt lines are dropped with one counted warning per file.
+    """
+    from . import log
+    from ..campaign.locking import atomic_write_text
+
+    directory = Path(directory)
+    journal = directory / JOURNAL_NAME
+    merged: dict[str, dict] = {}
+    sources = [journal] + sorted(directory.glob(f"{SHARD_PREFIX}*.jsonl"))
+    for source in sources:
+        records, skipped = read_records(source)
+        if skipped:
+            log.warning(
+                f"warning: skipped {skipped} corrupt trace line(s) "
+                f"in {source.name}"
+            )
+        for record in records:
+            merged[str(record["id"])] = record
+    ordered = sorted(
+        merged.values(), key=lambda r: (r["start"], str(r["id"]))
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    text = "".join(
+        json.dumps(record, sort_keys=True) + "\n" for record in ordered
+    )
+    atomic_write_text(journal, text)
+    active = _ACTIVE
+    if isinstance(active, Tracer) and active.directory == directory:
+        # Drop our own shard descriptor before unlinking: the next
+        # emit in this process re-opens a fresh shard instead of
+        # appending to an unlinked inode (a second campaign run in
+        # one process would otherwise trace into the void).
+        active.close()
+    for source in sources[1:]:
+        try:
+            source.unlink()
+        except OSError:
+            pass
+    return journal

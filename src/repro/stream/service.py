@@ -36,6 +36,7 @@ from ..core.blockage import BlockageDetector
 from ..core.training import TrainedVVD
 from ..errors import ConfigurationError
 from ..experiments.metrics import LatencyReservoir
+from ..obs import trace
 from ..vision.preprocessing import normalize_depth_batch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -81,6 +82,38 @@ class ServiceStats:
     def record_latency(self, value_s: float) -> None:
         """Record one request latency sample (seconds)."""
         self.latency.add(value_s)
+
+    def observe_flush(
+        self,
+        chunk_size: int,
+        started_at: float,
+        completed_at: float,
+        submitted_ats: "Sequence[float]",
+    ) -> None:
+        """Account one micro-batched forward pass.
+
+        Exactly one ``(started_at, completed_at)`` clock pair per
+        chunk feeds *both* the running counters and the per-request
+        latency reservoir, so ``flush_seconds`` and every reservoir
+        sample are mutually consistent by construction —
+        ``latency_quantiles`` and ``latency_sla`` can never disagree
+        about which events they summarize (pinned in
+        ``tests/stream/test_service.py``).
+        """
+        self.batches += 1
+        self.predictions += chunk_size
+        if chunk_size > self.max_batch:
+            self.max_batch = chunk_size
+        self.flush_seconds += completed_at - started_at
+        for submitted_at in submitted_ats:
+            self.latency.add(completed_at - submitted_at)
+
+    def observe_single(
+        self, started_at: float, completed_at: float
+    ) -> None:
+        """Account one per-request baseline forward pass."""
+        self.singles += 1
+        self.single_seconds += completed_at - started_at
 
     def predictions_per_second(self) -> float:
         """Aggregate micro-batched throughput (0.0 before any flush)."""
@@ -280,32 +313,36 @@ class PredictionService:
         ]
         self._pending.clear()
         results: dict[int, Prediction] = {}
-        for lo in range(0, len(requests), self.max_batch):
-            chunk = requests[lo : lo + self.max_batch]
-            start = time.perf_counter()
-            frames = np.stack([request.frame for request in chunk])
-            images = normalize_depth_batch(frames, self.max_depth_m)
-            taps = self.trained.predict_cir(images)
-            probabilities = None
-            if self.detector is not None:
-                probabilities = self.detector.predict_proba(images)
-            completed = time.perf_counter()
-            self.stats.batches += 1
-            self.stats.predictions += len(chunk)
-            self.stats.max_batch = max(self.stats.max_batch, len(chunk))
-            self.stats.flush_seconds += completed - start
-            for row, request in enumerate(chunk):
-                results[request.link] = Prediction(
-                    taps=taps[row],
-                    blockage_probability=(
-                        None
-                        if probabilities is None
-                        else float(probabilities[row])
-                    ),
+        with trace.span("service.flush", pending=len(requests)):
+            for lo in range(0, len(requests), self.max_batch):
+                chunk = requests[lo : lo + self.max_batch]
+                start = time.perf_counter()
+                frames = np.stack(
+                    [request.frame for request in chunk]
                 )
-                self.stats.record_latency(
-                    completed - request.submitted_at
+                images = normalize_depth_batch(
+                    frames, self.max_depth_m
                 )
+                taps = self.trained.predict_cir(images)
+                probabilities = None
+                if self.detector is not None:
+                    probabilities = self.detector.predict_proba(images)
+                completed = time.perf_counter()
+                self.stats.observe_flush(
+                    len(chunk),
+                    start,
+                    completed,
+                    [request.submitted_at for request in chunk],
+                )
+                for row, request in enumerate(chunk):
+                    results[request.link] = Prediction(
+                        taps=taps[row],
+                        blockage_probability=(
+                            None
+                            if probabilities is None
+                            else float(probabilities[row])
+                        ),
+                    )
         return results
 
     def predict_one(self, frame: np.ndarray) -> Prediction:
@@ -322,6 +359,6 @@ class PredictionService:
         probability = None
         if self.detector is not None:
             probability = float(self.detector.predict_proba(images)[0])
-        self.stats.singles += 1
-        self.stats.single_seconds += time.perf_counter() - start
+        completed = time.perf_counter()
+        self.stats.observe_single(start, completed)
         return Prediction(taps=taps, blockage_probability=probability)

@@ -32,6 +32,7 @@ from ..dataset.generator import (
     synthesize_received_batch,
 )
 from ..errors import ConfigurationError, ServiceDeadlineError
+from ..obs import log, trace
 from ..experiments.metrics import (
     PacketOutcome,
     StreamMetrics,
@@ -230,9 +231,14 @@ class StreamSimulator:
                 continue
             slot_events = scheduler.pop_slot_group()
             if slot_events:
-                self._run_slot(
-                    slot_events, states, policy, service, fallback
-                )
+                with trace.span(
+                    "stream.round",
+                    t=slot_events[0].time_s,
+                    links=len(slot_events),
+                ):
+                    self._run_slot(
+                        slot_events, states, policy, service, fallback
+                    )
 
         per_link = [state.metrics for state in states]
         total = StreamMetrics()
@@ -258,7 +264,7 @@ class StreamSimulator:
             ],
         )
         if verbose:
-            print(
+            log.info(
                 f"[stream] {policy.name}: goodput "
                 f"{total.goodput_pps:.2f} pkt/s, outage "
                 f"{total.outage:.3f}, deadline-miss "
@@ -341,7 +347,7 @@ class StreamSimulator:
                 for link, prediction in predictions.items():
                     contexts[link].prediction = prediction
             else:
-                print(
+                log.warning(
                     "warning: prediction round degraded at "
                     f"t={slot_events[0].time_s:g}s — {degraded_reason}; "
                     f"falling back to {fallback.name}"

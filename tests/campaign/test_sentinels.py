@@ -1,0 +1,106 @@
+"""Pin the CI-grepped sentinel strings through the logging migration.
+
+Nightly CI greps exact sentinel lines out of stdout ("100% cache
+hits", "self-healing: ...", "cache corruption detected") and
+byte-diffs serial-vs-parallel capacity logs.  Routing every bare
+``print()`` through ``repro.obs.log`` must not move or reformat a
+single one of them: this module pins each sentinel at its source site
+and proves the default log level emits them verbatim on stdout.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+
+import pytest
+
+from repro.campaign import cache as cache_module
+from repro.campaign import cli as cli_module
+from repro.campaign import results as results_module
+from repro.campaign import runner as runner_module
+from repro.obs import log
+
+#: (module, sentinel fragment) pairs the nightly jobs grep for.
+SENTINELS = [
+    (cli_module, "no measurement sets regenerated (100% cache hits)"),
+    (cli_module, "no models retrained (100% checkpoint hits)"),
+    (cli_module, "step attempt(s) retried, "),
+    (cli_module, "self-healing: "),
+    (cli_module, "fault plan {plan.name!r} armed: "),
+    (cli_module, " derived scenario(s) over "),
+    (cli_module, " executed, "),
+    (cli_module, " resumed from manifest "),
+    (cli_module, " modeled point(s) over "),
+    (cli_module, " job(s); no datasets or checkpoints touched"),
+    (cache_module, "warning: cache corruption detected in "),
+    (results_module, "warning: corrupt grid record "),
+]
+
+#: Modules whose output must flow through the logger, never print().
+ROUTED_MODULES = [
+    cli_module,
+    cache_module,
+    results_module,
+    runner_module,
+]
+
+
+class TestSentinelSources:
+    @pytest.mark.parametrize(
+        "module, sentinel",
+        SENTINELS,
+        ids=[sentinel.strip() for _, sentinel in SENTINELS],
+    )
+    def test_sentinel_still_present(self, module, sentinel):
+        assert sentinel in inspect.getsource(module)
+
+    @pytest.mark.parametrize(
+        "module",
+        ROUTED_MODULES,
+        ids=[module.__name__ for module in ROUTED_MODULES],
+    )
+    def test_no_bare_print_calls_remain(self, module):
+        source = inspect.getsource(module)
+        # `fingerprint(` must not count; only real print() call sites.
+        assert re.search(r"(?<![\w.])print\(", source) is None
+
+
+class TestSentinelEmission:
+    def test_default_level_emits_sentinels_byte_exact(self, capsys):
+        log.reset()
+        sentinels = [
+            "no measurement sets regenerated (100% cache hits)",
+            "no models retrained (100% checkpoint hits)",
+            "self-healing: 2 step attempt(s) retried, "
+            "1 step(s) quarantined: point@x",
+        ]
+        for line in sentinels:
+            log.info(line)
+        log.warning("warning: cache corruption detected in set_0003.npz")
+        out = capsys.readouterr().out
+        assert out == (
+            "\n".join(sentinels)
+            + "\nwarning: cache corruption detected in set_0003.npz\n"
+        )
+
+    def test_self_healing_summary_prints_when_plan_armed(self, capsys):
+        class _Result:
+            retried = 0
+            quarantined: list = []
+
+        cli_module._self_healing_summary(_Result(), plan=object())
+        assert capsys.readouterr().out == (
+            "self-healing: 0 step attempt(s) retried, "
+            "0 step(s) quarantined\n"
+        )
+
+    def test_self_healing_summary_silent_on_clean_unarmed_run(
+        self, capsys
+    ):
+        class _Result:
+            retried = 0
+            quarantined: list = []
+
+        cli_module._self_healing_summary(_Result(), plan=None)
+        assert capsys.readouterr().out == ""

@@ -1,0 +1,25 @@
+"""Shared telemetry-test hygiene: always leave the process disarmed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import log, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry_state():
+    """Disarm tracing and reset log levels around every test.
+
+    Both modules cache their arming decision in module state *and*
+    export it through the environment; a test that armed either must
+    never leak into the next one (the same discipline as
+    ``faults.deactivate()`` in the chaos tests).
+    """
+    trace.disarm()
+    trace.reset()
+    log.reset()
+    yield
+    trace.disarm()
+    trace.reset()
+    log.reset()

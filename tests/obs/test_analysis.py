@@ -1,0 +1,148 @@
+"""Trace analysis: summary, timeline, critical path, Chrome export."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import analysis
+
+
+def _span(name, span_id, parent, start, dur, **attrs) -> dict:
+    return {
+        "kind": "span",
+        "name": name,
+        "id": span_id,
+        "parent": parent,
+        "pid": 100,
+        "start": start,
+        "dur": dur,
+        "attrs": attrs,
+    }
+
+
+def _journal() -> list[dict]:
+    """A synthetic two-step run: root 10s, steps 6s + 3.8s, one event."""
+    return [
+        _span("campaign.run", "100:1", None, 1000.0, 10.0, jobs=1),
+        _span("step.attempt", "100:2", "100:1", 1000.1, 6.0, step="gen"),
+        _span("cache.generate", "100:3", "100:2", 1000.2, 5.5, key="k"),
+        _span("step.attempt", "100:4", "100:1", 1006.2, 3.8, step="fit"),
+        {
+            "kind": "event",
+            "name": "step.retry",
+            "id": "100:5",
+            "parent": "100:1",
+            "pid": 100,
+            "start": 1006.0,
+            "attrs": {"step": "fit", "attempt": 1},
+        },
+    ]
+
+
+class TestAccounting:
+    def test_wall_accounting_over_root_children(self):
+        accounting = analysis.wall_accounting(_journal())
+        assert accounting["wall_s"] == 10.0
+        assert accounting["accounted_s"] == 9.8
+        assert abs(accounting["fraction"] - 0.98) < 1e-12
+        assert [s["label"] for s in accounting["steps"]] == [
+            "step.attempt[gen]",
+            "step.attempt[fit]",
+        ]
+
+    def test_empty_journal_accounts_zero(self):
+        accounting = analysis.wall_accounting([])
+        assert accounting["fraction"] == 0.0
+        assert accounting["steps"] == []
+
+    def test_site_totals_aggregate_per_name(self):
+        totals = analysis.site_totals(_journal())
+        assert totals["step.attempt"]["count"] == 2
+        assert totals["step.attempt"]["total_s"] == 9.8
+        assert totals["step.attempt"]["max_s"] == 6.0
+        assert totals["cache.generate"]["mean_s"] == 5.5
+
+
+class TestRenderers:
+    def test_summary_reports_wall_and_sites(self):
+        text = analysis.render_summary(_journal())
+        assert "Trace summary — 4 span(s), 1 event(s)" in text
+        assert "wall time: 10.000s" in text
+        assert "(98.0%)" in text
+        assert "step.attempt[gen]: 6.000s (60.0%)" in text
+        assert "cache.generate: n=1" in text
+
+    def test_timeline_orders_and_nests(self):
+        lines = analysis.render_timeline(_journal()).splitlines()
+        assert lines[0].startswith("Trace timeline")
+        assert "campaign.run" in lines[1]
+        # cache.generate nests two levels under the root.
+        (generate_line,) = [l for l in lines if "cache.generate" in l]
+        assert "    cache.generate[k]" in generate_line
+
+    def test_critical_path_follows_dominant_child(self):
+        path = analysis.critical_path(_journal())
+        assert [record["name"] for record in path] == [
+            "campaign.run",
+            "step.attempt",
+            "cache.generate",
+        ]
+        text = analysis.render_critical_path(_journal())
+        assert "cache.generate[k]: 5.500s (55.0% of wall)" in text
+
+    def test_empty_journal_renders_cleanly(self):
+        assert "empty" in analysis.render_summary([])
+        assert "empty" in analysis.render_timeline([])
+        assert "empty" in analysis.render_critical_path([])
+
+
+class TestChrome:
+    def test_chrome_schema(self):
+        document = analysis.to_chrome(_journal())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert len(events) == 5
+        root = events[0]
+        assert root["ph"] == "X"
+        assert root["ts"] == 1000.0 * 1e6
+        assert root["dur"] == 10.0 * 1e6
+        assert root["pid"] == 100
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["s"] == "p"
+
+    def test_write_chrome_is_valid_json(self, tmp_path):
+        output = analysis.write_chrome(
+            _journal(), tmp_path / "trace.chrome.json"
+        )
+        document = json.loads(output.read_text())
+        assert len(document["traceEvents"]) == 5
+
+
+class TestDiscovery:
+    def test_load_journal_missing_file_is_empty(self, tmp_path):
+        assert analysis.load_journal(tmp_path / "absent.jsonl") == []
+
+    def test_load_journal_warns_on_corruption(self, tmp_path, capsys):
+        journal = tmp_path / "trace.jsonl"
+        journal.write_text('{"broken\n')
+        assert analysis.load_journal(journal) == []
+        assert (
+            "warning: skipped 1 corrupt trace line(s)"
+            in capsys.readouterr().out
+        )
+
+    def test_discover_journal_picks_newest(self, tmp_path):
+        import os
+
+        old = tmp_path / "campaigns" / "run-a" / "trace"
+        new = tmp_path / "campaigns" / "run-b" / "trace"
+        for directory in (old, new):
+            directory.mkdir(parents=True)
+            (directory / "trace.jsonl").write_text("")
+        os.utime(old / "trace.jsonl", (1.0, 1.0))
+        os.utime(new / "trace.jsonl", (2.0, 2.0))
+        assert analysis.discover_journal(tmp_path) == new / "trace.jsonl"
+
+    def test_discover_journal_empty_root(self, tmp_path):
+        assert analysis.discover_journal(tmp_path) is None

@@ -1,0 +1,73 @@
+"""Logger contract: verbatim messages, level floors, env inheritance."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import log
+
+
+class TestDefaults:
+    def test_info_prints_verbatim_to_stdout(self, capsys):
+        log.info("cache: 3 set(s) generated")
+        captured = capsys.readouterr()
+        # No prefixes, no timestamps — CI greps exact sentinel strings.
+        assert captured.out == "cache: 3 set(s) generated\n"
+        assert captured.err == ""
+
+    def test_debug_hidden_by_default(self, capsys):
+        log.debug("noise")
+        assert capsys.readouterr().out == ""
+
+    def test_warning_goes_to_stdout(self, capsys):
+        log.warning("warning: cache corruption detected in x")
+        captured = capsys.readouterr()
+        assert "cache corruption detected" in captured.out
+        assert captured.err == ""
+
+    def test_error_goes_to_stderr(self, capsys):
+        log.error("error: boom")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == "error: boom\n"
+
+    def test_default_level_is_info(self):
+        assert log.level_name() == "INFO"
+
+
+class TestLevels:
+    def test_quiet_suppresses_info_keeps_warning(self, capsys):
+        log.set_level("WARNING")
+        log.info("summary line")
+        log.warning("warning: something recoverable")
+        captured = capsys.readouterr()
+        assert "summary line" not in captured.out
+        assert "warning: something recoverable" in captured.out
+
+    def test_debug_level_reveals_debug(self, capsys):
+        log.set_level("DEBUG")
+        log.debug("diagnostic")
+        assert capsys.readouterr().out == "diagnostic\n"
+
+    def test_set_level_exports_to_environment(self):
+        log.set_level("warning")
+        assert os.environ[log.ENV_VAR] == "WARNING"
+        log.reset()
+        assert log.ENV_VAR not in os.environ
+
+    def test_environment_consulted_lazily(self, capsys, monkeypatch):
+        monkeypatch.setenv(log.ENV_VAR, "ERROR")
+        log.info("hidden")
+        log.warning("also hidden")
+        assert capsys.readouterr().out == ""
+
+    def test_unknown_env_value_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(log.ENV_VAR, "CHATTY")
+        assert log.level_name() == "INFO"
+
+    def test_unknown_set_level_raises_typed(self):
+        with pytest.raises(ConfigurationError):
+            log.set_level("CHATTY")

@@ -1,0 +1,156 @@
+"""Metrics registry: instruments, exporters, pull-model absorption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.metrics import LatencyReservoir
+from repro.obs import metrics
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_decrease(self):
+        registry = metrics.MetricsRegistry()
+        counter = registry.counter("repro_cache_hits")
+        counter.inc()
+        counter.inc(4)
+        assert registry.counter("repro_cache_hits").value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_replaces_value(self):
+        registry = metrics.MetricsRegistry()
+        registry.gauge("repro_service_flush_seconds").set(1.5)
+        registry.gauge("repro_service_flush_seconds").set(2.5)
+        snapshot = registry.snapshot()
+        assert snapshot["repro_service_flush_seconds"] == {
+            "type": "gauge",
+            "value": 2.5,
+        }
+
+    def test_histogram_observes_through_reservoir(self):
+        registry = metrics.MetricsRegistry()
+        histogram = registry.histogram("repro_latency_seconds")
+        for value in (0.001, 0.002, 0.003):
+            histogram.observe(value)
+        payload = histogram.as_dict()
+        assert payload["type"] == "histogram"
+        assert payload["count"] == 3
+
+    def test_name_cannot_change_type(self):
+        registry = metrics.MetricsRegistry()
+        registry.counter("repro_requests")
+        with pytest.raises(TypeError):
+            registry.gauge("repro_requests")
+        with pytest.raises(TypeError):
+            registry.histogram("repro_requests")
+
+
+class TestExporters:
+    def _populated(self) -> metrics.MetricsRegistry:
+        registry = metrics.MetricsRegistry()
+        registry.counter("repro_cache_hits").inc(7)
+        registry.gauge("repro_flush_seconds").set(0.25)
+        histogram = registry.histogram("repro_latency_seconds")
+        histogram.observe(0.004)
+        return registry
+
+    def test_json_snapshot_round_trips(self):
+        data = json.loads(self._populated().to_json())
+        assert data["repro_cache_hits"] == {"type": "counter", "value": 7}
+        assert data["repro_latency_seconds"]["count"] == 1
+
+    def test_prometheus_text_exposition(self):
+        text = self._populated().to_prometheus()
+        assert "# TYPE repro_cache_hits counter" in text
+        assert "repro_cache_hits 7" in text
+        assert "# TYPE repro_flush_seconds gauge" in text
+        assert "repro_flush_seconds 0.25" in text
+        assert "# TYPE repro_latency_seconds summary" in text
+        assert 'repro_latency_seconds{quantile="0.5"} 0.004' in text
+        assert "repro_latency_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_write_emits_both_files(self, tmp_path):
+        json_path, prom_path = self._populated().write(tmp_path)
+        assert json_path.name == "metrics.json"
+        assert prom_path.name == "metrics.prom"
+        assert json.loads(json_path.read_text())
+        assert "# TYPE" in prom_path.read_text()
+
+
+class _CacheStats:
+    hits = 3
+    misses = 1
+    sets_loaded = 9
+    sets_generated = 2
+    sets_corrupt = 0
+
+
+class _ModelStats:
+    hits = 2
+    misses = 0
+    models_trained = 0
+    models_loaded = 2
+
+
+class _Result:
+    executed = ["a", "b"]
+    skipped = ["c"]
+    quarantined: list = []
+    retried = 1
+
+
+class TestCollect:
+    def test_absorbs_every_stats_object(self):
+        reservoir = LatencyReservoir(seed="test")
+        reservoir.add(0.005)
+
+        class _ServiceStats:
+            requests = 4
+            predictions = 4
+            batches = 1
+            shed_requests = 0
+            flush_seconds = 0.125
+            latency = reservoir
+
+        registry = metrics.collect(
+            cache_stats=_CacheStats(),
+            model_stats=_ModelStats(),
+            service_stats=_ServiceStats(),
+            campaign_result=_Result(),
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["repro_cache_hits"]["value"] == 3
+        assert snapshot["repro_cache_sets_generated"]["value"] == 2
+        assert snapshot["repro_model_hits"]["value"] == 2
+        assert snapshot["repro_service_requests"]["value"] == 4
+        assert snapshot["repro_service_flush_seconds"]["value"] == 0.125
+        assert snapshot["repro_service_latency_seconds"]["count"] == 1
+        assert snapshot["repro_campaign_steps_executed"]["value"] == 2
+        assert snapshot["repro_campaign_steps_resumed"]["value"] == 1
+        assert snapshot["repro_campaign_retries"]["value"] == 1
+
+    def test_partial_absorption_skips_absent_sources(self):
+        registry = metrics.collect(campaign_result=_Result())
+        snapshot = registry.snapshot()
+        assert "repro_cache_hits" not in snapshot
+        assert snapshot["repro_campaign_steps_quarantined"]["value"] == 0
+
+    def test_adopts_service_reservoir_without_copy(self):
+        reservoir = LatencyReservoir(seed="svc")
+        reservoir.add(0.001)
+
+        class _ServiceStats:
+            requests = 1
+            predictions = 1
+            batches = 1
+            shed_requests = 0
+            flush_seconds = 0.001
+            latency = reservoir
+
+        registry = metrics.collect(service_stats=_ServiceStats())
+        histogram = registry.histogram("repro_service_latency_seconds")
+        assert histogram.reservoir is reservoir

@@ -1,0 +1,216 @@
+"""Tracer contract: zero-cost disarmed path, crash-tolerant shards.
+
+Covers the arming discipline (lazy env resolution, the shared no-op
+span), the journal format (ids, parents, error capture), and the
+robustness guarantees: corrupt lines skipped with a counted warning,
+shard merges stable under a worker killed mid-write (the
+``test_locking.py`` fork + ``os._exit`` idiom), and idempotent
+re-merges.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.obs import trace
+
+
+def _emit(directory) -> list[dict]:
+    """Arm, write a tiny nested journal, merge, and return the records."""
+    trace.arm(directory)
+    with trace.span("outer", step="a"):
+        with trace.span("inner", key="k"):
+            pass
+        trace.event("ping", site="outer")
+    journal = trace.merge_shards(directory)
+    records, skipped = trace.read_records(journal)
+    assert skipped == 0
+    return records
+
+
+class TestDisarmed:
+    def test_span_returns_shared_noop(self):
+        first = trace.span("anything", key=1)
+        second = trace.span("else")
+        assert first is trace.NULL_SPAN
+        assert second is trace.NULL_SPAN
+
+    def test_noop_span_accepts_set_and_context(self):
+        with trace.span("x") as span:
+            assert span.set("k", "v") is span
+
+    def test_event_is_free(self, tmp_path):
+        trace.event("nothing", site="here")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_exceptions_propagate_through_noop(self):
+        with pytest.raises(ValueError):
+            with trace.span("x"):
+                raise ValueError("boom")
+
+    def test_env_var_arms_lazily(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(trace.ENV_VAR, str(tmp_path))
+        trace.reset()
+        with trace.span("lazy"):
+            pass
+        journal = trace.merge_shards(tmp_path)
+        (record,) = trace.read_records(journal)[0]
+        assert record["name"] == "lazy"
+
+
+class TestArmed:
+    def test_nesting_links_parents(self, tmp_path):
+        records = _emit(tmp_path)
+        by_name = {r["name"]: r for r in records}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["ping"]["parent"] == by_name["outer"]["id"]
+        assert by_name["ping"]["kind"] == "event"
+        assert "dur" not in by_name["ping"]
+
+    def test_span_records_carry_clocks_and_attrs(self, tmp_path):
+        records = _emit(tmp_path)
+        by_name = {r["name"]: r for r in records}
+        outer = by_name["outer"]
+        assert outer["kind"] == "span"
+        assert outer["attrs"] == {"step": "a"}
+        assert outer["start"] > 0.0
+        assert outer["dur"] >= by_name["inner"]["dur"] >= 0.0
+        assert outer["pid"] == os.getpid()
+
+    def test_error_class_captured_and_reraised(self, tmp_path):
+        trace.arm(tmp_path)
+        with pytest.raises(KeyError):
+            with trace.span("failing", step="s"):
+                raise KeyError("missing")
+        journal = trace.merge_shards(tmp_path)
+        (record,) = trace.read_records(journal)[0]
+        assert record["attrs"]["error"] == "KeyError"
+
+    def test_mid_span_set_lands_in_attrs(self, tmp_path):
+        trace.arm(tmp_path)
+        with trace.span("work") as span:
+            span.set("items", 3)
+        journal = trace.merge_shards(tmp_path)
+        (record,) = trace.read_records(journal)[0]
+        assert record["attrs"]["items"] == 3
+
+    def test_second_run_after_merge_keeps_unique_ids(self, tmp_path):
+        trace.arm(tmp_path)
+        with trace.span("first"):
+            pass
+        trace.merge_shards(tmp_path)
+        # The merge closed our shard; the next span must re-open a
+        # fresh one and keep counting ids rather than reusing them.
+        with trace.span("second"):
+            pass
+        journal = trace.merge_shards(tmp_path)
+        records, _ = trace.read_records(journal)
+        assert {r["name"] for r in records} == {"first", "second"}
+        assert len({r["id"] for r in records}) == 2
+
+
+class TestRobustness:
+    def test_read_records_missing_file(self, tmp_path):
+        assert trace.read_records(tmp_path / "absent.jsonl") == ([], 0)
+
+    def test_corrupt_lines_skipped_with_counted_warning(
+        self, tmp_path, capsys
+    ):
+        shard = tmp_path / f"{trace.SHARD_PREFIX}1.jsonl"
+        good = {
+            "kind": "span",
+            "name": "ok",
+            "id": "1:1",
+            "parent": None,
+            "pid": 1,
+            "start": 1.0,
+            "dur": 0.5,
+            "attrs": {},
+        }
+        shard.write_text(
+            json.dumps(good)
+            + "\n"
+            + '{"kind": "span", "name": "torn'
+            + "\n"
+            + '"not an object"'
+            + "\n"
+        )
+        journal = trace.merge_shards(tmp_path)
+        records, _ = trace.read_records(journal)
+        assert [r["name"] for r in records] == ["ok"]
+        out = capsys.readouterr().out
+        assert "warning: skipped 2 corrupt trace line(s)" in out
+        assert shard.name in out
+
+    def test_merge_is_idempotent(self, tmp_path):
+        _emit(tmp_path)
+        journal = tmp_path / trace.JOURNAL_NAME
+        first = journal.read_bytes()
+        trace.merge_shards(tmp_path)
+        assert journal.read_bytes() == first
+
+    def test_merge_removes_shards(self, tmp_path):
+        _emit(tmp_path)
+        assert list(tmp_path.glob(f"{trace.SHARD_PREFIX}*.jsonl")) == []
+
+
+def _forked_worker(directory: str) -> None:
+    """Emit one span from a forked child inside the parent's span."""
+    with trace.span("child.work", unit=1):
+        pass
+    os._exit(0)
+
+
+def _killed_mid_write(directory: str) -> None:
+    """Emit one good record, then die mid-``os.write`` of the next."""
+    trace.event("survivor", site="child")
+    tracer = trace.active_tracer()
+    os.write(tracer._fd, b'{"kind": "span", "name": "torn...')
+    os._exit(1)
+
+
+class TestForkedWorkers:
+    def test_child_shard_merges_with_parent_linkage(self, tmp_path):
+        trace.arm(tmp_path)
+        with trace.span("campaign.run") as root:
+            proc = multiprocessing.get_context("fork").Process(
+                target=_forked_worker, args=(str(tmp_path),)
+            )
+            proc.start()
+            proc.join()
+        assert proc.exitcode == 0
+        journal = trace.merge_shards(tmp_path)
+        records, skipped = trace.read_records(journal)
+        assert skipped == 0
+        by_name = {r["name"]: r for r in records}
+        child = by_name["child.work"]
+        # The fork inherited the open span stack, so the worker's span
+        # parents to the campaign span across the process boundary.
+        assert child["parent"] == root.span_id
+        assert child["pid"] != by_name["campaign.run"]["pid"]
+
+    def test_killed_worker_torn_line_is_skipped(self, tmp_path, capsys):
+        trace.arm(tmp_path)
+        with trace.span("campaign.run"):
+            proc = multiprocessing.get_context("fork").Process(
+                target=_killed_mid_write, args=(str(tmp_path),)
+            )
+            proc.start()
+            proc.join()
+        assert proc.exitcode == 1
+        journal = trace.merge_shards(tmp_path)
+        records, skipped = trace.read_records(journal)
+        assert skipped == 0  # the merge already dropped the torn line
+        names = {r["name"] for r in records}
+        assert "survivor" in names
+        assert "campaign.run" in names
+        assert not any(n.startswith("torn") for n in names)
+        assert (
+            "warning: skipped 1 corrupt trace line(s)"
+            in capsys.readouterr().out
+        )

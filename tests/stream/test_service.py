@@ -156,6 +156,71 @@ class TestAdmissionControl:
             )
 
 
+class TestSingleClockAccounting:
+    def test_observe_flush_feeds_counters_and_reservoir_together(self):
+        # One (started_at, completed_at) pair per chunk drives *both*
+        # flush_seconds and every latency sample, so the aggregate
+        # counters and the quantile views can never disagree about
+        # which wall-clock events they summarize.
+        from repro.stream.service import ServiceStats
+
+        stats = ServiceStats()
+        stats.observe_flush(
+            3,
+            started_at=10.0,
+            completed_at=10.5,
+            submitted_ats=[9.8, 9.9, 10.0],
+        )
+        assert stats.batches == 1
+        assert stats.predictions == 3
+        assert stats.max_batch == 3
+        assert stats.flush_seconds == pytest.approx(0.5)
+        assert stats.latency.count == stats.predictions
+        assert sorted(stats.latencies_s) == pytest.approx(
+            [0.5, 0.6, 0.7]
+        )
+
+    def test_quantile_views_agree_on_the_same_events(self):
+        from repro.stream.service import ServiceStats
+
+        stats = ServiceStats()
+        for chunk in range(8):
+            base = float(chunk)
+            stats.observe_flush(
+                2,
+                started_at=base,
+                completed_at=base + 0.25,
+                submitted_ats=[base - 0.01 * chunk, base],
+            )
+        p50_quantiles, _ = stats.latency_quantiles()
+        p50_sla, p99, p999 = stats.latency_sla()
+        assert p50_sla == pytest.approx(p50_quantiles)
+        assert p99 <= p999 <= stats.latency.max_s
+        # Every sample is submit->completed of a recorded flush.
+        assert stats.latency.count == stats.predictions == 16
+
+    def test_observe_single_uses_one_clock_pair(self):
+        from repro.stream.service import ServiceStats
+
+        stats = ServiceStats()
+        stats.observe_single(started_at=1.0, completed_at=1.125)
+        stats.observe_single(started_at=2.0, completed_at=2.125)
+        assert stats.singles == 2
+        assert stats.single_seconds == pytest.approx(0.25)
+
+    def test_flush_latency_counts_match_predictions(
+        self, smoke_service, smoke_traces
+    ):
+        service = PredictionService(
+            smoke_service.trained, smoke_service.max_depth_m, max_batch=2
+        )
+        for link, frame in enumerate(_frames(smoke_traces, 5)):
+            service.submit(link, frame)
+        service.flush()
+        assert service.stats.batches == 3  # chunks of 2, 2, 1
+        assert service.stats.latency.count == service.stats.predictions
+
+
 class TestBoundedLatencyAccounting:
     def test_reservoir_bounds_memory_keeps_exact_count(
         self, smoke_service

@@ -8,6 +8,7 @@ import threading
 from tools.bench_trajectory import (
     FORMAT_VERSION,
     append_entry,
+    host_metadata,
     load_history,
     merge_entry,
 )
@@ -123,3 +124,53 @@ class TestAppendEntry:
             e["timestamp"] for e in load_history(path)["benches"]["b"]
         ]
         assert stamps == [float(i) for i in range(8)]
+
+
+class TestHostMetadata:
+    def test_new_entries_are_stamped_with_host(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THROUGHPUT_FLOOR", "3.0")
+        monkeypatch.setenv("REPRO_GRID_FLOOR", "1.1")
+        monkeypatch.delenv("REPRO_STREAM_FLOOR", raising=False)
+        history = merge_entry(
+            {"version": FORMAT_VERSION, "benches": {}},
+            "stream_throughput",
+            {"timestamp": 1.0, "speedup": 3.5},
+        )
+        (entry,) = history["benches"]["stream_throughput"]
+        host = entry["host"]
+        assert host["cpu_count"] >= 1
+        assert host["platform"]
+        assert host["python"]
+        assert host["floors"] == {
+            "REPRO_GRID_FLOOR": "1.1",
+            "REPRO_THROUGHPUT_FLOOR": "3.0",
+        }
+
+    def test_caller_supplied_host_is_preserved(self):
+        history = merge_entry(
+            {"version": FORMAT_VERSION, "benches": {}},
+            "b",
+            {"timestamp": 1.0, "host": {"cpu_count": 128}},
+        )
+        (entry,) = history["benches"]["b"]
+        assert entry["host"] == {"cpu_count": 128}
+
+    def test_legacy_entries_without_host_survive(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        legacy = {
+            "version": FORMAT_VERSION,
+            "benches": {"b": [{"timestamp": 1.0, "speedup": 2.0}]},
+        }
+        path.write_text(json.dumps(legacy))
+        append_entry("b", {"timestamp": 2.0, "speedup": 2.1}, path)
+        entries = load_history(path)["benches"]["b"]
+        assert "host" not in entries[0]  # legacy entry untouched
+        assert "host" in entries[1]
+        assert [e["timestamp"] for e in entries] == [1.0, 2.0]
+
+    def test_host_metadata_only_reads_floor_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", "4")
+        monkeypatch.setenv("REPRO_TRAIN_FLOOR", "1.2")
+        floors = host_metadata()["floors"]
+        assert "REPRO_TRAIN_FLOOR" in floors
+        assert "REPRO_BENCH_WORKERS" not in floors

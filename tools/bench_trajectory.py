@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -50,6 +51,29 @@ def default_path() -> Path:
 def _empty_history() -> dict:
     """A fresh, entry-less history document."""
     return {"version": FORMAT_VERSION, "benches": {}}
+
+
+def host_metadata() -> dict:
+    """Describe the machine and floor overrides behind one measurement.
+
+    A trajectory is only comparable across entries measured under the
+    same conditions; stamping the CPU count, platform and any
+    ``REPRO_*`` benchmark-floor overrides lets the nightly comparison
+    scripts partition the history instead of averaging a laptop into a
+    CI runner.  Pure environment read — no clocks, so entries stay
+    keyed by their ``timestamp`` alone.
+    """
+    floors = {
+        name: value
+        for name, value in sorted(os.environ.items())
+        if name.startswith("REPRO_") and name.endswith("_FLOOR")
+    }
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "floors": floors,
+    }
 
 
 def load_history(path: str | Path) -> dict:
@@ -108,6 +132,10 @@ def merge_entry(history: dict, bench: str, entry: dict) -> dict:
     a bench in the same instant is a correction, not a new sample),
     anything else appends, and the bench's list comes back
     timestamp-sorted.  The input document is not mutated.
+
+    New entries are stamped with :func:`host_metadata` under ``host``
+    (unless the caller already provided one); legacy entries without
+    the field load, merge and sort unchanged.
     """
     merged = {
         "version": FORMAT_VERSION,
@@ -118,6 +146,7 @@ def merge_entry(history: dict, bench: str, entry: dict) -> dict:
     }
     entry = dict(entry)
     entry.setdefault("timestamp", time.time())
+    entry.setdefault("host", host_metadata())
     entry["bench"] = bench
     entries = merged["benches"].setdefault(bench, [])
     stamp = float(entry["timestamp"])

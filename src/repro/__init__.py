@@ -37,13 +37,35 @@ from .config import (
 from .dataset import build_components, generate_dataset
 from .errors import (
     ConfigurationError,
+    ConflictError,
     DatasetError,
     DecodingError,
     NotFittedError,
+    NotFoundError,
     ReproError,
     ShapeError,
     SynchronizationError,
+    UnavailableError,
 )
+
+
+def __getattr__(name: str):
+    """Lazily expose the heavy subpackages (PEP 562).
+
+    ``repro.api`` (the programmatic campaign facade) and ``repro.serve``
+    (the campaign-as-a-service daemon) pull in the whole campaign
+    stack; importing them eagerly would make ``import repro`` pay for
+    orchestration machinery that pure-PHY users never touch.
+    """
+    if name in ("api", "serve"):
+        import importlib
+
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
 
 __version__ = "1.0.0"
 
@@ -62,10 +84,15 @@ __all__ = [
     "generate_dataset",
     "ReproError",
     "ConfigurationError",
+    "ConflictError",
+    "NotFoundError",
+    "UnavailableError",
     "ShapeError",
     "SynchronizationError",
     "NotFittedError",
     "DecodingError",
     "DatasetError",
+    "api",
+    "serve",
     "__version__",
 ]

@@ -1,0 +1,97 @@
+"""The one exit-code / HTTP-status table of the ``repro`` surface.
+
+CLI subcommands and the ``repro serve`` REST handlers must agree on
+what each failure class means.  This module pins that contract in a
+single table: every outcome code maps to exactly one process exit code
+and one HTTP status, and :func:`classify_exception` sorts any raised
+exception into the table.  The CLI asks :func:`exit_code_for`, the
+daemon asks :func:`http_status_for`; neither hard-codes a number.
+
+Outcome codes:
+
+========== ===== ===== =================================================
+code       exit  HTTP  meaning
+========== ===== ===== =================================================
+ok           0    200  success
+invalid      2    400  malformed request / bad option value
+not_found    2    404  unknown scenario, grid, job or figure
+conflict     2    409  operation clashes with current resource state
+quarantined  3    409  campaign finished but quarantined steps
+unavailable  4    503  service shutting down / transiently overloaded
+internal     1    500  unexpected non-repro failure
+========== ===== ===== =================================================
+"""
+
+from __future__ import annotations
+
+from ..errors import (  # noqa: F401 — re-exported for api users
+    ConfigurationError,
+    ConflictError,
+    NotFoundError,
+    ReproError,
+    UnavailableError,
+)
+
+#: Success.
+OK = "ok"
+#: Malformed request or bad option value.
+INVALID = "invalid"
+#: Unknown scenario/grid/job/figure name.
+NOT_FOUND = "not_found"
+#: Operation conflicts with the resource's current state.
+CONFLICT = "conflict"
+#: The campaign completed with quarantined steps.
+QUARANTINED = "quarantined"
+#: The service cannot take the request right now.
+UNAVAILABLE = "unavailable"
+#: Unexpected failure outside the repro error hierarchy.
+INTERNAL = "internal"
+
+#: code -> (process exit code, HTTP status).  The single source of
+#: truth; the tables below are derived views.
+OUTCOME_TABLE: dict[str, tuple[int, int]] = {
+    OK: (0, 200),
+    INVALID: (2, 400),
+    NOT_FOUND: (2, 404),
+    CONFLICT: (2, 409),
+    QUARANTINED: (3, 409),
+    UNAVAILABLE: (4, 503),
+    INTERNAL: (1, 500),
+}
+
+#: Process exit code of a successful run.
+EXIT_OK = OUTCOME_TABLE[OK][0]
+#: Process exit code of validation/lookup failures (historical 2).
+EXIT_ERROR = OUTCOME_TABLE[INVALID][0]
+#: Process exit code of a run that quarantined steps (historical 3).
+EXIT_QUARANTINED = OUTCOME_TABLE[QUARANTINED][0]
+
+
+def exit_code_for(code: str) -> int:
+    """Process exit code of one outcome code."""
+    return OUTCOME_TABLE[code][0]
+
+
+def http_status_for(code: str) -> int:
+    """HTTP status of one outcome code."""
+    return OUTCOME_TABLE[code][1]
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Sort a raised exception into the outcome table.
+
+    Order matters: :class:`~repro.errors.NotFoundError` subclasses
+    :class:`~repro.errors.ConfigurationError` and must win over the
+    generic ``invalid`` bucket, and :class:`~repro.errors
+    .UnavailableError` must win over the plain transient/``invalid``
+    classes it derives from.
+    """
+    if isinstance(exc, NotFoundError):
+        return NOT_FOUND
+    if isinstance(exc, UnavailableError):
+        return UNAVAILABLE
+    if isinstance(exc, ConflictError):
+        return CONFLICT
+    if isinstance(exc, ReproError):
+        return INVALID
+    return INTERNAL

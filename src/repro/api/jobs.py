@@ -1,0 +1,309 @@
+"""Typed job specifications: the nouns of the programmatic surface.
+
+One frozen dataclass per campaign kind (sweep/train/figure/stream/
+capacity/grid).  A job spec is pure data — scenario names, grids,
+seeds — and is the same object whether it arrives from an argparse
+namespace, a notebook or a ``POST /v1/jobs`` body; the facade
+(:func:`repro.api.prepare`) turns it into a runnable campaign.
+
+Every spec round-trips through JSON (:meth:`to_dict` /
+:func:`job_from_dict`), and the defaults are pinned to the CLI parser
+defaults by a drift test — the table in
+:mod:`repro.campaign.options` plays the same role for run options.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import ClassVar
+
+from ..errors import ConfigurationError
+
+#: kind name -> spec class; populated by :func:`_register`.
+JOB_KINDS: dict[str, type] = {}
+
+
+def _register(cls):
+    """Class decorator adding a spec to the :data:`JOB_KINDS` registry."""
+    JOB_KINDS[cls.kind] = cls
+    return cls
+
+
+def _canonical(data: dict) -> str:
+    """Canonical JSON: sorted keys, no whitespace — diff/hash friendly."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Base class of all job specs: JSON round-trip plumbing."""
+
+    kind: ClassVar[str] = ""
+
+    def to_dict(self) -> dict:
+        """Plain-data form, including the ``kind`` discriminator."""
+        data = asdict(self)
+        data["kind"] = self.kind
+        return data
+
+    def to_json(self) -> str:
+        """Canonical JSON form (sorted keys, compact separators)."""
+        return _canonical(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        """Build a spec from plain data, rejecting unknown fields."""
+        payload = dict(data)
+        payload.pop("kind", None)
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {cls.kind} job field(s) "
+                f"{', '.join(unknown)}; accepted: {', '.join(sorted(known))}"
+            )
+        try:
+            spec = cls(**payload)
+        except TypeError as exc:
+            raise ConfigurationError(
+                f"invalid {cls.kind} job spec: {exc}"
+            ) from None
+        return spec
+
+
+def _as_tuple(value, caster, name: str):
+    """Normalize a JSON list/tuple field to a typed tuple."""
+    if value is None:
+        return None
+    if not isinstance(value, (list, tuple)):
+        raise ConfigurationError(
+            f"job field {name!r} expects a list, got "
+            f"{type(value).__name__}"
+        )
+    try:
+        return tuple(caster(v) for v in value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"job field {name!r} expects a list of "
+            f"{caster.__name__}, got {value!r}"
+        ) from None
+
+
+@_register
+@dataclass(frozen=True)
+class SweepJob(JobSpec):
+    """The resumable SNR-sweep campaign of one scenario."""
+
+    kind: ClassVar[str] = "sweep"
+    scenario: str = "reduced"
+    snrs: tuple | None = None
+    num_sets: int | None = None
+    suite: str = "baseline"
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "snrs", _as_tuple(self.snrs, float, "snrs")
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class TrainJob(JobSpec):
+    """Train the Table 2 VVD variants through the checkpoint registry."""
+
+    kind: ClassVar[str] = "train"
+    scenario: str = "reduced"
+    combinations: int | None = None
+    horizons: tuple = (0,)
+    seed: int = 7
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "horizons", _as_tuple(self.horizons, int, "horizons")
+        )
+
+
+@_register
+@dataclass(frozen=True)
+class FigureJob(JobSpec):
+    """Render paper tables/figures from the cached evaluation bundle."""
+
+    kind: ClassVar[str] = "figure"
+    names: tuple = ()
+    scenario: str = "reduced"
+    combinations: int = 3
+    seed: int = 7
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "names", _as_tuple(self.names, str, "names") or ()
+        )
+        if not self.names:
+            raise ConfigurationError(
+                "figure job needs at least one figure name "
+                "('all' = the full report)"
+            )
+
+
+@_register
+@dataclass(frozen=True)
+class StreamJob(JobSpec):
+    """Closed-loop link adaptation over N concurrent links."""
+
+    kind: ClassVar[str] = "stream"
+    scenario: str = "stream-smoke"
+    links: int | None = None
+    slots: int | None = None
+    policies: tuple = ("proactive", "reactive")
+    deadline_slots: int = 3
+    horizon: int = 0
+    seed: int = 7
+    defer_threshold: float | None = None
+    round_deadline: float | None = None
+    traffic: str | None = None
+    qos: str | None = None
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "policies", _as_tuple(self.policies, str, "policies")
+        )
+        if not self.policies:
+            raise ConfigurationError(
+                "stream job needs at least one policy"
+            )
+
+
+@_register
+@dataclass(frozen=True)
+class CapacityJob(JobSpec):
+    """Modeled serving-fleet sweep over link counts (pure queueing)."""
+
+    kind: ClassVar[str] = "capacity"
+    links: tuple = (16, 32, 64, 96, 128)
+    duration: float = 30.0
+    traffic: str = "mixed"
+    qos: str = "triple"
+    seed: int = 7
+    service_pps: float = 900.0
+    admission_limit: int = 512
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "links", _as_tuple(self.links, int, "links")
+        )
+        if not self.links:
+            raise ConfigurationError(
+                "capacity job needs at least one link count"
+            )
+
+
+@_register
+@dataclass(frozen=True)
+class GridJob(JobSpec):
+    """Expand a parametric grid and evaluate every derived scenario."""
+
+    kind: ClassVar[str] = "grid"
+    grid: str = "smoke-grid"
+    suite: str = "quick"
+    vvd: bool = False
+    horizon: int = 0
+    seed: int = 7
+
+
+def job_from_dict(data: dict) -> JobSpec:
+    """Dispatch plain data to the right spec class via its ``kind``."""
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"job spec must be an object, got {type(data).__name__}"
+        )
+    kind = data.get("kind")
+    if kind not in JOB_KINDS:
+        raise ConfigurationError(
+            f"unknown job kind {kind!r}; accepted: "
+            f"{', '.join(sorted(JOB_KINDS))}"
+        )
+    return JOB_KINDS[kind].from_dict(data)
+
+
+@dataclass(frozen=True)
+class StepEvent:
+    """One manifest transition: the unit of campaign progress."""
+
+    step: str
+    status: str
+    detail: str = ""
+    updated: float = 0.0
+    attempts: int = 0
+
+    def to_dict(self) -> dict:
+        """Plain-data form of the event."""
+        return asdict(self)
+
+    def to_json(self) -> str:
+        """Canonical JSON form of the event."""
+        return _canonical(self.to_dict())
+
+
+@dataclass(frozen=True)
+class CampaignStatus:
+    """Point-in-time view of one campaign's manifest."""
+
+    #: Stable campaign id (the campaign directory basename).
+    job_id: str
+    #: Derived state: pending/running/done/failed/quarantined.
+    state: str
+    #: status -> count histogram over the manifest's steps.
+    counts: dict = field(default_factory=dict)
+    #: Every recorded step transition, sorted by update time.
+    events: tuple = ()
+
+    def to_dict(self) -> dict:
+        """Plain-data form of the status snapshot."""
+        return {
+            "job_id": self.job_id,
+            "state": self.state,
+            "counts": dict(self.counts),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON form of the status snapshot."""
+        return _canonical(self.to_dict())
+
+
+@dataclass(frozen=True)
+class CampaignOutcome:
+    """The result of one completed :meth:`CampaignHandle.run`."""
+
+    #: Stable campaign id (the campaign directory basename).
+    job_id: str
+    #: Step ids executed by this run.
+    executed: tuple
+    #: Step ids resumed from the manifest.
+    skipped: tuple
+    #: Step ids quarantined by this run.
+    quarantined: tuple
+    #: Total step attempts retried by this run.
+    retried: int
+    #: Process exit code from the outcome table (0 or 3).
+    exit_code: int
+    #: The run's human-readable summary — byte-identical to the text
+    #: the equivalent CLI invocation prints.
+    text: str
+
+    def to_dict(self) -> dict:
+        """Plain-data form of the outcome."""
+        return {
+            "job_id": self.job_id,
+            "executed": list(self.executed),
+            "skipped": list(self.skipped),
+            "quarantined": list(self.quarantined),
+            "retried": self.retried,
+            "exit_code": self.exit_code,
+            "text": self.text,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON form of the outcome."""
+        return _canonical(self.to_dict())

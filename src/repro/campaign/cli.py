@@ -1,4 +1,4 @@
-"""The ``repro`` command line: orchestrated, cached, resumable campaigns.
+"""The ``repro`` command line: a thin shell over :mod:`repro.api`.
 
 Installed as the ``repro`` console script (``setup.py``) and runnable as
 ``python -m repro``.  Subcommands:
@@ -34,6 +34,11 @@ Installed as the ``repro`` console script (``setup.py``) and runnable as
     as an independent campaign step (scheduled as a topological
     wavefront over ``--jobs`` worker processes) and render the
     cross-scenario summary table from the aggregated results store.
+``serve``
+    Run the campaign-as-a-service daemon: a crash-persistent job queue
+    under ``<cache-dir>/jobs/`` plus a REST API (``POST /v1/jobs`` et
+    al.) through which many clients share one cache and one run of any
+    campaign (see docs/ARCHITECTURE.md, "Campaign-as-a-service").
 ``scenarios``
     The scenario language: ``load`` validates and registers scenarios
     (and custom rooms) from a TOML/JSON file, ``sample`` draws seeded
@@ -59,218 +64,70 @@ independent DAG branches finish and the report names the missing
 points (``--no-quarantine`` restores abort-on-first-failure).
 ``--faults <plan>`` arms a seeded fault-injection plan (chaos testing);
 runs that quarantined anything exit 3.
+
+Orchestration itself lives in :mod:`repro.api`: every campaign
+subcommand builds a typed :class:`~repro.api.jobs.JobSpec` from its
+parsed arguments and hands it to :func:`repro.api.prepare` — the same
+facade the ``repro serve`` HTTP handlers and third-party code call —
+so a campaign behaves identically no matter which surface submitted
+it.  Exit codes come from the :mod:`repro.api.errors` table.
 """
 
 from __future__ import annotations
 
 import argparse
-import hashlib
-import json
-import os
 import sys
 from pathlib import Path
 
-from .. import faults
+from ..api import errors as api_errors
+from ..api.facade import RunOptions, prepare
+from ..api.jobs import (
+    CapacityJob,
+    FigureJob,
+    GridJob,
+    JobSpec,
+    StreamJob,
+    SweepJob,
+    TrainJob,
+)
 from ..errors import ReproError
 from ..experiments.suite import SUITE_BUILDERS
-from ..obs import analysis as obs_analysis, log, trace
-from ..stream.policy import POLICY_BUILDERS, build_policy
-from .cache import DATASET_CACHE_SALT, DatasetCache
-from .grid import get_grid, grid_steps, list_grids
-from .manifest import STATUS_DONE, STATUS_PENDING
-from .models import MODEL_CACHE_SALT, ModelCheckpointRegistry
-from .runner import (
-    FIGURE_NAMES,
-    Campaign,
-    CampaignContext,
-    RetryPolicy,
-    capacity_steps,
-    figure_steps,
-    stream_steps,
-    sweep_steps,
-    train_steps,
-)
+from ..obs import analysis as obs_analysis, log
+from ..stream.policy import POLICY_BUILDERS
+from .cache import DatasetCache
+from .grid import list_grids
+from .options import add_option_group
+from .runner import FIGURE_NAMES
 from .scenario import get_scenario, list_scenarios
 
 
-def _default_workers() -> int | None:
-    """Worker default: ``$REPRO_BENCH_WORKERS`` (unset/empty/0 = serial)."""
-    raw = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
-    try:
-        return int(raw) or None
-    except ValueError:
-        return None
-
-
-def _add_common_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--cache-dir",
-        default=None,
-        help="dataset cache root (default: $REPRO_CACHE_DIR or "
-        "~/.cache/repro-vvd/datasets)",
-    )
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=_default_workers(),
-        help="process-pool size for dataset generation "
-        "(default: $REPRO_BENCH_WORKERS or serial)",
-    )
-    parser.add_argument(
-        "--verbose",
-        action="store_true",
-        help="print per-step/per-set progress",
-    )
-    parser.add_argument(
-        "--quiet",
-        action="store_true",
-        help="suppress summaries and sentinels (log level WARNING); "
-        "corruption warnings and errors still print",
+def _run_options(args: argparse.Namespace) -> RunOptions:
+    """Map parsed campaign arguments onto facade run options."""
+    return RunOptions(
+        jobs=getattr(args, "jobs", 1),
+        fresh=getattr(args, "fresh", False),
+        retries=getattr(args, "retries", 3),
+        step_timeout=getattr(args, "step_timeout", None),
+        no_quarantine=getattr(args, "no_quarantine", False),
+        faults=getattr(args, "faults", None),
+        trace=getattr(args, "trace", False),
     )
 
 
-def _add_model_dir_option(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--model-dir",
-        default=None,
-        help="model checkpoint registry root (default: $REPRO_MODEL_DIR "
-        "or ~/.cache/repro-vvd/models)",
+def _run_campaign_command(
+    spec: JobSpec, args: argparse.Namespace
+) -> int:
+    """Prepare, run and print one campaign; returns the exit code."""
+    handle = prepare(
+        spec,
+        cache_dir=args.cache_dir,
+        model_dir=getattr(args, "model_dir", None),
+        workers=args.workers,
+        verbose=args.verbose,
     )
-
-
-def _add_robustness_options(parser: argparse.ArgumentParser) -> None:
-    """Self-healing / chaos options shared by the campaign commands."""
-    parser.add_argument(
-        "--retries",
-        type=int,
-        default=3,
-        help="max attempts per step for transient failures "
-        "(1 = no retry; backoff is deterministic per step)",
-    )
-    parser.add_argument(
-        "--step-timeout",
-        type=float,
-        default=None,
-        help="per-attempt wall-time budget of worker steps in seconds; "
-        "a hung worker is killed and the step requeued",
-    )
-    parser.add_argument(
-        "--no-quarantine",
-        action="store_true",
-        help="abort on the first permanently failed step instead of "
-        "quarantining it and finishing independent DAG branches",
-    )
-    parser.add_argument(
-        "--faults",
-        default=None,
-        help="arm a fault-injection plan for chaos testing: a built-in "
-        f"name ({', '.join(sorted(faults.BUILTIN_PLANS))}) or the path "
-        "of a plan JSON file (also: $REPRO_FAULT_PLAN)",
-    )
-
-
-def _add_trace_option(parser: argparse.ArgumentParser) -> None:
-    """``--trace`` flag shared by the campaign commands."""
-    parser.add_argument(
-        "--trace",
-        action="store_true",
-        help="record a structured span journal under "
-        "<campaign dir>/trace (inspect with `repro trace summary`); "
-        "wall-clock side-channel only — payloads, cache keys and "
-        "manifests stay byte-identical",
-    )
-
-
-def _arm_tracing(args: argparse.Namespace, directory: Path) -> bool:
-    """Arm the span journal under ``<campaign dir>/trace``.
-
-    Deliberately *not* part of the :func:`_campaign_dir` hash: a traced
-    and an untraced invocation of the same campaign share one manifest
-    and resume each other — the determinism firewall guarantees their
-    payloads are byte-identical anyway.
-    """
-    if not getattr(args, "trace", False):
-        return False
-    trace.arm(directory / "trace")
-    log.info(f"tracing armed: journal under {directory / 'trace'}")
-    return True
-
-
-def _retry_policy(args: argparse.Namespace) -> RetryPolicy:
-    """Build the run's :class:`RetryPolicy` from the CLI options."""
-    return RetryPolicy(
-        max_attempts=args.retries, timeout_s=args.step_timeout
-    )
-
-
-def _arm_faults(
-    args: argparse.Namespace, directory: Path
-) -> "faults.FaultPlan | None":
-    """Resolve and activate ``--faults`` under the campaign directory.
-
-    The plan file and the cross-process firing ledger live under
-    ``<campaign dir>/faults/``, so one armed plan injects each fault a
-    bounded number of times across every worker and retry of the run —
-    and a replay over the same directory sees the spent slots.
-    """
-    if args.faults is None:
-        return None
-    plan = faults.resolve_plan(
-        args.faults, state_dir=directory / "faults" / "state"
-    )
-    faults.activate(plan, directory / "faults" / "plan.json")
-    log.info(f"fault plan {plan.name!r} armed: {plan.summary()}")
-    return plan
-
-
-def _self_healing_summary(result, plan) -> None:
-    """Print the retry/quarantine sentinels of one campaign run.
-
-    Printed whenever something actually self-healed — or whenever a
-    fault plan is armed, so chaos CI can grep the sentinels
-    unconditionally (a clean chaos run prints ``... 0 step(s)
-    quarantined``).
-    """
-    if plan is None and not result.retried and not result.quarantined:
-        return
-    line = (
-        f"self-healing: {result.retried} step attempt(s) retried, "
-        f"{len(result.quarantined)} step(s) quarantined"
-    )
-    if result.quarantined:
-        line += ": " + ", ".join(result.quarantined)
-    log.info(line)
-
-
-def _campaign_dir(
-    cache: DatasetCache, kind: str, name: str, options: dict
-) -> Path:
-    """Stable per-campaign directory under ``<cache root>/campaigns``.
-
-    The id hashes the scenario/grid name plus the campaign options and
-    the dataset code-version salt, so changing the SNR grid, the suite,
-    the set count — or bumping the generator version — starts a fresh
-    manifest, while re-running the identical command resumes the
-    previous one.  (Pass ``--fresh`` to force re-execution after code
-    changes the salt does not capture, e.g. estimator fixes.  ``--jobs``
-    is deliberately *not* hashed: a serial and a parallel invocation of
-    the same campaign share one manifest and resume each other.)
-    """
-    canonical = json.dumps(
-        {
-            "scenario": name,
-            "kind": kind,
-            "options": options,
-            "salt": DATASET_CACHE_SALT,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    digest = hashlib.sha256(canonical.encode()).hexdigest()[:12]
-    # Grid-member scenario names contain "/" (grid/axis=value,...);
-    # flatten so every campaign stays one directory under campaigns/.
-    safe = name.replace("/", "_")
-    return cache.root / "campaigns" / f"{kind}-{safe}-{digest}"
+    outcome = handle.run(_run_options(args))
+    log.info(outcome.text)
+    return outcome.exit_code
 
 
 # -- subcommands --------------------------------------------------------
@@ -330,574 +187,88 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    scenario = get_scenario(args.scenario)
-    config = scenario.resolve()
-    snrs = tuple(args.snrs) if args.snrs else scenario.snr_grid_db
-    cache = DatasetCache(args.cache_dir)
-    options = {
-        "snrs_db": sorted(float(s) for s in snrs),
-        "num_sets": args.num_sets,
-        "suite": args.suite,
-    }
-    directory = _campaign_dir(cache, "sweep", scenario.name, options)
-    campaign = Campaign(
-        f"sweep[{scenario.name}]",
-        sweep_steps(
-            config,
-            snrs,
-            num_sets=args.num_sets,
-            suite=args.suite,
-        ),
-        directory,
+    spec = SweepJob(
+        scenario=args.scenario,
+        snrs=tuple(args.snrs) if args.snrs else None,
+        num_sets=args.num_sets,
+        suite=args.suite,
     )
-    context = CampaignContext(
-        config,
-        cache,
-        directory,
-        workers=args.workers,
-        verbose=args.verbose,
-    )
-    plan = _arm_faults(args, directory)
-    traced = _arm_tracing(args, directory)
-    try:
-        result = campaign.run(
-            context,
-            resume=not args.fresh,
-            retry=_retry_policy(args),
-            quarantine=not args.no_quarantine,
-        )
-    finally:
-        if plan is not None:
-            faults.deactivate()
-        if traced:
-            trace.disarm()
-    log.info(context.read_output("report"))
-    log.info(
-        f"\nsteps: {len(result.executed)} executed, "
-        f"{len(result.skipped)} resumed from manifest "
-        f"({directory / 'manifest.json'})"
-    )
-    _self_healing_summary(result, plan)
-    log.info(f"cache: {cache.stats.summary()}")
-    if cache.stats.sets_generated == 0:
-        log.info("no measurement sets regenerated (100% cache hits)")
-    return 3 if result.quarantined else 0
-
-
-def _invalidate_stale_train_steps(
-    campaign: Campaign,
-    context: CampaignContext,
-    registry: ModelCheckpointRegistry,
-) -> int:
-    """Re-open ``done`` train steps whose checkpoint has vanished.
-
-    The campaign manifest can outlive the model registry (a wiped or
-    different ``--model-dir``); trusting it blindly would replay the
-    stored report and claim "100% checkpoint hits" over models that no
-    longer exist.  Any completed ``train@`` step whose recorded key is
-    absent from the registry — or whose payload is unreadable — is
-    marked ``pending`` again (along with the ``report`` step) so the
-    run re-resolves it.  Returns the number of re-opened train steps.
-    """
-    stale = []
-    for step in campaign.steps:
-        if not step.step_id.startswith("train@"):
-            continue
-        if campaign.manifest.status(step.step_id) != STATUS_DONE:
-            continue
-        path = context.output_path(step.step_id)
-        if not path.exists():
-            # The runner will re-execute the step anyway (its skip
-            # condition requires the output file), but the report step
-            # must be re-opened too — fall through to the stale list.
-            stale.append(step.step_id)
-            continue
-        try:
-            key = json.loads(path.read_text())["key"]
-        except (json.JSONDecodeError, KeyError, TypeError):
-            stale.append(step.step_id)
-            continue
-        if not registry.has_key(key):
-            stale.append(step.step_id)
-    if stale:
-        for step_id in stale:
-            campaign.manifest.mark(step_id, STATUS_PENDING)
-        campaign.manifest.mark("report", STATUS_PENDING)
-    return len(stale)
+    return _run_campaign_command(spec, args)
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    scenario = get_scenario(args.scenario)
-    config = scenario.resolve()
-    cache = DatasetCache(args.cache_dir)
-    registry = ModelCheckpointRegistry(args.model_dir)
-    horizons = sorted(set(args.horizons))
-    options = {
-        "combinations": args.combinations,
-        "horizons": horizons,
-        "seed": args.seed,
-        "model_salt": MODEL_CACHE_SALT,
-    }
-    directory = _campaign_dir(cache, "train", scenario.name, options)
-    campaign = Campaign(
-        f"train[{scenario.name}]",
-        train_steps(
-            config,
-            num_combinations=args.combinations,
-            horizons=horizons,
-            seed=args.seed,
-        ),
-        directory,
+    spec = TrainJob(
+        scenario=args.scenario,
+        combinations=args.combinations,
+        horizons=tuple(args.horizons),
+        seed=args.seed,
     )
-    context = CampaignContext(
-        config,
-        cache,
-        directory,
-        workers=args.workers,
-        verbose=args.verbose,
-        checkpoints=registry,
-    )
-    if not args.fresh:
-        reopened = _invalidate_stale_train_steps(
-            campaign, context, registry
-        )
-        if reopened and args.verbose:
-            log.info(
-                f"{reopened} completed step(s) lost their checkpoint; "
-                "re-resolving"
-            )
-    plan = _arm_faults(args, directory)
-    traced = _arm_tracing(args, directory)
-    try:
-        result = campaign.run(
-            context,
-            resume=not args.fresh,
-            retry=_retry_policy(args),
-            quarantine=not args.no_quarantine,
-        )
-    finally:
-        if plan is not None:
-            faults.deactivate()
-        if traced:
-            trace.disarm()
-    log.info(context.read_output("report"))
-    log.info(
-        f"\nsteps: {len(result.executed)} executed, "
-        f"{len(result.skipped)} resumed from manifest "
-        f"({directory / 'manifest.json'})"
-    )
-    _self_healing_summary(result, plan)
-    log.info(f"cache: {cache.stats.summary()}")
-    log.info(f"models: {registry.stats.summary()}")
-    if registry.stats.models_trained == 0:
-        log.info("no models retrained (100% checkpoint hits)")
-    return 3 if result.quarantined else 0
+    return _run_campaign_command(spec, args)
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    scenario = get_scenario(args.scenario)
-    config = scenario.resolve()
-    names = []
-    for name in args.names:
-        if name == "all":
-            names.extend(
-                f for f in FIGURE_NAMES if f not in names
-            )
-        elif name not in names:
-            names.append(name)
-    cache = DatasetCache(args.cache_dir)
-    options = {
-        "figures": names,
-        "combinations": args.combinations,
-        "vvd_seed": args.seed,
-    }
-    directory = _campaign_dir(cache, "figure", scenario.name, options)
-    campaign = Campaign(
-        f"figure[{scenario.name}]",
-        figure_steps(config, names),
-        directory,
+    spec = FigureJob(
+        names=tuple(args.names),
+        scenario=args.scenario,
+        combinations=args.combinations,
+        seed=args.seed,
     )
-    context = CampaignContext(
-        config,
-        cache,
-        directory,
-        workers=args.workers,
-        verbose=args.verbose,
-        options={
-            "combinations": args.combinations,
-            "vvd_seed": args.seed,
-        },
-        checkpoints=ModelCheckpointRegistry(args.model_dir),
-    )
-    traced = _arm_tracing(args, directory)
-    try:
-        result = campaign.run(context, resume=not args.fresh)
-    finally:
-        if traced:
-            trace.disarm()
-    for name in names:
-        log.info(context.read_output(f"figure:{name}"))
-        log.info("")
-    log.info(
-        f"steps: {len(result.executed)} executed, "
-        f"{len(result.skipped)} resumed; cache: {cache.stats.summary()}"
-    )
-    return 0
+    return _run_campaign_command(spec, args)
 
 
 def _cmd_stream(args: argparse.Namespace) -> int:
-    from ..stream.traffic import get_qos_mix, validate_traffic
-
-    scenario = get_scenario(args.scenario)
-    config = scenario.resolve()
-    policies = list(dict.fromkeys(args.policies))
-    links = args.links if args.links is not None else scenario.stream_links
-    # Heterogeneous-traffic options resolve CLI > scenario and are
-    # validated before any dataset generation or training runs.  They
-    # drive only the modeled SLA appendix printed after the replay
-    # report — never the replay steps themselves — so they are
-    # deliberately NOT part of the campaign-directory hash: existing
-    # stream campaign directories (and their byte-identical payloads)
-    # stay untouched.
-    traffic = validate_traffic(
-        args.traffic if args.traffic is not None else scenario.traffic
+    spec = StreamJob(
+        scenario=args.scenario,
+        links=args.links,
+        slots=args.slots,
+        policies=tuple(args.policies),
+        deadline_slots=args.deadline_slots,
+        horizon=args.horizon,
+        seed=args.seed,
+        defer_threshold=args.defer_threshold,
+        round_deadline=args.round_deadline,
+        traffic=args.traffic,
+        qos=args.qos,
     )
-    qos = args.qos if args.qos is not None else scenario.qos
-    get_qos_mix(qos)
-    # Probe-build every requested policy with its actual arguments so a
-    # bad --defer-threshold fails here, before any dataset generation
-    # or model training runs.
-    needs_service = any(
-        build_policy(
-            name,
-            **(
-                {"defer_threshold": args.defer_threshold}
-                if name == "proactive"
-                and args.defer_threshold is not None
-                else {}
-            ),
-        ).uses_predictions
-        for name in policies
-    )
-    cache = DatasetCache(args.cache_dir)
-    registry = ModelCheckpointRegistry(args.model_dir)
-    options = {
-        "links": links,
-        "slots": args.slots,
-        "policies": policies,
-        "deadline_slots": args.deadline_slots,
-        "horizon": args.horizon,
-        "seed": args.seed,
-        "defer_threshold": args.defer_threshold,
-        "round_deadline_s": args.round_deadline,
-        "model_salt": MODEL_CACHE_SALT if needs_service else None,
-    }
-    directory = _campaign_dir(cache, "stream", scenario.name, options)
-    campaign = Campaign(
-        f"stream[{scenario.name}]",
-        stream_steps(
-            config,
-            links,
-            policies,
-            slots=args.slots,
-            deadline_slots=args.deadline_slots,
-            horizon=args.horizon,
-            seed=args.seed,
-            defer_threshold=args.defer_threshold,
-            round_deadline_s=args.round_deadline,
-        ),
-        directory,
-    )
-    context = CampaignContext(
-        config,
-        cache,
-        directory,
-        workers=args.workers,
-        verbose=args.verbose,
-        options=options,
-        checkpoints=registry,
-    )
-    if needs_service and not args.fresh:
-        reopened = _invalidate_stale_train_steps(
-            campaign, context, registry
-        )
-        if reopened and args.verbose:
-            log.info(
-                f"{reopened} completed step(s) lost their checkpoint; "
-                "re-resolving"
-            )
-    plan = _arm_faults(args, directory)
-    traced = _arm_tracing(args, directory)
-    try:
-        result = campaign.run(
-            context,
-            resume=not args.fresh,
-            jobs=args.jobs,
-            retry=_retry_policy(args),
-            quarantine=not args.no_quarantine,
-        )
-    finally:
-        if plan is not None:
-            faults.deactivate()
-        if traced:
-            trace.disarm()
-    log.info(context.read_output("report"))
-    # Non-default traffic/QoS append the modeled per-class SLA summary
-    # at the replayed link count (pure queueing simulation, in-process,
-    # deterministic — see `repro capacity` for the full sweep).
-    if traffic != "periodic" or qos != "uniform":
-        from ..stream.capacity import simulate_capacity
-
-        modeled = simulate_capacity(
-            links, traffic=traffic, qos=qos, seed=args.seed
-        )
-        log.info("")
-        log.info(modeled.sla_summary())
-    service = context.shared.get(
-        f"stream-service:{args.horizon}:{args.seed}"
-    )
-    # Under --jobs > 1 the policy simulations serve their predictions
-    # in pool workers, so the parent service's counters stay zero —
-    # print the wall-clock stats only when this process served.
-    if service is not None and service.stats.predictions > 0:
-        log.info(f"\nservice: {service.stats.summary()}")
-    log.info(
-        f"\nsteps: {len(result.executed)} executed, "
-        f"{len(result.skipped)} resumed from manifest "
-        f"({directory / 'manifest.json'})"
-    )
-    _self_healing_summary(result, plan)
-    log.info(f"cache: {cache.stats.summary()}")
-    if needs_service:
-        log.info(f"models: {registry.stats.summary()}")
-    # Under --jobs > 1 the stream@<policy> steps run in pool workers
-    # whose private cache/registry instances are invisible to the
-    # parent's counters, so a worker that (pathologically — e.g. after
-    # a mid-campaign `repro cache clear`) regenerated data would not
-    # show up here.  Claim the replay-purity sentinels only when no
-    # simulation step executed out of process; repeat runs execute
-    # nothing and keep printing them.
-    workers_simulated = args.jobs > 1 and any(
-        step_id.startswith("stream@") for step_id in result.executed
-    )
-    if cache.stats.sets_generated == 0 and not workers_simulated:
-        log.info("no measurement sets regenerated (100% cache hits)")
-    if (
-        needs_service
-        and registry.stats.models_trained == 0
-        and not workers_simulated
-    ):
-        log.info("no models retrained (100% checkpoint hits)")
-    return 3 if result.quarantined else 0
+    return _run_campaign_command(spec, args)
 
 
 def _cmd_capacity(args: argparse.Namespace) -> int:
-    from ..stream.traffic import get_qos_mix, validate_traffic
-
-    traffic = validate_traffic(args.traffic)
-    get_qos_mix(args.qos)
-    link_counts = sorted({int(n) for n in args.links})
-    cache = DatasetCache(args.cache_dir)
-    options = {
-        "links": link_counts,
-        "duration_s": args.duration,
-        "traffic": traffic,
-        "qos": args.qos,
-        "seed": args.seed,
-        "service_pps": args.service_pps,
-        "admission_limit": args.admission_limit,
-    }
-    directory = _campaign_dir(cache, "capacity", args.qos, options)
-    campaign = Campaign(
-        f"capacity[{traffic}/{args.qos}]",
-        capacity_steps(
-            link_counts,
-            duration_s=args.duration,
-            traffic=traffic,
-            qos=args.qos,
-            seed=args.seed,
-            service_pps=args.service_pps,
-            admission_limit=args.admission_limit,
-        ),
-        directory,
+    spec = CapacityJob(
+        links=tuple(args.links),
+        duration=args.duration,
+        traffic=args.traffic,
+        qos=args.qos,
+        seed=args.seed,
+        service_pps=args.service_pps,
+        admission_limit=args.admission_limit,
     )
-    # Capacity points are pure queueing simulations — the context's
-    # scenario config is never consulted, but CampaignContext wants
-    # one; the stream smoke preset resolves without touching the cache.
-    context = CampaignContext(
-        get_scenario("stream-smoke").resolve(),
-        cache,
-        directory,
-        workers=args.workers,
-        verbose=args.verbose,
-        options=options,
-    )
-    plan = _arm_faults(args, directory)
-    traced = _arm_tracing(args, directory)
-    try:
-        result = campaign.run(
-            context,
-            resume=not args.fresh,
-            jobs=args.jobs,
-            retry=_retry_policy(args),
-            quarantine=not args.no_quarantine,
-        )
-    finally:
-        if plan is not None:
-            faults.deactivate()
-        if traced:
-            trace.disarm()
-    log.info(context.read_output("report"))
-    log.info(
-        f"\nsteps: {len(result.executed)} executed, "
-        f"{len(result.skipped)} resumed from manifest "
-        f"({directory / 'manifest.json'})"
-    )
-    _self_healing_summary(result, plan)
-    log.info(
-        f"capacity: {len(link_counts)} modeled point(s) over "
-        f"{args.jobs} job(s); no datasets or checkpoints touched"
-    )
-    return 3 if result.quarantined else 0
-
-
-def _invalidate_stale_grid_steps(
-    campaign: Campaign,
-    context: CampaignContext,
-    registry: ModelCheckpointRegistry,
-) -> int:
-    """Re-open ``done`` grid points whose VVD checkpoint has vanished.
-
-    The grid analogue of :func:`_invalidate_stale_train_steps`: any
-    completed ``point@`` step whose recorded model key is absent from
-    the registry — or whose payload is unreadable — is marked
-    ``pending`` again (along with the ``report`` step) so the run
-    re-resolves it instead of replaying a stale "100% checkpoint hits"
-    claim.  Returns the number of re-opened point steps.
-    """
-    stale = []
-    for step in campaign.steps:
-        if not step.step_id.startswith("point@"):
-            continue
-        if campaign.manifest.status(step.step_id) != STATUS_DONE:
-            continue
-        path = context.output_path(step.step_id)
-        if not path.exists():
-            stale.append(step.step_id)
-            continue
-        try:
-            record = json.loads(path.read_text())["record"]
-            key = record.get("vvd", {}).get("key")
-        except (json.JSONDecodeError, KeyError, TypeError):
-            stale.append(step.step_id)
-            continue
-        if key is not None and not registry.has_key(key):
-            stale.append(step.step_id)
-    if stale:
-        for step_id in stale:
-            campaign.manifest.mark(step_id, STATUS_PENDING)
-        campaign.manifest.mark("report", STATUS_PENDING)
-    return len(stale)
+    return _run_campaign_command(spec, args)
 
 
 def _cmd_grid(args: argparse.Namespace) -> int:
-    from .grid import format_axis_value
+    spec = GridJob(
+        grid=args.grid,
+        suite=args.suite,
+        vvd=bool(args.vvd),
+        horizon=args.horizon,
+        seed=args.seed,
+    )
+    return _run_campaign_command(spec, args)
 
-    spec = get_grid(args.grid)
-    points = spec.expand()
-    needs_models = args.vvd or "horizon" in spec.axis_names
-    cache = DatasetCache(args.cache_dir)
-    registry = (
-        ModelCheckpointRegistry(args.model_dir) if needs_models else None
-    )
-    options = {
-        "axes": [
-            [axis, [format_axis_value(v) for v in values]]
-            for axis, values in spec.axes
-        ],
-        "base": spec.base,
-        "suite": args.suite,
-        "vvd": bool(args.vvd),
-        "horizon": args.horizon if args.vvd else None,
-        "vvd_seed": args.seed,
-        "model_salt": MODEL_CACHE_SALT if needs_models else None,
-    }
-    directory = _campaign_dir(cache, "grid", spec.name, options)
-    campaign = Campaign(
-        f"grid[{spec.name}]",
-        grid_steps(
-            spec,
-            points,
-            suite=args.suite,
-            vvd=args.vvd,
-            horizon=args.horizon,
-            vvd_seed=args.seed,
-        ),
-        directory,
-    )
-    context = CampaignContext(
-        get_scenario(spec.base).resolve(),
-        cache,
-        directory,
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..serve.daemon import serve_forever
+
+    return serve_forever(
+        cache_dir=args.cache_dir,
+        model_dir=args.model_dir,
+        host=args.host,
+        port=args.port,
+        slots=args.slots,
         workers=args.workers,
         verbose=args.verbose,
-        options=options,
-        checkpoints=registry,
     )
-    if needs_models and not args.fresh:
-        reopened = _invalidate_stale_grid_steps(
-            campaign, context, registry
-        )
-        if reopened and args.verbose:
-            log.info(
-                f"{reopened} completed point(s) lost their checkpoint; "
-                "re-resolving"
-            )
-    plan = _arm_faults(args, directory)
-    traced = _arm_tracing(args, directory)
-    try:
-        result = campaign.run(
-            context,
-            resume=not args.fresh,
-            jobs=args.jobs,
-            retry=_retry_policy(args),
-            quarantine=not args.no_quarantine,
-        )
-    finally:
-        if plan is not None:
-            faults.deactivate()
-        if traced:
-            trace.disarm()
-    log.info(context.read_output("report"))
-    sets_generated = 0
-    models_trained = 0
-    for step_id in result.executed:
-        if not step_id.startswith("point@"):
-            continue
-        provenance = json.loads(context.read_output(step_id)).get(
-            "provenance", {}
-        )
-        sets_generated += provenance.get("sets_generated", 0)
-        models_trained += provenance.get("models_trained", 0)
-    log.info(
-        f"\nsteps: {len(result.executed)} executed, "
-        f"{len(result.skipped)} resumed from manifest "
-        f"({directory / 'manifest.json'})"
-    )
-    _self_healing_summary(result, plan)
-    log.info(
-        f"grid: {len(points)} derived scenario(s) over {args.jobs} "
-        f"job(s); aggregate at {directory / 'results' / 'results.json'}"
-    )
-    log.info(
-        f"cache: {sets_generated} set(s) generated, "
-        f"{models_trained} model(s) trained (summed over executed steps)"
-    )
-    if sets_generated == 0:
-        log.info("no measurement sets regenerated (100% cache hits)")
-    if needs_models and models_trained == 0:
-        log.info("no models retrained (100% checkpoint hits)")
-    return 3 if result.quarantined else 0
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
@@ -1032,7 +403,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The ``repro`` argument parser (exposed for tests and docs)."""
+    """The ``repro`` argument parser (exposed for tests and docs).
+
+    Shared options render from the one table in
+    :mod:`repro.campaign.options` — the same table ``repro serve``
+    validates REST job options against — so flags cannot drift between
+    the CLI and the service.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Campaign orchestration for the VVD reproduction: "
@@ -1064,7 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="discard any cached entry and regenerate",
     )
-    _add_common_options(p_generate)
+    add_option_group(p_generate, "common")
     p_generate.set_defaults(func=_cmd_generate)
 
     p_sweep = sub.add_parser(
@@ -1093,14 +470,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(SUITE_BUILDERS),
         help="estimator line-up evaluated per point",
     )
-    p_sweep.add_argument(
-        "--fresh",
-        action="store_true",
-        help="ignore the campaign manifest and re-run every step",
-    )
-    _add_robustness_options(p_sweep)
-    _add_trace_option(p_sweep)
-    _add_common_options(p_sweep)
+    add_option_group(p_sweep, "execution", only=("fresh",))
+    add_option_group(p_sweep, "robustness")
+    add_option_group(p_sweep, "trace")
+    add_option_group(p_sweep, "common")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_train = sub.add_parser(
@@ -1131,15 +504,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=7,
         help="weight-init / shuffle seed of every variant",
     )
-    p_train.add_argument(
-        "--fresh",
-        action="store_true",
-        help="ignore the campaign manifest and re-run every step",
-    )
-    _add_robustness_options(p_train)
-    _add_trace_option(p_train)
-    _add_model_dir_option(p_train)
-    _add_common_options(p_train)
+    add_option_group(p_train, "execution", only=("fresh",))
+    add_option_group(p_train, "robustness")
+    add_option_group(p_train, "trace")
+    add_option_group(p_train, "model")
+    add_option_group(p_train, "common")
     p_train.set_defaults(func=_cmd_train)
 
     p_figure = sub.add_parser(
@@ -1168,14 +537,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="VVD training seed; match the `repro train --seed` that "
         "warmed the model registry so figures retrain nothing",
     )
-    p_figure.add_argument(
-        "--fresh",
-        action="store_true",
-        help="ignore the campaign manifest and re-run every step",
-    )
-    _add_trace_option(p_figure)
-    _add_model_dir_option(p_figure)
-    _add_common_options(p_figure)
+    add_option_group(p_figure, "execution", only=("fresh",))
+    add_option_group(p_figure, "trace")
+    add_option_group(p_figure, "model")
+    add_option_group(p_figure, "common")
     p_figure.set_defaults(func=_cmd_figure)
 
     p_stream = sub.add_parser(
@@ -1259,22 +624,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="QoS class mix of the modeled SLA appendix ('uniform' or "
         "'triple'; default: the scenario's qos)",
     )
-    p_stream.add_argument(
-        "--fresh",
-        action="store_true",
-        help="ignore the campaign manifest and re-run every step",
+    add_option_group(
+        p_stream,
+        "execution",
+        help_overrides={
+            "jobs": "worker processes running independent per-policy "
+            "simulations concurrently (1 = serial)",
+        },
     )
-    p_stream.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes running independent per-policy "
-        "simulations concurrently (1 = serial)",
-    )
-    _add_robustness_options(p_stream)
-    _add_trace_option(p_stream)
-    _add_model_dir_option(p_stream)
-    _add_common_options(p_stream)
+    add_option_group(p_stream, "robustness")
+    add_option_group(p_stream, "trace")
+    add_option_group(p_stream, "model")
+    add_option_group(p_stream, "common")
     p_stream.set_defaults(func=_cmd_stream)
 
     p_capacity = sub.add_parser(
@@ -1329,22 +690,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission-controlled queue depth; arrivals beyond it "
         "shed the youngest lower-priority request (or themselves)",
     )
-    p_capacity.add_argument(
-        "--fresh",
-        action="store_true",
-        help="ignore the campaign manifest and re-run every step",
+    add_option_group(
+        p_capacity,
+        "execution",
+        help_overrides={
+            "jobs": "worker processes simulating independent capacity "
+            "points concurrently (1 = serial; results are "
+            "byte-identical either way)",
+        },
     )
-    p_capacity.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes simulating independent capacity points "
-        "concurrently (1 = serial; results are byte-identical either "
-        "way)",
-    )
-    _add_robustness_options(p_capacity)
-    _add_trace_option(p_capacity)
-    _add_common_options(p_capacity)
+    add_option_group(p_capacity, "robustness")
+    add_option_group(p_capacity, "trace")
+    add_option_group(p_capacity, "common")
     p_capacity.set_defaults(func=_cmd_capacity)
 
     p_grid = sub.add_parser(
@@ -1362,14 +719,6 @@ def build_parser() -> argparse.ArgumentParser:
         default="quick",
         choices=sorted(SUITE_BUILDERS),
         help="estimator line-up evaluated per derived scenario",
-    )
-    p_grid.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes scheduling independent grid points "
-        "concurrently (1 = serial; results are byte-identical either "
-        "way)",
     )
     p_grid.add_argument(
         "--vvd",
@@ -1390,16 +739,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=7,
         help="VVD training seed of --vvd / horizon-axis members",
     )
-    p_grid.add_argument(
-        "--fresh",
-        action="store_true",
-        help="ignore the campaign manifest and re-run every step",
+    add_option_group(
+        p_grid,
+        "execution",
+        help_overrides={
+            "jobs": "worker processes scheduling independent grid "
+            "points concurrently (1 = serial; results are "
+            "byte-identical either way)",
+        },
     )
-    _add_robustness_options(p_grid)
-    _add_trace_option(p_grid)
-    _add_model_dir_option(p_grid)
-    _add_common_options(p_grid)
+    add_option_group(p_grid, "robustness")
+    add_option_group(p_grid, "trace")
+    add_option_group(p_grid, "model")
+    add_option_group(p_grid, "common")
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the campaign-as-a-service daemon: persistent job "
+        "queue + REST API over the shared cache",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8315,
+        help="TCP port of the REST API (0 = pick a free port)",
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address of the REST API",
+    )
+    p_serve.add_argument(
+        "--slots",
+        type=int,
+        default=1,
+        help="campaign worker slots: jobs executed concurrently "
+        "(further submissions queue)",
+    )
+    add_option_group(p_serve, "model")
+    add_option_group(p_serve, "common")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_scenarios = sub.add_parser(
         "scenarios",
@@ -1469,7 +849,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with 'clear': remove only this cache key",
     )
-    _add_common_options(p_cache)
+    add_option_group(p_cache, "common")
     p_cache.set_defaults(func=_cmd_cache)
 
     p_trace = sub.add_parser(
@@ -1514,7 +894,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    :class:`~repro.errors.ReproError` failures map to their exit code
+    through the one outcome table in :mod:`repro.api.errors` — the
+    same table the service maps HTTP statuses from.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     quiet = getattr(args, "quiet", False)
@@ -1524,7 +909,9 @@ def main(argv: list[str] | None = None) -> int:
         return args.func(args)
     except ReproError as exc:
         log.error(f"error: {exc}")
-        return 2
+        return api_errors.exit_code_for(
+            api_errors.classify_exception(exc)
+        )
     finally:
         if quiet:
             log.reset()

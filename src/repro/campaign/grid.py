@@ -35,7 +35,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..config import SimulationConfig
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, NotFoundError
 from .params import get_parameter
 from .results import ResultsStore, coords_key
 from .scenario import Scenario, get_scenario, register_scenario
@@ -300,7 +300,7 @@ def get_grid(name: str) -> GridSpec:
     """Look a grid up by name; raises listing the known names."""
     spec = _GRID_REGISTRY.get(name)
     if spec is None:
-        raise ConfigurationError(
+        raise NotFoundError(
             f"unknown grid {name!r}; known grids: "
             f"{', '.join(sorted(_GRID_REGISTRY))}"
         )

@@ -34,7 +34,7 @@ import dataclasses
 from dataclasses import dataclass
 
 from ..config import MobilityConfig, RoomConfig, SimulationConfig
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, NotFoundError
 
 #: Room-geometry presets selectable by name from a scenario.
 ROOM_PRESETS: dict[str, RoomConfig] = {
@@ -224,7 +224,7 @@ def get_scenario(name: str) -> Scenario:
     """Look a scenario up by name; raises listing the known names."""
     scenario = _REGISTRY.get(name)
     if scenario is None:
-        raise ConfigurationError(
+        raise NotFoundError(
             f"unknown scenario {name!r}; known scenarios: "
             f"{', '.join(sorted(_REGISTRY))}"
         )

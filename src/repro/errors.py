@@ -16,6 +16,23 @@ class ConfigurationError(ReproError, ValueError):
     """An invalid or inconsistent configuration value was supplied."""
 
 
+class NotFoundError(ConfigurationError):
+    """A named resource (scenario, grid, job, figure) does not exist.
+
+    Subclasses :class:`ConfigurationError` so callers that caught the
+    previous generic lookup failure keep working; the service layer
+    maps it to HTTP 404 where a plain configuration error maps to 400.
+    """
+
+
+class ConflictError(ReproError):
+    """An operation conflicts with the current state of a resource.
+
+    Raised e.g. when cancelling a job that is already running, or when
+    reading the results of a quarantined campaign.  Maps to HTTP 409.
+    """
+
+
 class ShapeError(ReproError, ValueError):
     """An array argument has the wrong shape or dimensionality."""
 
@@ -48,6 +65,15 @@ class TransientError(ReproError):
     of) this marker with exponential backoff; every other
     :class:`ReproError` is treated as permanent and quarantines the
     step immediately.
+    """
+
+
+class UnavailableError(TransientError):
+    """The service cannot take the request right now; retry later.
+
+    Transient by definition — the daemon is shutting down or its
+    worker slots are saturated beyond the queue bound.  Maps to
+    HTTP 503.
     """
 
 

@@ -1,0 +1,51 @@
+"""``repro.serve`` — the campaign-as-a-service layer.
+
+Start it with ``repro serve --port 8315 --cache-dir .cache`` (or
+programmatically via :class:`~repro.serve.daemon.ReproDaemon`), then
+submit campaign jobs over REST::
+
+    curl -s -X POST http://127.0.0.1:8315/v1/jobs \
+      -d '{"kind": "grid", "spec": {"grid": "smoke-grid"}}'
+
+Components: a crash-persistent on-disk :class:`~repro.serve.queue.JobQueue`
+(one JSON record per job, dedup by campaign-directory key), the
+:class:`~repro.serve.daemon.ReproDaemon` HTTP front + worker pool, a
+manifest-tailing progress reader and a stdlib
+:class:`~repro.serve.client.ServeClient`.  Every handler delegates to
+:mod:`repro.api`, so service runs are byte-identical to CLI runs.
+"""
+
+from .client import ServeClient, ServeResponse
+from .daemon import ReproDaemon, serve_forever
+from .progress import manifest_events, progress_counts
+from .queue import (
+    ACTIVE_STATES,
+    FINISHED_STATES,
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_FAILED,
+    JOB_QUARANTINED,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobQueue,
+    JobRecord,
+)
+
+__all__ = [
+    "ReproDaemon",
+    "serve_forever",
+    "JobQueue",
+    "JobRecord",
+    "ServeClient",
+    "ServeResponse",
+    "manifest_events",
+    "progress_counts",
+    "JOB_QUEUED",
+    "JOB_RUNNING",
+    "JOB_DONE",
+    "JOB_FAILED",
+    "JOB_QUARANTINED",
+    "JOB_CANCELLED",
+    "ACTIVE_STATES",
+    "FINISHED_STATES",
+]

@@ -1,0 +1,144 @@
+"""A tiny stdlib client for the ``repro serve`` REST surface.
+
+Used by the smoke tests and the nightly ``serve-smoke`` CI job;
+handy for notebooks too.  Methods never raise on HTTP error statuses —
+they return a :class:`ServeResponse` carrying the status code, so a
+caller can assert on 404/409 as easily as on 200.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import NamedTuple
+
+from ..api.jobs import JobSpec
+
+
+class ServeResponse(NamedTuple):
+    """One HTTP exchange: status code, headers and raw body."""
+
+    status: int
+    headers: dict
+    body: bytes
+
+    def json(self) -> dict | list:
+        """The body parsed as JSON."""
+        return json.loads(self.body)
+
+    def text(self) -> str:
+        """The body decoded as UTF-8 text."""
+        return self.body.decode()
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+
+class ServeClient:
+    """Thin convenience wrapper over ``urllib`` for the daemon API."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> ServeResponse:
+        """Issue one request; HTTP error statuses return, not raise."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            headers=headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return ServeResponse(
+                    resp.status, dict(resp.headers), resp.read()
+                )
+        except urllib.error.HTTPError as exc:
+            return ServeResponse(
+                exc.code, dict(exc.headers or {}), exc.read()
+            )
+
+    # -- endpoints ------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec | dict,
+        options: dict | None = None,
+        priority: int = 0,
+    ) -> ServeResponse:
+        """POST /v1/jobs — submit a job spec (typed or plain dict)."""
+        if isinstance(spec, JobSpec):
+            data = spec.to_dict()
+        else:
+            data = dict(spec)
+        kind = data.pop("kind", None)
+        payload: dict = {"kind": kind, "spec": data}
+        if options is not None:
+            payload["options"] = options
+        if priority:
+            payload["priority"] = priority
+        return self.request("POST", "/v1/jobs", payload)
+
+    def jobs(self) -> ServeResponse:
+        """GET /v1/jobs — every job record."""
+        return self.request("GET", "/v1/jobs")
+
+    def job(self, job_id: str) -> ServeResponse:
+        """GET /v1/jobs/<id> — one record plus live progress."""
+        return self.request("GET", f"/v1/jobs/{job_id}")
+
+    def events(self, job_id: str) -> ServeResponse:
+        """GET /v1/jobs/<id>/events — manifest step events."""
+        return self.request("GET", f"/v1/jobs/{job_id}/events")
+
+    def results(self, job_id: str) -> ServeResponse:
+        """GET /v1/jobs/<id>/results — grid aggregate / report."""
+        return self.request("GET", f"/v1/jobs/{job_id}/results")
+
+    def figures(self, job_id: str) -> ServeResponse:
+        """GET /v1/jobs/<id>/figures — available figure names."""
+        return self.request("GET", f"/v1/jobs/{job_id}/figures")
+
+    def figure(self, job_id: str, name: str) -> ServeResponse:
+        """GET /v1/jobs/<id>/figures/<name> — one rendered figure."""
+        return self.request("GET", f"/v1/jobs/{job_id}/figures/{name}")
+
+    def delete(self, job_id: str) -> ServeResponse:
+        """DELETE /v1/jobs/<id> — cancel queued or drop finished."""
+        return self.request("DELETE", f"/v1/jobs/{job_id}")
+
+    def healthz(self) -> ServeResponse:
+        """GET /v1/healthz — liveness and queue histogram."""
+        return self.request("GET", "/v1/healthz")
+
+    def wait(
+        self, job_id: str, timeout: float = 120.0, poll: float = 0.2
+    ) -> dict:
+        """Poll until the job leaves the active states; returns the record.
+
+        Raises :class:`TimeoutError` if the job is still queued or
+        running after ``timeout`` seconds.
+        """
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id).json()["job"]
+            if record["state"] not in ("queued", "running"):
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after "
+                    f"{timeout}s"
+                )
+            time.sleep(poll)

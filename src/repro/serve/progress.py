@@ -1,0 +1,55 @@
+"""Manifest tailing: live per-step progress without touching the run.
+
+``GET /v1/jobs/<id>/events`` streams campaign progress by reading the
+campaign's ``manifest.json`` journal — the same file the executor
+appends step transitions to and resumes from.  Reading it is safe at
+any moment (writes are atomic renames) and requires no cooperation
+from the worker thread, so progress keeps flowing even while a grid
+point is deep inside a training step.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Manifest schema version this reader understands.
+_MANIFEST_VERSION = 1
+
+
+def manifest_events(directory: str | Path) -> list[dict]:
+    """Step events from a campaign's manifest, oldest first.
+
+    Each event is ``{"step", "status", "detail", "updated",
+    "attempts"}``.  A campaign that has not started yet (no manifest
+    file) yields an empty list rather than an error — a queued job
+    simply has no events.
+    """
+    path = Path(directory) / "manifest.json"
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    if data.get("version") != _MANIFEST_VERSION:
+        return []
+    events = [
+        {
+            "step": step_id,
+            "status": record.get("status", "pending"),
+            "detail": record.get("detail", ""),
+            "updated": record.get("updated", 0.0),
+            "attempts": len(record.get("attempts", [])),
+        }
+        for step_id, record in data.get("steps", {}).items()
+    ]
+    events.sort(key=lambda e: (e["updated"], e["step"]))
+    return events
+
+
+def progress_counts(events: list[dict]) -> dict[str, int]:
+    """status -> count histogram over manifest events."""
+    counts: dict[str, int] = {}
+    for event in events:
+        status = event.get("status", "pending")
+        counts[status] = counts.get(status, 0) + 1
+    return counts

@@ -1,11 +1,13 @@
-"""Pin the CI-grepped sentinel strings through the logging migration.
+"""Pin the CI-grepped sentinel strings through the facade migration.
 
 Nightly CI greps exact sentinel lines out of stdout ("100% cache
 hits", "self-healing: ...", "cache corruption detected") and
-byte-diffs serial-vs-parallel capacity logs.  Routing every bare
-``print()`` through ``repro.obs.log`` must not move or reformat a
-single one of them: this module pins each sentinel at its source site
-and proves the default log level emits them verbatim on stdout.
+byte-diffs serial-vs-parallel capacity logs.  The sentinel text now
+lives in :mod:`repro.api.facade` — the summary assembly every CLI
+subcommand and every ``repro serve`` worker shares — and must not
+move or reformat a single character: this module pins each sentinel
+at its source site and proves the default log level emits them
+verbatim on stdout.
 """
 
 from __future__ import annotations
@@ -15,24 +17,27 @@ import re
 
 import pytest
 
+from repro.api import facade as facade_module
 from repro.campaign import cache as cache_module
 from repro.campaign import cli as cli_module
 from repro.campaign import results as results_module
 from repro.campaign import runner as runner_module
 from repro.obs import log
+from repro.serve import daemon as daemon_module
+from repro.serve import queue as queue_module
 
 #: (module, sentinel fragment) pairs the nightly jobs grep for.
 SENTINELS = [
-    (cli_module, "no measurement sets regenerated (100% cache hits)"),
-    (cli_module, "no models retrained (100% checkpoint hits)"),
-    (cli_module, "step attempt(s) retried, "),
-    (cli_module, "self-healing: "),
-    (cli_module, "fault plan {plan.name!r} armed: "),
-    (cli_module, " derived scenario(s) over "),
-    (cli_module, " executed, "),
-    (cli_module, " resumed from manifest "),
-    (cli_module, " modeled point(s) over "),
-    (cli_module, " job(s); no datasets or checkpoints touched"),
+    (facade_module, "no measurement sets regenerated (100% cache hits)"),
+    (facade_module, "no models retrained (100% checkpoint hits)"),
+    (facade_module, "step attempt(s) retried, "),
+    (facade_module, "self-healing: "),
+    (facade_module, "fault plan {plan.name!r} armed: "),
+    (facade_module, " derived scenario(s) over "),
+    (facade_module, " executed, "),
+    (facade_module, " resumed from manifest "),
+    (facade_module, " modeled point(s) over "),
+    (facade_module, " job(s); no datasets or checkpoints touched"),
     (cache_module, "warning: cache corruption detected in "),
     (results_module, "warning: corrupt grid record "),
 ]
@@ -40,9 +45,12 @@ SENTINELS = [
 #: Modules whose output must flow through the logger, never print().
 ROUTED_MODULES = [
     cli_module,
+    facade_module,
     cache_module,
     results_module,
     runner_module,
+    daemon_module,
+    queue_module,
 ]
 
 
@@ -65,6 +73,12 @@ class TestSentinelSources:
         # `fingerprint(` must not count; only real print() call sites.
         assert re.search(r"(?<![\w.])print\(", source) is None
 
+    def test_cli_no_longer_owns_sentinel_text(self):
+        """The CLI is a shell: summary text belongs to the facade."""
+        source = inspect.getsource(cli_module)
+        assert "100% cache hits" not in source
+        assert "self-healing: " not in source
+
 
 class TestSentinelEmission:
     def test_default_level_emits_sentinels_byte_exact(self, capsys):
@@ -84,23 +98,30 @@ class TestSentinelEmission:
             + "\nwarning: cache corruption detected in set_0003.npz\n"
         )
 
-    def test_self_healing_summary_prints_when_plan_armed(self, capsys):
+    def test_self_healing_lines_when_plan_armed(self):
         class _Result:
             retried = 0
             quarantined: list = []
 
-        cli_module._self_healing_summary(_Result(), plan=object())
-        assert capsys.readouterr().out == (
+        lines = facade_module.self_healing_lines(_Result(), plan=object())
+        assert lines == [
             "self-healing: 0 step attempt(s) retried, "
-            "0 step(s) quarantined\n"
-        )
+            "0 step(s) quarantined"
+        ]
 
-    def test_self_healing_summary_silent_on_clean_unarmed_run(
-        self, capsys
-    ):
+    def test_self_healing_lines_empty_on_clean_unarmed_run(self):
         class _Result:
             retried = 0
             quarantined: list = []
 
-        cli_module._self_healing_summary(_Result(), plan=None)
-        assert capsys.readouterr().out == ""
+        assert facade_module.self_healing_lines(_Result(), plan=None) == []
+
+    def test_self_healing_lines_name_quarantined_steps(self):
+        class _Result:
+            retried = 2
+            quarantined = ["point@x", "point@y"]
+
+        assert facade_module.self_healing_lines(_Result(), plan=None) == [
+            "self-healing: 2 step attempt(s) retried, "
+            "2 step(s) quarantined: point@x, point@y"
+        ]

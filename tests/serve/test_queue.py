@@ -1,0 +1,169 @@
+"""The persistent job queue: dedup, priority, recovery, lifecycle."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConflictError, NotFoundError
+from repro.serve.queue import (
+    JOB_CANCELLED,
+    JOB_DONE,
+    JOB_QUEUED,
+    JOB_RUNNING,
+    JobQueue,
+    JobRecord,
+)
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path / "jobs")
+
+
+def _submit(queue, job_id="job-a", priority=0, **over):
+    return queue.submit(
+        job_id=job_id,
+        kind=over.get("kind", "capacity"),
+        spec=over.get("spec", {"kind": "capacity", "links": [2]}),
+        options=over.get("options", {"jobs": 1}),
+        priority=priority,
+        campaign_dir=over.get("campaign_dir", "/tmp/none"),
+    )
+
+
+class TestPersistence:
+    def test_record_survives_a_fresh_queue_instance(self, queue, tmp_path):
+        record, created = _submit(queue)
+        assert created
+        reloaded = JobQueue(tmp_path / "jobs").get("job-a")
+        assert reloaded == record
+        assert reloaded.state == JOB_QUEUED
+
+    def test_record_file_is_versioned_json(self, queue, tmp_path):
+        _submit(queue)
+        data = json.loads((tmp_path / "jobs" / "job-a.json").read_text())
+        assert data["version"] == 1
+        assert data["job"]["job_id"] == "job-a"
+
+    def test_round_trip_preserves_every_field(self):
+        record = JobRecord(
+            job_id="x",
+            kind="grid",
+            spec={"grid": "smoke-grid"},
+            options={"jobs": 2},
+            priority=5,
+            state=JOB_DONE,
+            submissions=3,
+            exit_code=0,
+            summary="steps: 4 executed",
+        )
+        assert JobRecord.from_dict(record.to_dict()) == record
+
+    def test_unknown_job_raises(self, queue):
+        with pytest.raises(NotFoundError, match="unknown job"):
+            queue.get("missing")
+
+    def test_traversal_job_ids_rejected(self, queue):
+        with pytest.raises(NotFoundError):
+            queue.get("../escape")
+
+
+class TestDedup:
+    def test_second_submission_dedups_onto_queued_job(self, queue):
+        first, created_first = _submit(queue)
+        second, created_second = _submit(queue)
+        assert created_first and not created_second
+        assert second.job_id == first.job_id
+        assert second.submissions == 2
+
+    def test_dedup_keeps_highest_priority(self, queue):
+        _submit(queue, priority=1)
+        record, created = _submit(queue, priority=7)
+        assert not created
+        assert record.priority == 7
+
+    def test_resubmission_of_finished_job_requeues(self, queue):
+        _submit(queue)
+        queue.claim_next(pid=1)
+        queue.mark("job-a", JOB_DONE, exit_code=0)
+        record, created = _submit(queue)
+        assert created
+        assert record.state == JOB_QUEUED
+        assert record.submissions == 2
+        assert "resubmitted after done" in record.detail
+        assert record.exit_code is None
+
+
+class TestClaimOrdering:
+    def test_claims_by_priority_then_age_then_id(self, queue):
+        _submit(queue, job_id="old-low", priority=0)
+        _submit(queue, job_id="new-high", priority=5)
+        _submit(queue, job_id="also-low", priority=0)
+        assert queue.claim_next(pid=1).job_id == "new-high"
+        # Equal priority: submission order wins.
+        assert queue.claim_next(pid=1).job_id == "old-low"
+        assert queue.claim_next(pid=1).job_id == "also-low"
+        assert queue.claim_next(pid=1) is None
+
+    def test_claim_marks_running_with_pid(self, queue):
+        _submit(queue)
+        record = queue.claim_next(pid=4242)
+        assert record.state == JOB_RUNNING
+        assert record.pid == 4242
+        assert record.started_at is not None
+
+
+class TestRecovery:
+    def test_running_jobs_requeue_on_recover(self, queue):
+        _submit(queue, job_id="crashed")
+        _submit(queue, job_id="finished")
+        queue.claim_next(pid=1)  # claims "crashed"
+        queue.mark("finished", JOB_DONE)
+        assert queue.recover() == ["crashed"]
+        record = queue.get("crashed")
+        assert record.state == JOB_QUEUED
+        assert record.detail == "requeued after daemon restart"
+        assert record.pid is None
+        assert queue.get("finished").state == JOB_DONE
+
+    def test_recover_is_idempotent(self, queue):
+        _submit(queue)
+        queue.claim_next(pid=1)
+        assert queue.recover() == ["job-a"]
+        assert queue.recover() == []
+
+
+class TestLifecycle:
+    def test_cancel_queued_job(self, queue):
+        _submit(queue)
+        assert queue.cancel("job-a").state == JOB_CANCELLED
+
+    def test_cancel_running_job_conflicts(self, queue):
+        _submit(queue)
+        queue.claim_next(pid=1)
+        with pytest.raises(ConflictError, match="running"):
+            queue.cancel("job-a")
+
+    def test_delete_refuses_active_jobs(self, queue):
+        _submit(queue)
+        with pytest.raises(ConflictError):
+            queue.delete("job-a")
+        queue.claim_next(pid=1)
+        with pytest.raises(ConflictError):
+            queue.delete("job-a")
+
+    def test_delete_removes_finished_record(self, queue):
+        _submit(queue)
+        queue.claim_next(pid=1)
+        queue.mark("job-a", JOB_DONE)
+        queue.delete("job-a")
+        with pytest.raises(NotFoundError):
+            queue.get("job-a")
+
+    def test_counts_histogram(self, queue):
+        _submit(queue, job_id="a")
+        _submit(queue, job_id="b")
+        queue.claim_next(pid=1)
+        assert queue.counts() == {JOB_QUEUED: 1, JOB_RUNNING: 1}

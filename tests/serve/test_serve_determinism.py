@@ -1,0 +1,115 @@
+"""The determinism contract of campaign-as-a-service.
+
+A grid submitted over HTTP must produce byte-identical artifacts to
+the same grid run via the CLI — same per-point records, same
+aggregate ``results.json`` (served raw, never re-serialized), same
+report.  And resubmitting the finished job must be a pure replay:
+zero steps executed, the "100% cache hits" sentinel in the stored
+summary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.cli import main as cli_main
+from repro.campaign.grid import GridSpec, register_grid
+from repro.serve import ReproDaemon, ServeClient
+
+GRID_NAME = "serve-determinism-grid"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _grid():
+    register_grid(
+        GridSpec(
+            name=GRID_NAME,
+            description="serve-vs-CLI byte-identity fixture",
+            base="smoke",
+            axes=(("snr_db", (6.0, 12.0)),),
+        ),
+        replace=True,
+    )
+
+
+SUBMISSION = {"kind": "grid", "grid": GRID_NAME, "suite": "quick"}
+
+
+def _artifacts(cache_root):
+    campaigns = sorted((cache_root / "campaigns").iterdir())
+    assert len(campaigns) == 1
+    directory = campaigns[0]
+    results = sorted(
+        path
+        for path in (directory / "results").iterdir()
+        if path.suffix == ".json"
+    )
+    return directory, results
+
+
+def test_http_grid_matches_cli_grid_byte_for_byte(tmp_path, capsys):
+    cli_cache = tmp_path / "cli-cache"
+    serve_cache = tmp_path / "serve-cache"
+    models = tmp_path / "models"
+
+    code = cli_main(
+        [
+            "grid",
+            "--grid",
+            GRID_NAME,
+            "--suite",
+            "quick",
+            "--cache-dir",
+            str(cli_cache),
+            "--model-dir",
+            str(models),
+        ]
+    )
+    capsys.readouterr()
+    assert code == 0
+
+    daemon = ReproDaemon(
+        cache_dir=str(serve_cache), model_dir=str(models), port=0, slots=1
+    )
+    daemon.start()
+    try:
+        client = ServeClient(f"http://127.0.0.1:{daemon.port}")
+        response = client.submit(SUBMISSION)
+        assert response.status == 201
+        job_id = response.json()["job"]["job_id"]
+        record = client.wait(job_id, timeout=300)
+        assert record["state"] == "done"
+
+        cli_dir, cli_results = _artifacts(cli_cache)
+        serve_dir, serve_results = _artifacts(serve_cache)
+
+        # Same spec -> same campaign directory key on both sides.
+        assert cli_dir.name == serve_dir.name == job_id
+
+        # Every result artifact is byte-identical across transports.
+        assert [p.name for p in cli_results] == [
+            p.name for p in serve_results
+        ]
+        for cli_path, serve_path in zip(cli_results, serve_results):
+            assert cli_path.read_bytes() == serve_path.read_bytes()
+
+        # GET /results serves the raw aggregate bytes, not a re-dump.
+        body = client.results(job_id)
+        assert body.status == 200
+        assert body.body == (
+            cli_dir / "results" / "results.json"
+        ).read_bytes()
+
+        # Resubmission is a pure replay over the manifest.
+        assert client.submit(SUBMISSION).status == 201
+        replay = client.wait(job_id, timeout=120)
+        assert replay["submissions"] == 2
+        assert "steps: 0 executed," in replay["summary"]
+        assert (
+            "no measurement sets regenerated (100% cache hits)"
+            in replay["summary"]
+        )
+        assert client.results(job_id).body == body.body
+    finally:
+        daemon.request_stop()
+        daemon.stop()

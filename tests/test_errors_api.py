@@ -3,14 +3,19 @@
 import pytest
 
 import repro
+from repro.api import errors as api_errors
 from repro.errors import (
     ConfigurationError,
+    ConflictError,
     DatasetError,
     DecodingError,
     NotFittedError,
+    NotFoundError,
     ReproError,
     ShapeError,
     SynchronizationError,
+    TransientError,
+    UnavailableError,
 )
 
 
@@ -39,6 +44,72 @@ class TestErrorHierarchy:
     def test_library_errors_catchable_with_one_clause(self):
         with pytest.raises(ReproError):
             raise DatasetError("boom")
+
+    def test_service_errors_derive_from_repro_error(self):
+        assert issubclass(NotFoundError, ConfigurationError)
+        assert issubclass(ConflictError, ReproError)
+        assert issubclass(UnavailableError, TransientError)
+
+    def test_not_found_catchable_as_configuration_error(self):
+        # Existing callers catching ConfigurationError keep working
+        # after get_scenario/get_grid started raising NotFoundError.
+        with pytest.raises(ConfigurationError):
+            raise NotFoundError("unknown scenario 'x'")
+
+
+class TestOutcomeTable:
+    """One table maps outcome codes to CLI exit codes + HTTP statuses."""
+
+    def test_table_is_total_over_codes(self):
+        for code, (exit_code, status) in api_errors.OUTCOME_TABLE.items():
+            assert api_errors.exit_code_for(code) == exit_code
+            assert api_errors.http_status_for(code) == status
+
+    def test_pinned_mappings(self):
+        assert api_errors.OUTCOME_TABLE["ok"] == (0, 200)
+        assert api_errors.OUTCOME_TABLE["invalid"] == (2, 400)
+        assert api_errors.OUTCOME_TABLE["not_found"] == (2, 404)
+        assert api_errors.OUTCOME_TABLE["conflict"] == (2, 409)
+        assert api_errors.OUTCOME_TABLE["quarantined"] == (3, 409)
+        assert api_errors.OUTCOME_TABLE["unavailable"] == (4, 503)
+        assert api_errors.OUTCOME_TABLE["internal"] == (1, 500)
+
+    def test_exit_constants_derive_from_table(self):
+        assert api_errors.EXIT_OK == api_errors.exit_code_for("ok")
+        assert api_errors.EXIT_ERROR == api_errors.exit_code_for("invalid")
+        assert api_errors.EXIT_QUARANTINED == api_errors.exit_code_for(
+            "quarantined"
+        )
+
+    @pytest.mark.parametrize(
+        "exc, code",
+        [
+            (NotFoundError("x"), "not_found"),
+            (UnavailableError("x"), "unavailable"),
+            (ConflictError("x"), "conflict"),
+            (ConfigurationError("x"), "invalid"),
+            (DatasetError("x"), "invalid"),
+            (RuntimeError("x"), "internal"),
+        ],
+    )
+    def test_classify_exception(self, exc, code):
+        assert api_errors.classify_exception(exc) == code
+
+    def test_cli_exit_code_follows_table(self, tmp_path, capsys):
+        from repro.campaign.cli import main as cli_main
+
+        code = cli_main(
+            ["sweep", "--scenario", "atlantis", "--cache-dir", str(tmp_path)]
+        )
+        capsys.readouterr()
+        assert code == api_errors.exit_code_for("not_found")
+
+    def test_http_status_follows_table_for_same_error(self):
+        # The CLI exits 2 and the daemon answers 404 from ONE row.
+        exc = NotFoundError("unknown scenario 'atlantis'")
+        code = api_errors.classify_exception(exc)
+        assert api_errors.exit_code_for(code) == 2
+        assert api_errors.http_status_for(code) == 404
 
 
 class TestTopLevelAPI:
